@@ -1,0 +1,341 @@
+// Command reactivespec regenerates the tables and figures of "Reactive
+// Techniques for Controlling Software Speculation" (Zilles & Neelakantam,
+// CGO 2005) from the synthetic workloads in this repository.
+//
+// Usage:
+//
+//	reactivespec [flags] <experiment>
+//
+// Paper artifacts: table1, table2, fig2, fig3, fig4, fig5, table3, table4,
+// fig6, fig7, fig8, fig9, table5. Ablations and extensions: averaging,
+// flush, generality, replay, describe, sweep-monitor, sweep-evict,
+// sweep-wait, sweep-oscillation, sweep-step, sweep-threshold, sweep-task,
+// sweep-slaves.
+// "all" runs everything (≈10–15 minutes at full scale).
+//
+// Flags:
+//
+//	-scale f    workload scale relative to the calibrated default (1.0)
+//	-bench csv  comma-separated benchmark subset (default: all 12)
+//	-seed n     workload seed (default 0, the calibrated seed)
+//	-format f   "table" (default), "csv", or "svg" (figures 2/3/5/6/7/8)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/experiments"
+	"reactivespec/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "reactivespec:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("reactivespec", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1.0, "workload scale relative to the calibrated default")
+	bench := fs.String("bench", "", "comma-separated benchmark subset (default: all 12)")
+	seed := fs.Uint64("seed", 0, "workload seed")
+	format := fs.String("format", "table", `output format: "table", "csv", or "svg" (figures only)`)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: reactivespec [flags] <experiment>\n\nexperiments: %s\n\nflags:\n",
+			strings.Join(experimentNames(), " "))
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one experiment, got %d args", fs.NArg())
+	}
+	csv := false
+	svg := false
+	switch *format {
+	case "table":
+	case "csv":
+		csv = true
+	case "svg":
+		svg = true
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	if *bench != "" {
+		for _, b := range strings.Split(*bench, ",") {
+			b = strings.TrimSpace(b)
+			if b == "" {
+				continue
+			}
+			if _, err := workload.Build(b, workload.InputEval, workload.Options{}); err != nil {
+				return err
+			}
+			cfg.Benchmarks = append(cfg.Benchmarks, b)
+		}
+	}
+
+	name := fs.Arg(0)
+	if svg {
+		return dispatchSVG(name, cfg, out)
+	}
+	if name == "all" {
+		for _, n := range experimentNames() {
+			if n == "all" {
+				continue
+			}
+			fmt.Fprintf(out, "\n=== %s ===\n", n)
+			if err := dispatch(n, cfg, csv, out); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+		}
+		return nil
+	}
+	return dispatch(name, cfg, csv, out)
+}
+
+// dispatchSVG renders the figures that have SVG forms.
+func dispatchSVG(name string, cfg experiments.Config, out io.Writer) error {
+	switch name {
+	case "fig2":
+		series, err := experiments.Fig2(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.SVGFig2(out, series)
+	case "fig3":
+		series, err := experiments.Fig3(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.SVGFig3(out, series)
+	case "fig5":
+		points, err := experiments.Fig5(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.SVGFig5(out, points)
+	case "fig6":
+		res, err := experiments.Fig6(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.SVGFig6(out, res)
+	case "fig7":
+		rows, err := experiments.Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.SVGFig7(out, rows)
+	case "fig8":
+		rows, err := experiments.Fig8(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.SVGFig8(out, rows)
+	default:
+		return fmt.Errorf("experiment %q has no SVG form (figures 2, 3, 5, 6, 7, 8 do)", name)
+	}
+}
+
+func experimentNames() []string {
+	return []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "table3",
+		"table4", "fig6", "fig7", "fig8", "fig9", "table5",
+		"averaging", "flush", "generality", "sweep-monitor", "sweep-evict",
+		"sweep-wait", "sweep-oscillation", "sweep-step", "sweep-threshold",
+		"sweep-task", "sweep-slaves", "replay", "tls", "describe", "all"}
+}
+
+func dispatch(name string, cfg experiments.Config, csv bool, out io.Writer) error {
+	switch name {
+	case "table1":
+		return experiments.WriteTable1(out, cfg, csv)
+	case "table2":
+		return writeTable2(out, cfg)
+	case "fig2":
+		series, err := experiments.Fig2(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteFig2(out, series, csv)
+	case "fig3":
+		series, err := experiments.Fig3(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteFig3(out, series, csv)
+	case "fig4":
+		return writeFig4(out)
+	case "fig5":
+		points, err := experiments.Fig5(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteFig5(out, points, csv)
+	case "table3":
+		rows, err := experiments.Table3(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteTable3(out, rows, csv)
+	case "table4":
+		points, err := experiments.Fig5(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteTable4(out, experiments.Table4(points), csv)
+	case "fig6":
+		res, err := experiments.Fig6(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteFig6(out, res, csv)
+	case "fig7":
+		rows, err := experiments.Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteFig7(out, rows, csv)
+	case "fig8":
+		rows, err := experiments.Fig8(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteFig8(out, rows, csv)
+	case "fig9":
+		res, err := experiments.Fig9(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteFig9(out, res, csv)
+	case "table5":
+		return writeTable5(out)
+	case "averaging":
+		rows, err := experiments.ProfileAveraging(cfg, nil)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteAveraging(out, rows, csv)
+	case "flush":
+		rows, err := experiments.FlushPolicy(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteFlush(out, rows, csv)
+	case "replay":
+		rows, err := experiments.Replay(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteReplay(out, rows, csv)
+	case "tls":
+		rows, err := experiments.TLS(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteTLS(out, rows, csv)
+	case "describe":
+		// Describe needs a single benchmark; default to gcc.
+		bench := "gcc"
+		if len(cfg.Benchmarks) == 1 {
+			bench = cfg.Benchmarks[0]
+		}
+		rows, spec, err := experiments.Describe(cfg, bench, workload.InputEval)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteDescribe(out, spec, rows, csv)
+	case "sweep-slaves":
+		rows, err := experiments.SlaveSweep(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteSlaveSweep(out, rows, csv)
+	case "sweep-task":
+		rows, err := experiments.TaskSweep(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteTaskSweep(out, rows, csv)
+	case "generality":
+		rows, err := experiments.Generality(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteGenerality(out, rows, csv)
+	case "sweep-monitor", "sweep-evict", "sweep-wait", "sweep-oscillation",
+		"sweep-step", "sweep-threshold":
+		kind := experiments.SweepKind(strings.TrimPrefix(name, "sweep-"))
+		points, err := experiments.Sweep(cfg, kind)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteSweep(out, points, csv)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+// writeTable2 prints the model parameters actually used (Table 2, scaled to
+// the experiment regime) next to the paper's values.
+func writeTable2(out io.Writer, cfg experiments.Config) error {
+	p := cfg.Params()
+	d := core.DefaultParams()
+	rows := []struct {
+		name        string
+		used, paper uint64
+	}{
+		{name: "monitor period (executions)", used: p.MonitorPeriod, paper: d.MonitorPeriod},
+		{name: "eviction threshold (+50 misp / -1 corr)", used: uint64(p.EvictThreshold), paper: uint64(d.EvictThreshold)},
+		{name: "wait period (executions)", used: p.WaitPeriod, paper: d.WaitPeriod},
+		{name: "optimization latency (instructions)", used: p.OptLatency, paper: d.OptLatency},
+		{name: "oscillation limit (optimizations)", used: uint64(p.MaxOptimizations), paper: uint64(d.MaxOptimizations)},
+	}
+	fmt.Fprintf(out, "selection threshold: %.1f%% (paper: %.1f%%)\n",
+		p.SelectThreshold*100, d.SelectThreshold*100)
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-42s %12d (paper: %d)\n", r.name, r.used, r.paper)
+	}
+	return nil
+}
+
+// writeFig4 prints the classification state machine (the paper's Figure 4b).
+func writeFig4(out io.Writer) error {
+	_, err := fmt.Fprint(out, `Figure 4(b): reactive branch-behavior classifier
+
+            +----------------------+
+            |                      v
+  [monitor] --(bias >= 99.5%)--> [biased] --(eviction counter full)--+
+      |  ^                                                           |
+      |  +-----------------------------------------------------------+
+      |  ^
+      +--(else)--> [unbiased] --(wait period elapses)--+
+                       ^--------------------------------+
+  (a sixth optimization attempt retires the branch permanently)
+`)
+	return err
+}
+
+// writeTable5 prints the simulated machine parameters (Table 5).
+func writeTable5(out io.Writer) error {
+	_, err := fmt.Fprint(out, `Table 5: simulated CMP (as implemented in internal/cpu, internal/cache)
+
+             leading core              trailing cores (x8)
+pipeline     4-wide, 12-stage          2-wide, 8-stage
+window       128 entries               24 entries
+L1 cache     64KB 2-way 64B, 3cy       8KB 8-way 64B, 3cy
+br. pred.    8Kb gshare, 32-entry RAS, 256-entry indirect (each core)
+L2 cache     shared 1MB 8-way 64B, 10-cycle minimum
+coherence    10-cycle minimum hop (uncongested)
+memory       200-cycle minimum after L2
+`)
+	return err
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTable2(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"table2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"selection threshold", "99.5%", "monitor period", "oscillation limit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig4AndTable5(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"fig4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "biased") || !strings.Contains(b.String(), "monitor") {
+		t.Fatal("fig4 output incomplete")
+	}
+	b.Reset()
+	if err := run([]string{"table5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "gshare") || !strings.Contains(b.String(), "200-cycle") {
+		t.Fatal("table5 output incomplete")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-scale", "0.02", "table1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "diffmail.pl") {
+		t.Fatal("table1 missing paper input names")
+	}
+}
+
+func TestRunTable3Subset(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-scale", "0.05", "-bench", "eon", "table3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "eon") {
+		t.Fatal("table3 output missing benchmark")
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-scale", "0.05", "-bench", "eon", "-format", "csv", "table3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "bench,touch") {
+		t.Fatalf("csv output wrong:\n%s", b.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"nonesuch"}, &b); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{}, &b); err == nil {
+		t.Fatal("missing experiment accepted")
+	}
+	if err := run([]string{"-bench", "nope", "table3"}, &b); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if err := run([]string{"-format", "xml", "table3"}, &b); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRunSVGFormats(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-scale", "0.05", "-bench", "eon", "-format", "svg", "fig5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<svg") || !strings.Contains(b.String(), "</svg>") {
+		t.Fatal("fig5 SVG output malformed")
+	}
+	b.Reset()
+	if err := run([]string{"-format", "svg", "table3"}, &b); err == nil {
+		t.Fatal("table3 should have no SVG form")
+	}
+}

@@ -1,0 +1,125 @@
+// Command tracegen generates, inspects, and replays the synthetic branch
+// traces used by the reproduction, so workloads can be exported to (or
+// imported from) other tools.
+//
+// Usage:
+//
+//	tracegen -bench gcc [-input eval|profile] [-scale f] [-seed n] -o gcc.trace
+//	tracegen -stats gcc.trace
+//
+// The trace format is the compact varint encoding of internal/trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"reactivespec/internal/bias"
+	"reactivespec/internal/stats"
+	"reactivespec/internal/trace"
+	"reactivespec/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	bench := fs.String("bench", "", "benchmark to generate (one of the 12)")
+	input := fs.String("input", "eval", `input: "eval", "profile", or "profile-N"`)
+	scale := fs.Float64("scale", 1.0, "workload scale relative to the calibrated default")
+	seed := fs.Uint64("seed", 0, "workload seed")
+	outPath := fs.String("o", "", "output trace file (generation mode)")
+	statsPath := fs.String("stats", "", "trace file to summarize (inspection mode)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *statsPath != "":
+		return writeStats(out, *statsPath)
+	case *bench != "" && *outPath != "":
+		return generate(out, *bench, *input, *scale, *seed, *outPath)
+	default:
+		fs.Usage()
+		return fmt.Errorf("need either -bench and -o (generate) or -stats (inspect)")
+	}
+}
+
+func parseInput(s string) (workload.InputID, error) {
+	switch s {
+	case "eval":
+		return workload.InputEval, nil
+	case "profile":
+		return workload.InputProfile, nil
+	}
+	var k int
+	if _, err := fmt.Sscanf(s, "profile-%d", &k); err == nil && k >= 1 {
+		return workload.InputVariant(k), nil
+	}
+	return 0, fmt.Errorf("unknown input %q", s)
+}
+
+func generate(out io.Writer, bench, input string, scale float64, seed uint64, outPath string) error {
+	in, err := parseInput(input)
+	if err != nil {
+		return err
+	}
+	spec, err := workload.Build(bench, in, workload.Options{
+		EventScale: workload.DefaultEventScale * scale,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := trace.Capture(f, workload.NewGenerator(spec), spec.Events)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s (%s input): %s events, %s bytes (%.2f B/event) -> %s\n",
+		bench, in, stats.Count(n), stats.Count(uint64(info.Size())),
+		float64(info.Size())/float64(n), outPath)
+	return nil
+}
+
+func writeStats(out io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	prof := bias.FromStream(r)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	t := stats.NewTable("metric", "value")
+	t.AddRowf("%s", "events", "%s", stats.Count(prof.Events()))
+	t.AddRowf("%s", "instructions", "%s", stats.Count(prof.Instrs()))
+	t.AddRowf("%s", "static branches", "%d", prof.Touched())
+	knee := prof.AtThreshold(0.99)
+	t.AddRowf("%s", "branches with bias >= 99%", "%d", knee.NumStatic)
+	t.AddRowf("%s", "self-training correct @99%", "%s", stats.Pct(knee.CorrectF, 2))
+	t.AddRowf("%s", "self-training incorrect @99%", "%s", stats.Pct(knee.WrongF, 4))
+	return t.WriteText(out)
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAndInspect(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "eon.trace")
+	var b strings.Builder
+	if err := run([]string{"-bench", "eon", "-scale", "0.02", "-o", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "eon") {
+		t.Fatalf("generation output: %s", b.String())
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+	b.Reset()
+	if err := run([]string{"-stats", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"events", "static branches", "self-training"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("stats output missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestProfileVariantInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.trace")
+	var b strings.Builder
+	if err := run([]string{"-bench", "gzip", "-input", "profile-3", "-scale", "0.02", "-o", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "profile-variant-3") {
+		t.Fatalf("output: %s", b.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{}, &b); err == nil {
+		t.Fatal("no-mode invocation accepted")
+	}
+	if err := run([]string{"-bench", "nope", "-o", "/tmp/x.trace"}, &b); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if err := run([]string{"-bench", "eon", "-input", "bogus", "-o", "/tmp/x.trace"}, &b); err == nil {
+		t.Fatal("unknown input accepted")
+	}
+	if err := run([]string{"-stats", "/nonexistent/trace"}, &b); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}

@@ -1,0 +1,98 @@
+// Phase detection: watch the controller track time-varying branches inside a
+// full synthetic benchmark.
+//
+// This runs the calibrated "gap" workload (the benchmark whose changing
+// branches the paper plots in Figure 3), overlays the reactive
+// controller's per-branch classification on the branches' true behavior, and
+// prints a timeline for every branch that was ever evicted.
+//
+// Run with: go run ./examples/phasedetect
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/harness"
+	"reactivespec/internal/trace"
+	"reactivespec/internal/workload"
+)
+
+const timelineCols = 64
+
+func main() {
+	spec := workload.MustBuild("gap", workload.InputEval, workload.Options{})
+	params := core.DefaultParams().Scaled(10).WithWaitPeriod(20_000)
+	ctl := core.New(params)
+
+	// Record classification intervals per branch, in event time.
+	type interval struct{ from, to uint64 }
+	specIntervals := make(map[trace.BranchID][]interval)
+	var eventIdx uint64
+	ctl.OnTransition = func(tr core.Transition) {
+		iv := specIntervals[tr.Branch]
+		if tr.To == core.Biased {
+			specIntervals[tr.Branch] = append(iv, interval{from: eventIdx, to: ^uint64(0)})
+		} else if tr.From == core.Biased && len(iv) > 0 {
+			iv[len(iv)-1].to = eventIdx
+			specIntervals[tr.Branch] = iv
+		}
+	}
+
+	gen := workload.NewGenerator(spec)
+	st := harness.RunObserved(gen, ctl, func(trace.Event, uint64, core.Verdict) {
+		eventIdx++
+	})
+
+	// Report every branch the controller ever evicted.
+	var evicted []trace.BranchID
+	for id := range specIntervals {
+		if ctl.Evictions(id) > 0 {
+			evicted = append(evicted, id)
+		}
+	}
+	sort.Slice(evicted, func(i, j int) bool { return evicted[i] < evicted[j] })
+
+	fmt.Printf("gap, %s events: %d branches were evicted at least once\n\n",
+		fmtCount(st.Events), len(evicted))
+	fmt.Printf("%-7s %-11s %-5s %-6s  %s\n", "branch", "class", "opts", "evicts",
+		"speculated intervals (run time →)")
+	for _, id := range evicted {
+		line := make([]byte, timelineCols)
+		for i := range line {
+			line[i] = '.'
+		}
+		for _, iv := range specIntervals[id] {
+			to := iv.to
+			if to == ^uint64(0) {
+				to = st.Events
+			}
+			from := int(iv.from * timelineCols / st.Events)
+			end := int(to * timelineCols / st.Events)
+			for c := from; c <= end && c < timelineCols; c++ {
+				line[c] = '#'
+			}
+		}
+		fmt.Printf("%-7d %-11s %-5d %-6d  %s\n",
+			id, spec.Branches[id].Class, ctl.Optimizations(id), ctl.Evictions(id), line)
+	}
+
+	fmt.Println()
+	fmt.Printf("overall: %.1f%% of dynamic branches correctly speculated, "+
+		"%.3f%% misspeculated (one per %.0f instructions)\n",
+		100*st.CorrectFrac(), 100*st.MisspecFrac(), st.MisspecDistance())
+}
+
+func fmtCount(n uint64) string {
+	s := fmt.Sprintf("%d", n)
+	var b strings.Builder
+	for i, c := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			b.WriteByte(',')
+		}
+		b.WriteRune(c)
+	}
+	return b.String()
+}

@@ -1,0 +1,3 @@
+module reactivespec
+
+go 1.22

@@ -1,0 +1,105 @@
+// Package baseline implements the non-reactive speculation-control
+// mechanisms the paper compares against (Section 2.2): static selection from
+// a profile (self-training or a differing training input) and selection from
+// a run's initial behavior. Both decide once and never reconsider — the lack
+// of robustness the reactive model repairs.
+package baseline
+
+import (
+	"reactivespec/internal/bias"
+	"reactivespec/internal/core"
+	"reactivespec/internal/trace"
+)
+
+// Static speculates on a fixed selection of branches, each in a fixed
+// direction, from the first instruction of the run. This models offline
+// profile-guided speculation: self-training when the selection comes from
+// the evaluated run itself, and cross-input profiling when it comes from a
+// different input's run.
+type Static struct {
+	sel *bias.Selection
+}
+
+// NewStatic returns a static controller for the given selection.
+func NewStatic(sel *bias.Selection) *Static { return &Static{sel: sel} }
+
+// OnBranch implements the harness Controller contract.
+func (s *Static) OnBranch(id trace.BranchID, taken bool, _ uint64) core.Verdict {
+	dir, ok := s.sel.Direction(id)
+	if !ok {
+		return core.NotSpeculated
+	}
+	if taken == dir {
+		return core.Correct
+	}
+	return core.Misspec
+}
+
+// InitialBehavior speculates on branches whose bias over their first
+// TrainLen executions meets Threshold, starting immediately after the
+// training window and never reconsidering (the Figure 2 "+" mechanism).
+type InitialBehavior struct {
+	// TrainLen is the per-branch training length in executions.
+	TrainLen uint64
+	// Threshold is the required training-window bias (e.g. 0.99).
+	Threshold float64
+
+	branches []ibBranch
+}
+
+type ibBranch struct {
+	execs, taken uint64
+	decided      bool
+	speculate    bool
+	dir          bool
+}
+
+// NewInitialBehavior returns an initial-behavior controller.
+func NewInitialBehavior(trainLen uint64, threshold float64) *InitialBehavior {
+	return &InitialBehavior{TrainLen: trainLen, Threshold: threshold}
+}
+
+// OnBranch implements the harness Controller contract.
+func (c *InitialBehavior) OnBranch(id trace.BranchID, taken bool, _ uint64) core.Verdict {
+	if int(id) >= len(c.branches) {
+		grown := make([]ibBranch, int(id)+1+int(id)/2)
+		copy(grown, c.branches)
+		c.branches = grown
+	}
+	b := &c.branches[id]
+	if b.decided {
+		if !b.speculate {
+			return core.NotSpeculated
+		}
+		if taken == b.dir {
+			return core.Correct
+		}
+		return core.Misspec
+	}
+	b.execs++
+	if taken {
+		b.taken++
+	}
+	if b.execs >= c.TrainLen {
+		b.decided = true
+		maj := b.taken
+		b.dir = true
+		if b.taken*2 < b.execs {
+			maj = b.execs - b.taken
+			b.dir = false
+		}
+		b.speculate = float64(maj) >= c.Threshold*float64(b.execs)
+	}
+	return core.NotSpeculated
+}
+
+// Selected returns how many branches the controller decided to speculate on.
+func (c *InitialBehavior) Selected() int {
+	n := 0
+	for i := range c.branches {
+		if c.branches[i].decided && c.branches[i].speculate {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,162 @@
+package baseline
+
+import (
+	"testing"
+
+	"reactivespec/internal/bias"
+	"reactivespec/internal/core"
+	"reactivespec/internal/trace"
+)
+
+func profileOf(events []trace.Event) *bias.Profile {
+	return bias.FromStream(trace.NewSliceStream(events))
+}
+
+func TestStaticVerdicts(t *testing.T) {
+	events := []trace.Event{
+		{Branch: 0, Taken: true, Gap: 1},
+		{Branch: 0, Taken: true, Gap: 1},
+		{Branch: 1, Taken: false, Gap: 1},
+	}
+	sel := profileOf(events).Select(0.99, 1)
+	s := NewStatic(sel)
+	if v := s.OnBranch(0, true, 10); v != core.Correct {
+		t.Fatalf("selected branch correct-direction verdict = %v", v)
+	}
+	if v := s.OnBranch(0, false, 20); v != core.Misspec {
+		t.Fatalf("selected branch wrong-direction verdict = %v", v)
+	}
+	if v := s.OnBranch(5, true, 30); v != core.NotSpeculated {
+		t.Fatalf("unselected branch verdict = %v", v)
+	}
+}
+
+func TestStaticNotTakenDirection(t *testing.T) {
+	events := []trace.Event{{Branch: 2, Taken: false, Gap: 1}}
+	s := NewStatic(profileOf(events).Select(0.99, 1))
+	if v := s.OnBranch(2, false, 1); v != core.Correct {
+		t.Fatalf("not-taken selection verdict = %v", v)
+	}
+}
+
+func TestInitialBehaviorTrainsThenSpeculates(t *testing.T) {
+	c := NewInitialBehavior(10, 0.99)
+	for i := 0; i < 10; i++ {
+		if v := c.OnBranch(0, true, uint64(i)); v != core.NotSpeculated {
+			t.Fatalf("training event %d verdict = %v", i, v)
+		}
+	}
+	if v := c.OnBranch(0, true, 11); v != core.Correct {
+		t.Fatalf("post-training verdict = %v", v)
+	}
+	if v := c.OnBranch(0, false, 12); v != core.Misspec {
+		t.Fatalf("post-training contrary verdict = %v", v)
+	}
+	if c.Selected() != 1 {
+		t.Fatalf("Selected = %d", c.Selected())
+	}
+}
+
+func TestInitialBehaviorRejectsUnbiased(t *testing.T) {
+	c := NewInitialBehavior(10, 0.99)
+	for i := 0; i < 10; i++ {
+		c.OnBranch(0, i%2 == 0, uint64(i))
+	}
+	if v := c.OnBranch(0, true, 11); v != core.NotSpeculated {
+		t.Fatalf("unbiased branch verdict = %v", v)
+	}
+	if c.Selected() != 0 {
+		t.Fatalf("Selected = %d", c.Selected())
+	}
+}
+
+func TestInitialBehaviorNeverReconsiders(t *testing.T) {
+	c := NewInitialBehavior(5, 0.99)
+	for i := 0; i < 5; i++ {
+		c.OnBranch(0, true, uint64(i))
+	}
+	// The branch fully reverses; the decision stands (that is the whole
+	// problem the paper identifies with this mechanism).
+	misspecs := 0
+	for i := 0; i < 1000; i++ {
+		if c.OnBranch(0, false, uint64(100+i)) == core.Misspec {
+			misspecs++
+		}
+	}
+	if misspecs != 1000 {
+		t.Fatalf("reversed branch misspecs = %d, want 1000", misspecs)
+	}
+}
+
+func TestInitialBehaviorDirectionFromMajority(t *testing.T) {
+	c := NewInitialBehavior(100, 0.95)
+	for i := 0; i < 100; i++ {
+		c.OnBranch(0, i >= 3, uint64(i)) // 97% taken
+	}
+	if v := c.OnBranch(0, true, 200); v != core.Correct {
+		t.Fatalf("majority-taken verdict = %v", v)
+	}
+}
+
+func TestInitialBehaviorIndependentBranches(t *testing.T) {
+	c := NewInitialBehavior(4, 0.99)
+	for i := 0; i < 4; i++ {
+		c.OnBranch(0, true, uint64(i))
+		c.OnBranch(7, false, uint64(i))
+	}
+	if v := c.OnBranch(0, true, 50); v != core.Correct {
+		t.Fatal("branch 0 should speculate taken")
+	}
+	if v := c.OnBranch(7, false, 51); v != core.Correct {
+		t.Fatal("branch 7 should speculate not-taken")
+	}
+	if c.Selected() != 2 {
+		t.Fatalf("Selected = %d", c.Selected())
+	}
+}
+
+func TestFlushRelearnsAfterPhaseChange(t *testing.T) {
+	// Train length 4, flush every 100 instructions.
+	f := NewFlush(4, 0.99, 100)
+	instr := uint64(0)
+	feed := func(taken bool, n int) (misspec int) {
+		for i := 0; i < n; i++ {
+			instr += 5
+			if f.OnBranch(0, taken, instr) == core.Misspec {
+				misspec++
+			}
+		}
+		return misspec
+	}
+	feed(true, 4) // trained taken
+	if v := f.OnBranch(0, true, instr+1); v != core.Correct {
+		t.Fatalf("post-training verdict = %v", v)
+	}
+	instr++
+	// The branch reverses; the stale decision misspeculates until the
+	// next flush re-trains it.
+	m := feed(false, 100)
+	if m == 0 {
+		t.Fatal("no misspecs before flush")
+	}
+	if m >= 100-4 {
+		t.Fatal("flush never relearned the branch")
+	}
+	if f.Flushes == 0 {
+		t.Fatal("no flushes recorded")
+	}
+	// After relearning, the branch speculates correctly again.
+	if v := f.OnBranch(0, false, instr+1); v != core.Correct {
+		t.Fatalf("post-flush verdict = %v", v)
+	}
+}
+
+func TestFlushZeroPeriodNeverFlushes(t *testing.T) {
+	f := NewFlush(4, 0.99, 0)
+	for i := 0; i < 1000; i++ {
+		f.OnBranch(0, true, uint64(i*5))
+	}
+	if f.Flushes != 0 {
+		t.Fatalf("Flushes = %d with zero period", f.Flushes)
+	}
+}

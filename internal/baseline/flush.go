@@ -1,0 +1,49 @@
+package baseline
+
+import (
+	"reactivespec/internal/core"
+	"reactivespec/internal/trace"
+)
+
+// Flush models the Dynamo-style policy discussed in the paper's related work:
+// decisions are made from initial behavior, never individually reconsidered,
+// but the whole fragment cache is preemptively flushed at a phase change —
+// here, periodically — forcing every branch to be re-learned from scratch.
+//
+// The paper predicts this policy "will likely perform somewhere between
+// closed-loop and open-loop policies"; the ablation-flush experiment checks
+// that prediction.
+type Flush struct {
+	// TrainLen and Threshold are the per-branch relearning parameters
+	// (as InitialBehavior).
+	TrainLen  uint64
+	Threshold float64
+	// FlushPeriod is the global flush interval in dynamic instructions.
+	FlushPeriod uint64
+
+	inner     *InitialBehavior
+	nextFlush uint64
+	// Flushes counts cache flushes performed.
+	Flushes uint64
+}
+
+// NewFlush returns a flush-policy controller.
+func NewFlush(trainLen uint64, threshold float64, flushPeriod uint64) *Flush {
+	return &Flush{
+		TrainLen:    trainLen,
+		Threshold:   threshold,
+		FlushPeriod: flushPeriod,
+		inner:       NewInitialBehavior(trainLen, threshold),
+		nextFlush:   flushPeriod,
+	}
+}
+
+// OnBranch implements the harness Controller contract.
+func (f *Flush) OnBranch(id trace.BranchID, taken bool, instr uint64) core.Verdict {
+	if f.FlushPeriod > 0 && instr >= f.nextFlush {
+		f.inner = NewInitialBehavior(f.TrainLen, f.Threshold)
+		f.nextFlush = instr + f.FlushPeriod
+		f.Flushes++
+	}
+	return f.inner.OnBranch(id, taken, instr)
+}

@@ -1,0 +1,224 @@
+// Package behavior provides deterministic models of per-branch outcome
+// sequences. A model maps the execution index of a static branch (0, 1, 2, …)
+// to a taken/not-taken outcome.
+//
+// The models encode the behavior classes characterized in Section 2 of the
+// paper: stably biased branches, stably unbiased branches, branches whose
+// behavior changes mid-run (bias softening, complete reversal, induction-
+// variable flips, late-onset bias), bursty branches, and oscillators. All
+// randomness is derived by hashing (seed, execution index), so every model is
+// a pure function: sequences are reproducible and support random access,
+// which the property tests exploit.
+package behavior
+
+import "math"
+
+// Model maps a branch's execution index to its outcome.
+//
+// Implementations must be pure: Outcome(n) must always return the same value
+// for the same n, independent of call order.
+type Model interface {
+	// Outcome reports whether the n-th execution (0-based) is taken.
+	Outcome(n uint64) bool
+}
+
+// mix64 is the splitmix64 finalizer; it turns (seed, n) into 64 well-mixed
+// bits, which is the entire source of randomness in this package.
+func mix64(seed, n uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(n+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// threshold converts a probability in [0, 1] to a uint64 comparison bound.
+func threshold(p float64) uint64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.MaxUint64
+	default:
+		return uint64(p * float64(math.MaxUint64))
+	}
+}
+
+// coin reports true with probability p, deterministically in (seed, n).
+func coin(seed, n uint64, p float64) bool {
+	return mix64(seed, n) < threshold(p)
+}
+
+// Fixed is a branch that always resolves in one direction.
+type Fixed bool
+
+// Outcome implements Model.
+func (f Fixed) Outcome(uint64) bool { return bool(f) }
+
+// Bernoulli is a stationary branch: every execution is taken independently
+// with probability PTaken.
+type Bernoulli struct {
+	Seed   uint64
+	PTaken float64
+}
+
+// Outcome implements Model.
+func (b Bernoulli) Outcome(n uint64) bool { return coin(b.Seed, n, b.PTaken) }
+
+// Segment is one phase of a piecewise-stationary branch.
+type Segment struct {
+	// Len is the number of executions this segment covers. A zero Len on
+	// the final segment means "for the rest of the run".
+	Len uint64
+	// PTaken is the taken probability within the segment.
+	PTaken float64
+}
+
+// Segments is a piecewise-stationary branch: its taken probability changes at
+// fixed execution indices. This directly expresses the Figure 3 behaviors:
+// a branch 100% biased for its first 20,000 executions that then reverses is
+// Segments{{20000, 1.0}, {0, 0.0}}.
+type Segments struct {
+	Seed uint64
+	Segs []Segment
+}
+
+// Outcome implements Model. Executions beyond the last segment use the last
+// segment's probability.
+func (s Segments) Outcome(n uint64) bool {
+	rem := n
+	for i, seg := range s.Segs {
+		last := i == len(s.Segs)-1
+		if last || seg.Len == 0 || rem < seg.Len {
+			return coin(s.Seed, n, seg.PTaken)
+		}
+		rem -= seg.Len
+	}
+	return false
+}
+
+// InductionFlip models the branch described in Section 2.3 whose outcome is a
+// pure function of a loop induction variable: not taken for the first FlipAt
+// executions, then taken forever (or the reverse if TakenFirst is set).
+type InductionFlip struct {
+	FlipAt     uint64
+	TakenFirst bool
+}
+
+// Outcome implements Model.
+func (f InductionFlip) Outcome(n uint64) bool {
+	before := n < f.FlipAt
+	return before == f.TakenFirst
+}
+
+// Oscillator alternates between two stationary phases of fixed length,
+// modeling the small population of branches that flip between biased
+// directions many times over a run.
+type Oscillator struct {
+	Seed    uint64
+	Period  uint64 // executions per phase; must be > 0
+	PFirst  float64
+	PSecond float64
+}
+
+// Outcome implements Model.
+func (o Oscillator) Outcome(n uint64) bool {
+	p := o.PFirst
+	if o.Period > 0 && (n/o.Period)%2 == 1 {
+		p = o.PSecond
+	}
+	return coin(o.Seed, n, p)
+}
+
+// Bursty is a branch that is highly biased except for occasional bursts of
+// contrary outcomes. Executions are divided into blocks of BurstLen; each
+// block independently is a burst with probability PBurst. This models the
+// short misspeculation bursts the eviction hysteresis must tolerate.
+type Bursty struct {
+	Seed     uint64
+	PTaken   float64 // probability outside bursts
+	PBurst   float64 // probability a given block is a burst
+	BurstLen uint64  // executions per block; must be > 0
+	PInBurst float64 // taken probability inside a burst
+}
+
+// Outcome implements Model.
+func (b Bursty) Outcome(n uint64) bool {
+	// Burst placement is derived from an independent hash stream
+	// (seed^burstSalt) so it does not correlate with outcomes.
+	const burstSalt = 0xb52a9d5c3a1e0f77
+	if b.BurstLen > 0 && coin(b.Seed^burstSalt, n/b.BurstLen, b.PBurst) {
+		return coin(b.Seed, n, b.PInBurst)
+	}
+	return coin(b.Seed, n, b.PTaken)
+}
+
+// Cyclic is an asymmetric oscillator: each cycle is LenA executions at PA
+// followed by LenB executions at PB. With a long highly-biased A phase and a
+// short noisy B phase it models the branches that are repeatedly evicted and
+// re-selected — brief bursts of contrary outcomes evict them, after which
+// their restored bias earns re-selection, until the oscillation limit retires
+// them.
+type Cyclic struct {
+	Seed uint64
+	LenA uint64 // must be > 0
+	LenB uint64
+	PA   float64
+	PB   float64
+}
+
+// Outcome implements Model.
+func (c Cyclic) Outcome(n uint64) bool {
+	cycle := c.LenA + c.LenB
+	if cycle == 0 {
+		return coin(c.Seed, n, c.PA)
+	}
+	if n%cycle < c.LenA {
+		return coin(c.Seed, n, c.PA)
+	}
+	return coin(c.Seed, n, c.PB)
+}
+
+// Drift linearly interpolates the taken probability from PStart to PEnd over
+// Span executions, then holds PEnd. It models gradual bias softening
+// (Figure 6's "bias direction stays the same, but the percentage reduces").
+type Drift struct {
+	Seed   uint64
+	PStart float64
+	PEnd   float64
+	Span   uint64
+}
+
+// Outcome implements Model.
+func (d Drift) Outcome(n uint64) bool {
+	p := d.PEnd
+	if d.Span > 0 && n < d.Span {
+		frac := float64(n) / float64(d.Span)
+		p = d.PStart + (d.PEnd-d.PStart)*frac
+	}
+	return coin(d.Seed, n, p)
+}
+
+// Inverted negates another model, turning a mostly-taken branch into a
+// mostly-not-taken one. Used to flip input-dependent branches between the
+// profile and evaluation inputs.
+type Inverted struct {
+	M Model
+}
+
+// Outcome implements Model.
+func (v Inverted) Outcome(n uint64) bool { return !v.M.Outcome(n) }
+
+// MeasuredBias returns the fraction of the first n executions that are taken.
+// It is a test and calibration helper.
+func MeasuredBias(m Model, n uint64) float64 {
+	if n == 0 {
+		return 0
+	}
+	taken := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		if m.Outcome(i) {
+			taken++
+		}
+	}
+	return float64(taken) / float64(n)
+}

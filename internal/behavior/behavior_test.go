@@ -1,0 +1,202 @@
+package behavior
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixed(t *testing.T) {
+	if !Fixed(true).Outcome(0) || Fixed(false).Outcome(123) {
+		t.Fatal("Fixed ignored its direction")
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	for _, p := range []float64{0.0, 0.1, 0.5, 0.9, 0.999, 1.0} {
+		m := Bernoulli{Seed: 42, PTaken: p}
+		got := MeasuredBias(m, 200_000)
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Bernoulli(%v) frequency = %v", p, got)
+		}
+	}
+}
+
+func TestBernoulliDeterminism(t *testing.T) {
+	m := Bernoulli{Seed: 7, PTaken: 0.5}
+	for n := uint64(0); n < 1000; n++ {
+		if m.Outcome(n) != m.Outcome(n) {
+			t.Fatalf("Outcome(%d) not pure", n)
+		}
+	}
+}
+
+func TestBernoulliSeedsDiffer(t *testing.T) {
+	a := Bernoulli{Seed: 1, PTaken: 0.5}
+	b := Bernoulli{Seed: 2, PTaken: 0.5}
+	same := 0
+	for n := uint64(0); n < 10_000; n++ {
+		if a.Outcome(n) == b.Outcome(n) {
+			same++
+		}
+	}
+	if same > 5_500 || same < 4_500 {
+		t.Fatalf("different seeds agree on %d/10000 outcomes", same)
+	}
+}
+
+func TestSegmentsBoundaries(t *testing.T) {
+	m := Segments{Seed: 3, Segs: []Segment{
+		{Len: 100, PTaken: 1},
+		{Len: 100, PTaken: 0},
+		{PTaken: 1},
+	}}
+	for n := uint64(0); n < 100; n++ {
+		if !m.Outcome(n) {
+			t.Fatalf("segment 1 outcome %d not taken", n)
+		}
+	}
+	for n := uint64(100); n < 200; n++ {
+		if m.Outcome(n) {
+			t.Fatalf("segment 2 outcome %d taken", n)
+		}
+	}
+	for n := uint64(200); n < 300; n++ {
+		if !m.Outcome(n) {
+			t.Fatalf("final segment outcome %d not taken", n)
+		}
+	}
+}
+
+func TestSegmentsSingle(t *testing.T) {
+	m := Segments{Seed: 9, Segs: []Segment{{PTaken: 1}}}
+	if !m.Outcome(0) || !m.Outcome(1<<40) {
+		t.Fatal("single-segment model should cover all indices")
+	}
+}
+
+func TestInductionFlipExact(t *testing.T) {
+	m := InductionFlip{FlipAt: 32_768, TakenFirst: false}
+	if m.Outcome(0) || m.Outcome(32_767) {
+		t.Fatal("taken before flip point")
+	}
+	if !m.Outcome(32_768) || !m.Outcome(1<<30) {
+		t.Fatal("not taken after flip point")
+	}
+	r := InductionFlip{FlipAt: 10, TakenFirst: true}
+	if !r.Outcome(9) || r.Outcome(10) {
+		t.Fatal("TakenFirst direction wrong")
+	}
+}
+
+func TestOscillatorAlternates(t *testing.T) {
+	m := Oscillator{Seed: 5, Period: 1_000, PFirst: 1, PSecond: 0}
+	if !m.Outcome(500) {
+		t.Fatal("first phase should be taken")
+	}
+	if m.Outcome(1_500) {
+		t.Fatal("second phase should be not-taken")
+	}
+	if !m.Outcome(2_500) {
+		t.Fatal("third phase should be taken again")
+	}
+}
+
+func TestCyclicPhases(t *testing.T) {
+	m := Cyclic{Seed: 8, LenA: 900, LenB: 100, PA: 1, PB: 0}
+	for _, n := range []uint64{0, 899, 1_000, 1_899} {
+		if !m.Outcome(n) {
+			t.Fatalf("index %d should be in the A phase", n)
+		}
+	}
+	for _, n := range []uint64{900, 999, 1_900, 1_999} {
+		if m.Outcome(n) {
+			t.Fatalf("index %d should be in the B phase", n)
+		}
+	}
+}
+
+func TestCyclicZeroLens(t *testing.T) {
+	m := Cyclic{Seed: 8, PA: 1}
+	if !m.Outcome(12) {
+		t.Fatal("degenerate cyclic should fall back to PA")
+	}
+}
+
+func TestBurstyBaseRate(t *testing.T) {
+	m := Bursty{Seed: 4, PTaken: 0.999, PBurst: 0.01, BurstLen: 20, PInBurst: 0.5}
+	bias := MeasuredBias(m, 300_000)
+	// Expected ≈ 0.99×0.999 + 0.01×0.5 ≈ 0.994.
+	if bias < 0.985 || bias > 0.999 {
+		t.Fatalf("bursty long-run bias = %v", bias)
+	}
+}
+
+func TestDriftMovesTowardEnd(t *testing.T) {
+	m := Drift{Seed: 11, PStart: 1.0, PEnd: 0.0, Span: 100_000}
+	early := MeasuredBias(m, 10_000)
+	var lateTaken int
+	for n := uint64(200_000); n < 210_000; n++ {
+		if m.Outcome(n) {
+			lateTaken++
+		}
+	}
+	if early < 0.9 {
+		t.Fatalf("drift early bias = %v", early)
+	}
+	if lateTaken > 100 {
+		t.Fatalf("drift late taken count = %d", lateTaken)
+	}
+}
+
+func TestInverted(t *testing.T) {
+	m := Inverted{M: Fixed(true)}
+	if m.Outcome(0) {
+		t.Fatal("inverted fixed-true should be false")
+	}
+}
+
+func TestMeasuredBiasEmpty(t *testing.T) {
+	if MeasuredBias(Fixed(true), 0) != 0 {
+		t.Fatal("MeasuredBias(_, 0) should be 0")
+	}
+}
+
+func TestModelsArePureProperty(t *testing.T) {
+	// Property: every model is a pure function of its execution index.
+	models := []Model{
+		Bernoulli{Seed: 1, PTaken: 0.5},
+		Segments{Seed: 2, Segs: []Segment{{Len: 50, PTaken: 0.9}, {PTaken: 0.1}}},
+		Oscillator{Seed: 3, Period: 17, PFirst: 0.9, PSecond: 0.1},
+		Cyclic{Seed: 4, LenA: 31, LenB: 7, PA: 0.99, PB: 0.3},
+		Bursty{Seed: 5, PTaken: 0.99, PBurst: 0.1, BurstLen: 4, PInBurst: 0.5},
+		Drift{Seed: 6, PStart: 0.2, PEnd: 0.8, Span: 100},
+		InductionFlip{FlipAt: 13, TakenFirst: true},
+	}
+	f := func(n uint64, shuffle []uint16) bool {
+		for _, m := range models {
+			want := m.Outcome(n)
+			// Interleave other queries; purity means they cannot
+			// disturb the answer.
+			for _, s := range shuffle {
+				m.Outcome(uint64(s))
+			}
+			if m.Outcome(n) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThresholdEdges(t *testing.T) {
+	if threshold(-1) != 0 {
+		t.Fatal("negative probability should clamp to 0")
+	}
+	if threshold(2) != math.MaxUint64 {
+		t.Fatal("probability > 1 should clamp to max")
+	}
+}

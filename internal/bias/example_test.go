@@ -1,0 +1,34 @@
+package bias_test
+
+import (
+	"fmt"
+
+	"reactivespec/internal/bias"
+	"reactivespec/internal/trace"
+)
+
+// Example computes a self-training selection from a profile — the oracle the
+// paper's Figure 2 curve is built from.
+func Example() {
+	p := bias.NewProfile()
+	feed := func(id trace.BranchID, taken bool, n int) {
+		for i := 0; i < n; i++ {
+			p.Observe(trace.Event{Branch: id, Taken: taken, Gap: 6})
+		}
+	}
+	feed(0, true, 995)
+	feed(0, false, 5) // 99.5% taken: selected
+	feed(1, true, 60)
+	feed(1, false, 40) // 60% taken: rejected
+
+	sel := p.Select(0.99, 1)
+	for _, d := range sel.Decisions() {
+		fmt.Printf("speculate branch %d taken=%v\n", d.Branch, d.Taken)
+	}
+	knee := p.AtThreshold(0.99)
+	fmt.Printf("coverage %.1f%%, misspeculation %.2f%%\n",
+		100*knee.CorrectF, 100*knee.WrongF)
+	// Output:
+	// speculate branch 0 taken=true
+	// coverage 90.5%, misspeculation 0.45%
+}

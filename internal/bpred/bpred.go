@@ -1,0 +1,187 @@
+// Package bpred implements the branch predictors of the simulated cores
+// (Table 5): an 8 Kbit gshare conditional predictor, a 32-entry return
+// address stack, and a 256-entry indirect-target predictor.
+package bpred
+
+// Gshare is a global-history XOR-indexed table of 2-bit saturating counters.
+// An 8 Kbit budget is 4,096 counters with 12 bits of global history.
+type Gshare struct {
+	counters []uint8
+	history  uint64
+	mask     uint64
+	histBits uint
+}
+
+// NewGshare returns a gshare predictor with 2^indexBits counters.
+func NewGshare(indexBits uint) *Gshare {
+	n := uint64(1) << indexBits
+	g := &Gshare{
+		counters: make([]uint8, n),
+		mask:     n - 1,
+		histBits: indexBits,
+	}
+	// Weakly not-taken initial state.
+	for i := range g.counters {
+		g.counters[i] = 1
+	}
+	return g
+}
+
+func (g *Gshare) index(pc uint64) uint64 {
+	return ((pc >> 2) ^ g.history) & g.mask
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (g *Gshare) Predict(pc uint64) bool {
+	return g.counters[g.index(pc)] >= 2
+}
+
+// Update trains the predictor with the resolved outcome and advances the
+// global history. It returns whether the prediction was correct.
+func (g *Gshare) Update(pc uint64, taken bool) bool {
+	i := g.index(pc)
+	pred := g.counters[i] >= 2
+	if taken {
+		if g.counters[i] < 3 {
+			g.counters[i]++
+		}
+	} else if g.counters[i] > 0 {
+		g.counters[i]--
+	}
+	g.history <<= 1
+	if taken {
+		g.history |= 1
+	}
+	g.history &= (1 << g.histBits) - 1
+	return pred == taken
+}
+
+// RAS is a fixed-depth return-address stack. Overflow wraps (overwriting the
+// oldest entry), as hardware stacks do; underflow mispredicts.
+type RAS struct {
+	entries []uint64
+	top     int
+	depth   int
+}
+
+// NewRAS returns a return-address stack with n entries.
+func NewRAS(n int) *RAS {
+	return &RAS{entries: make([]uint64, n)}
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(addr uint64) {
+	r.top = (r.top + 1) % len(r.entries)
+	r.entries[r.top] = addr
+	if r.depth < len(r.entries) {
+		r.depth++
+	}
+}
+
+// Pop predicts the target of a return. The boolean reports whether the stack
+// had a valid entry (an empty stack is a guaranteed misprediction).
+func (r *RAS) Pop() (uint64, bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	addr := r.entries[r.top]
+	r.top = (r.top - 1 + len(r.entries)) % len(r.entries)
+	r.depth--
+	return addr, true
+}
+
+// Indirect is a direct-mapped indirect-target predictor.
+type Indirect struct {
+	targets []uint64
+	valid   []bool
+	mask    uint64
+}
+
+// NewIndirect returns an n-entry indirect predictor (n must be a power of
+// two).
+func NewIndirect(n int) *Indirect {
+	if n&(n-1) != 0 {
+		panic("bpred: indirect predictor size must be a power of two")
+	}
+	return &Indirect{
+		targets: make([]uint64, n),
+		valid:   make([]bool, n),
+		mask:    uint64(n - 1),
+	}
+}
+
+// Predict returns the predicted target for the indirect branch at pc and
+// whether the entry is valid.
+func (p *Indirect) Predict(pc uint64) (uint64, bool) {
+	i := (pc >> 2) & p.mask
+	return p.targets[i], p.valid[i]
+}
+
+// Update trains the predictor with the actual target, returning whether the
+// prediction was correct.
+func (p *Indirect) Update(pc, target uint64) bool {
+	i := (pc >> 2) & p.mask
+	correct := p.valid[i] && p.targets[i] == target
+	p.targets[i] = target
+	p.valid[i] = true
+	return correct
+}
+
+// Unit bundles the three predictors into one front-end unit with hit/miss
+// accounting (the per-core predictor of Table 5).
+type Unit struct {
+	Cond *Gshare
+	Ras  *RAS
+	Ind  *Indirect
+
+	CondLookups, CondMisses uint64
+	RetLookups, RetMisses   uint64
+	IndLookups, IndMisses   uint64
+}
+
+// NewUnit returns the Table 5 predictor: 8 Kbit gshare, 32-entry RAS,
+// 256-entry indirect predictor.
+func NewUnit() *Unit {
+	return &Unit{
+		Cond: NewGshare(12),
+		Ras:  NewRAS(32),
+		Ind:  NewIndirect(256),
+	}
+}
+
+// Conditional resolves a conditional branch, returning whether it was
+// predicted correctly.
+func (u *Unit) Conditional(pc uint64, taken bool) bool {
+	u.CondLookups++
+	correct := u.Cond.Update(pc, taken)
+	if !correct {
+		u.CondMisses++
+	}
+	return correct
+}
+
+// Call records a call's return address.
+func (u *Unit) Call(retAddr uint64) { u.Ras.Push(retAddr) }
+
+// Return resolves a return to retAddr, returning whether it was predicted
+// correctly.
+func (u *Unit) Return(retAddr uint64) bool {
+	u.RetLookups++
+	pred, ok := u.Ras.Pop()
+	correct := ok && pred == retAddr
+	if !correct {
+		u.RetMisses++
+	}
+	return correct
+}
+
+// IndirectJump resolves an indirect branch, returning whether its target was
+// predicted correctly.
+func (u *Unit) IndirectJump(pc, target uint64) bool {
+	u.IndLookups++
+	correct := u.Ind.Update(pc, target)
+	if !correct {
+		u.IndMisses++
+	}
+	return correct
+}

@@ -1,0 +1,170 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGshareLearnsBiasedBranch(t *testing.T) {
+	g := NewGshare(12)
+	misses := 0
+	for i := 0; i < 10_000; i++ {
+		if !g.Update(0x4000, true) {
+			misses++
+		}
+	}
+	// The global history register cycles through ~13 fresh indices while
+	// warming up; after that the branch is perfectly predicted.
+	if misses > 16 {
+		t.Fatalf("gshare missed an always-taken branch %d times", misses)
+	}
+}
+
+func TestGshareLearnsAlternatingPattern(t *testing.T) {
+	// With global history, a strict alternation becomes predictable.
+	g := NewGshare(12)
+	misses := 0
+	for i := 0; i < 10_000; i++ {
+		if !g.Update(0x4000, i%2 == 0) {
+			misses++
+		}
+	}
+	if misses > 200 {
+		t.Fatalf("gshare missed alternating pattern %d times", misses)
+	}
+}
+
+func TestGshareRandomBranchMissesOften(t *testing.T) {
+	g := NewGshare(12)
+	misses := 0
+	x := uint64(12345)
+	for i := 0; i < 10_000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		if !g.Update(0x4000, x>>63 == 1) {
+			misses++
+		}
+	}
+	if misses < 3_000 {
+		t.Fatalf("gshare 'predicted' a random branch (misses=%d)", misses)
+	}
+}
+
+func TestGshareCounterBoundsProperty(t *testing.T) {
+	f := func(outcomes []bool, pcs []uint16) bool {
+		g := NewGshare(8)
+		for i, taken := range outcomes {
+			pc := uint64(0x1000)
+			if i < len(pcs) {
+				pc = uint64(pcs[i])
+			}
+			g.Update(pc, taken)
+		}
+		for _, c := range g.counters {
+			if c > 3 {
+				return false
+			}
+		}
+		return g.history < 1<<8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRASMatchedCalls(t *testing.T) {
+	r := NewRAS(32)
+	addrs := []uint64{0x100, 0x200, 0x300}
+	for _, a := range addrs {
+		r.Push(a)
+	}
+	for i := len(addrs) - 1; i >= 0; i-- {
+		got, ok := r.Pop()
+		if !ok || got != addrs[i] {
+			t.Fatalf("Pop = (%#x, %v), want (%#x, true)", got, ok, addrs[i])
+		}
+	}
+}
+
+func TestRASUnderflow(t *testing.T) {
+	r := NewRAS(4)
+	if _, ok := r.Pop(); ok {
+		t.Fatal("empty RAS returned a prediction")
+	}
+	r.Push(0x10)
+	r.Pop()
+	if _, ok := r.Pop(); ok {
+		t.Fatal("drained RAS returned a prediction")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if a, ok := r.Pop(); !ok || a != 3 {
+		t.Fatalf("Pop = %d", a)
+	}
+	if a, ok := r.Pop(); !ok || a != 2 {
+		t.Fatalf("Pop = %d", a)
+	}
+	// The overwritten entry is gone; depth is exhausted.
+	if _, ok := r.Pop(); ok {
+		t.Fatal("RAS depth should be exhausted after overflow")
+	}
+}
+
+func TestIndirectLearnsTarget(t *testing.T) {
+	p := NewIndirect(256)
+	if _, valid := p.Predict(0x500); valid {
+		t.Fatal("cold predictor claimed validity")
+	}
+	if p.Update(0x500, 0xAAA) {
+		t.Fatal("first update cannot be correct")
+	}
+	if !p.Update(0x500, 0xAAA) {
+		t.Fatal("repeated target should be predicted")
+	}
+	if p.Update(0x500, 0xBBB) {
+		t.Fatal("changed target should miss")
+	}
+	if !p.Update(0x500, 0xBBB) {
+		t.Fatal("new target should be learned")
+	}
+}
+
+func TestIndirectSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two size")
+		}
+	}()
+	NewIndirect(100)
+}
+
+func TestUnitCounters(t *testing.T) {
+	u := NewUnit()
+	for i := 0; i < 100; i++ {
+		u.Conditional(0x10, true)
+	}
+	if u.CondLookups != 100 {
+		t.Fatalf("CondLookups = %d", u.CondLookups)
+	}
+	if u.CondMisses > 16 {
+		t.Fatalf("CondMisses = %d for an always-taken branch", u.CondMisses)
+	}
+	u.Call(0x42)
+	if !u.Return(0x42) {
+		t.Fatal("matched call/return mispredicted")
+	}
+	if u.Return(0x42) {
+		t.Fatal("unmatched return predicted")
+	}
+	if u.RetLookups != 2 || u.RetMisses != 1 {
+		t.Fatalf("return counters %d/%d", u.RetLookups, u.RetMisses)
+	}
+	u.IndirectJump(0x90, 0x1000)
+	if u.IndLookups != 1 || u.IndMisses != 1 {
+		t.Fatalf("indirect counters %d/%d", u.IndLookups, u.IndMisses)
+	}
+}

@@ -1,0 +1,21 @@
+package bpred_test
+
+import (
+	"fmt"
+
+	"reactivespec/internal/bpred"
+)
+
+// Example trains the Table 5 gshare predictor on a biased branch.
+func Example() {
+	u := bpred.NewUnit()
+	misses := 0
+	for i := 0; i < 1_000; i++ {
+		if !u.Conditional(0x4ab0, true) {
+			misses++
+		}
+	}
+	fmt.Printf("1000 executions, %d mispredictions after history warm-up\n", misses)
+	// Output:
+	// 1000 executions, 13 mispredictions after history warm-up
+}

@@ -1,0 +1,222 @@
+// Package cache implements the simulated memory hierarchy of Table 5:
+// per-core set-associative LRU L1 caches, a shared L2, a fixed main-memory
+// latency, and a lightweight directory that charges coherence hop latency
+// when a line moves between cores.
+package cache
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes int
+	Assoc     int
+	BlockSize int
+	// Latency is the access (hit) latency in cycles.
+	Latency int
+}
+
+// Table 5 configurations.
+var (
+	// LeadingL1 is the leading core's 64 KB 2-way 64 B-block L1 (3-cycle
+	// access including address generation).
+	LeadingL1 = Config{SizeBytes: 64 << 10, Assoc: 2, BlockSize: 64, Latency: 3}
+	// TrailingL1 is a trailing core's 8 KB 8-way L1 (same latency).
+	TrailingL1 = Config{SizeBytes: 8 << 10, Assoc: 8, BlockSize: 64, Latency: 3}
+	// SharedL2 is the shared 1 MB 8-way L2 with a 10-cycle minimum access.
+	SharedL2 = Config{SizeBytes: 1 << 20, Assoc: 8, BlockSize: 64, Latency: 10}
+)
+
+// MemoryLatency is the main-memory minimum latency after the L2 (Table 5).
+const MemoryLatency = 200
+
+// HopLatency is the minimum uncongested coherence hop between processors.
+const HopLatency = 10
+
+// Cache is a set-associative LRU cache. It tracks tags only (timing
+// simulation), not data.
+type Cache struct {
+	cfg      Config
+	sets     int
+	tags     []uint64
+	valid    []bool
+	dirty    []bool
+	lruTick  []uint64
+	tick     uint64
+	Hits     uint64
+	Misses   uint64
+	Evicts   uint64
+	blkShift uint
+}
+
+// New returns an empty cache. The configuration must have a power-of-two
+// block size and at least one set.
+func New(cfg Config) *Cache {
+	if cfg.BlockSize <= 0 || cfg.BlockSize&(cfg.BlockSize-1) != 0 {
+		panic("cache: block size must be a power of two")
+	}
+	sets := cfg.SizeBytes / (cfg.BlockSize * cfg.Assoc)
+	if sets < 1 {
+		sets = 1
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.BlockSize {
+		shift++
+	}
+	n := sets * cfg.Assoc
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		tags:     make([]uint64, n),
+		valid:    make([]bool, n),
+		dirty:    make([]bool, n),
+		lruTick:  make([]uint64, n),
+		blkShift: shift,
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Block returns the block address (address with the offset bits cleared).
+func (c *Cache) Block(addr uint64) uint64 { return addr >> c.blkShift }
+
+func (c *Cache) set(blk uint64) int { return int(blk % uint64(c.sets)) }
+
+// Access looks up addr, filling the line on a miss (evicting LRU). It
+// returns hit, and whether a dirty line was evicted.
+func (c *Cache) Access(addr uint64, write bool) (hit, dirtyEvict bool) {
+	blk := c.Block(addr)
+	base := c.set(blk) * c.cfg.Assoc
+	c.tick++
+	victim := base
+	for i := base; i < base+c.cfg.Assoc; i++ {
+		if c.valid[i] && c.tags[i] == blk {
+			c.lruTick[i] = c.tick
+			if write {
+				c.dirty[i] = true
+			}
+			c.Hits++
+			return true, false
+		}
+		if !c.valid[victim] {
+			continue
+		}
+		if !c.valid[i] || c.lruTick[i] < c.lruTick[victim] {
+			victim = i
+		}
+	}
+	c.Misses++
+	dirtyEvict = c.valid[victim] && c.dirty[victim]
+	if c.valid[victim] {
+		c.Evicts++
+	}
+	c.valid[victim] = true
+	c.tags[victim] = blk
+	c.dirty[victim] = write
+	c.lruTick[victim] = c.tick
+	return false, dirtyEvict
+}
+
+// Contains reports whether addr currently hits without updating LRU state.
+func (c *Cache) Contains(addr uint64) bool {
+	blk := c.Block(addr)
+	base := c.set(blk) * c.cfg.Assoc
+	for i := base; i < base+c.cfg.Assoc; i++ {
+		if c.valid[i] && c.tags[i] == blk {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateAll empties the cache (used at simulated checkpoint starts:
+// "cold caches and predictors").
+func (c *Cache) InvalidateAll() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+	}
+}
+
+// Hierarchy is one core's view of the memory system: a private L1 backed by
+// the shared L2 and memory, with directory-based hop charges when a block
+// last written by another core is accessed.
+type Hierarchy struct {
+	L1   *Cache
+	l2   *Cache
+	dir  *Directory
+	core int
+
+	L1Misses, L2Misses uint64
+	CoherenceHops      uint64
+}
+
+// Directory tracks, per block, the last core to write it, and charges hop
+// latency when ownership moves (a minimal MOESI-flavored timing model: the
+// protocol's correctness machinery is irrelevant to timing here, only the
+// inter-core transfer latency matters).
+type Directory struct {
+	owner map[uint64]int
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory { return &Directory{owner: make(map[uint64]int)} }
+
+// access records core touching blk (write = takes ownership) and reports
+// whether the block was owned dirty by a different core (requiring a hop).
+// A cross-core read demotes the line to shared, so only the first reader
+// after a write pays the transfer.
+func (d *Directory) access(core int, blk uint64, write bool) bool {
+	prev, owned := d.owner[blk]
+	moved := owned && prev != core
+	if write {
+		d.owner[blk] = core
+	} else if moved {
+		delete(d.owner, blk)
+	}
+	return moved
+}
+
+// Shared bundles the components shared between cores.
+type Shared struct {
+	L2  *Cache
+	Dir *Directory
+}
+
+// NewShared returns the shared L2 and directory per Table 5.
+func NewShared() *Shared {
+	return &Shared{L2: New(SharedL2), Dir: NewDirectory()}
+}
+
+// NewHierarchy returns core coreID's memory hierarchy with the given private
+// L1 configuration.
+func NewHierarchy(coreID int, l1 Config, shared *Shared) *Hierarchy {
+	return &Hierarchy{
+		L1:   New(l1),
+		l2:   shared.L2,
+		dir:  shared.Dir,
+		core: coreID,
+	}
+}
+
+// Access simulates a load or store and returns its latency in cycles.
+func (h *Hierarchy) Access(addr uint64, write bool) int {
+	lat := h.L1.cfg.Latency
+	hit, _ := h.L1.Access(addr, write)
+	moved := h.dir.access(h.core, h.L1.Block(addr)<<h.L1.blkShift, write)
+	if moved {
+		// The block was last written by another core: a coherence hop
+		// (minimum 10 cycles uncongested) fetches the fresh copy.
+		h.CoherenceHops++
+		lat += HopLatency
+	}
+	if hit {
+		return lat
+	}
+	h.L1Misses++
+	lat += h.l2.cfg.Latency
+	l2hit, _ := h.l2.Access(addr, write)
+	if l2hit {
+		return lat
+	}
+	h.L2Misses++
+	return lat + MemoryLatency
+}

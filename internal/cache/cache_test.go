@@ -1,0 +1,169 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tiny(size, assoc int) *Cache {
+	return New(Config{SizeBytes: size, Assoc: assoc, BlockSize: 64, Latency: 1})
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := tiny(1<<10, 2)
+	if hit, _ := c.Access(0x1000, false); hit {
+		t.Fatal("cold access hit")
+	}
+	if hit, _ := c.Access(0x1000, false); !hit {
+		t.Fatal("second access missed")
+	}
+	if hit, _ := c.Access(0x1030, false); !hit {
+		t.Fatal("same-block access missed")
+	}
+	if c.Hits != 2 || c.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d", c.Hits, c.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way, 8 sets of 64B blocks = 1KB. Three blocks mapping to the
+	// same set: the least recently used is evicted.
+	c := tiny(1<<10, 2)
+	setStride := uint64(8 * 64) // same set every 512 bytes
+	a, b, d := uint64(0), setStride, 2*setStride
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a most recent
+	c.Access(d, false) // evicts b
+	if !c.Contains(a) {
+		t.Fatal("a evicted despite being MRU")
+	}
+	if c.Contains(b) {
+		t.Fatal("b not evicted despite being LRU")
+	}
+	if !c.Contains(d) {
+		t.Fatal("d not resident after fill")
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	c := tiny(128, 1) // 2 sets, direct-mapped
+	c.Access(0x0, true)
+	_, dirtyEvict := c.Access(0x80, false) // same set
+	if !dirtyEvict {
+		t.Fatal("dirty line eviction not reported")
+	}
+	_, dirtyEvict = c.Access(0x100, false)
+	if dirtyEvict {
+		t.Fatal("clean eviction reported dirty")
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := tiny(1<<10, 2)
+	c.Access(0x40, true)
+	c.InvalidateAll()
+	if c.Contains(0x40) {
+		t.Fatal("line survived InvalidateAll")
+	}
+}
+
+func TestBadBlockSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{SizeBytes: 1024, Assoc: 2, BlockSize: 48})
+}
+
+// TestLRUStackProperty checks the inclusion ("stack") property of LRU: every
+// hit in a k-way cache is also a hit in a 2k-way cache of twice the size with
+// the same set count.
+func TestLRUStackProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		small := tiny(1<<10, 2) // 8 sets, 2 ways
+		large := tiny(1<<11, 4) // 8 sets, 4 ways
+		for _, a := range addrs {
+			addr := uint64(a) * 8
+			hitS, _ := small.Access(addr, false)
+			hitL, _ := large.Access(addr, false)
+			if hitS && !hitL {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectoryHopCharging(t *testing.T) {
+	shared := NewShared()
+	h0 := NewHierarchy(0, TrailingL1, shared)
+	h1 := NewHierarchy(1, TrailingL1, shared)
+	// Core 0 writes a block (filling the shared L2); core 1 reading it
+	// hits the L2 but pays a coherence hop on top.
+	h0.Access(0x4000, true)
+	lat := h1.Access(0x4000, false)
+	if want := TrailingL1.Latency + SharedL2.Latency + HopLatency; lat != want {
+		t.Fatalf("cross-core access latency = %d, want %d", lat, want)
+	}
+	if h1.CoherenceHops != 1 {
+		t.Fatalf("CoherenceHops = %d, want 1", h1.CoherenceHops)
+	}
+	// Core 1 re-reading pays no further hop (no new write).
+	h1.Access(0x4000, false)
+	if h1.CoherenceHops != 1 {
+		t.Fatalf("CoherenceHops = %d after re-read, want 1", h1.CoherenceHops)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	shared := NewShared()
+	h := NewHierarchy(0, LeadingL1, shared)
+	// Cold access: L1 miss + L2 miss + memory.
+	cold := h.Access(0x10_0000, false)
+	want := LeadingL1.Latency + SharedL2.Latency + MemoryLatency
+	if cold != want {
+		t.Fatalf("cold latency = %d, want %d", cold, want)
+	}
+	// Hot access: L1 hit.
+	hot := h.Access(0x10_0000, false)
+	if hot != LeadingL1.Latency {
+		t.Fatalf("hot latency = %d, want %d", hot, LeadingL1.Latency)
+	}
+	if h.L1Misses != 1 || h.L2Misses != 1 {
+		t.Fatalf("miss counters %d/%d", h.L1Misses, h.L2Misses)
+	}
+}
+
+func TestL2HitLatency(t *testing.T) {
+	shared := NewShared()
+	h := NewHierarchy(0, TrailingL1, shared)
+	// Fill enough blocks to overflow the 8KB L1 but stay in the 1MB L2.
+	for addr := uint64(0); addr < 64<<10; addr += 64 {
+		h.Access(addr, false)
+	}
+	// The first blocks are gone from L1 but resident in L2.
+	lat := h.Access(0, false)
+	if lat != TrailingL1.Latency+SharedL2.Latency {
+		t.Fatalf("L2-hit latency = %d, want %d", lat, TrailingL1.Latency+SharedL2.Latency)
+	}
+}
+
+func TestTable5Configs(t *testing.T) {
+	if LeadingL1.SizeBytes != 64<<10 || LeadingL1.Assoc != 2 || LeadingL1.Latency != 3 {
+		t.Fatalf("LeadingL1 = %+v", LeadingL1)
+	}
+	if TrailingL1.SizeBytes != 8<<10 || TrailingL1.Assoc != 8 {
+		t.Fatalf("TrailingL1 = %+v", TrailingL1)
+	}
+	if SharedL2.SizeBytes != 1<<20 || SharedL2.Latency != 10 {
+		t.Fatalf("SharedL2 = %+v", SharedL2)
+	}
+	if MemoryLatency != 200 || HopLatency != 10 {
+		t.Fatal("memory/hop latencies wrong")
+	}
+}

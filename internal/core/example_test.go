@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"fmt"
+
+	"reactivespec/internal/core"
+)
+
+// Example demonstrates the controller's lifecycle on one reversing branch:
+// monitored, selected, evicted at the reversal, and re-selected in the new
+// direction.
+func Example() {
+	params := core.Params{
+		MonitorPeriod:    100,
+		SelectThreshold:  0.995,
+		EvictThreshold:   1_000,
+		MisspecStep:      50,
+		CorrectStep:      1,
+		WaitPeriod:       1_000,
+		MaxOptimizations: 5,
+	}
+	ctl := core.New(params)
+	ctl.OnTransition = func(tr core.Transition) {
+		fmt.Printf("execution %d: %s -> %s\n", tr.Exec, tr.From, tr.To)
+	}
+
+	var instr uint64
+	observe := func(taken bool, n int) {
+		for i := 0; i < n; i++ {
+			instr += 6
+			ctl.OnBranch(0, taken, instr)
+		}
+	}
+	observe(true, 5_000)  // stably taken: selected after one monitor window
+	observe(false, 2_000) // reverses: evicted, re-monitored, re-selected
+
+	st := ctl.Stats()
+	fmt.Printf("correct %.1f%%, incorrect %.2f%%\n",
+		100*st.CorrectFrac(), 100*st.MisspecFrac())
+	// Output:
+	// execution 100: monitor -> biased
+	// execution 5020: biased -> monitor
+	// execution 5120: monitor -> biased
+	// correct 96.9%, incorrect 0.29%
+}

@@ -1,0 +1,152 @@
+package cpu
+
+import (
+	"testing"
+
+	"reactivespec/internal/cache"
+	"reactivespec/internal/program"
+)
+
+func freshCore(cfg Config) *Core { return New(cfg, 0, cache.NewShared()) }
+
+func condBlock() *program.Block {
+	return &program.Block{
+		Ops: 4, Loads: 1, Stores: 1,
+		DeadOps: 2, DeadLoads: 1,
+		Kind: program.KindCond, Branch: 0, ValueLoad: -1,
+		PC: 0x400, AddrBase: 0x1000, AddrSpan: 512, Stride: 8,
+	}
+}
+
+func TestExecBlockCountsInstructions(t *testing.T) {
+	c := freshCore(Leading)
+	blk := condBlock()
+	c.ExecBlock(blk, program.Step{Branch: 0, Taken: true, Kind: program.KindCond}, BlockCost{})
+	if got := c.Stats().Instrs; got != uint64(blk.Instrs()) {
+		t.Fatalf("Instrs = %d, want %d", got, blk.Instrs())
+	}
+}
+
+func TestDistilledBlockIsCheaper(t *testing.T) {
+	run := func(cost BlockCost) float64 {
+		c := freshCore(Leading)
+		blk := condBlock()
+		var cycles float64
+		st := program.Step{Branch: 0, Taken: true, Kind: program.KindCond}
+		for i := 0; i < 1_000; i++ {
+			cycles += c.ExecBlock(blk, st, cost)
+		}
+		return cycles
+	}
+	full := run(BlockCost{})
+	distilled := run(BlockCost{SkipBranch: true, OpsRemoved: 2, LoadsRemoved: 1})
+	if distilled >= full {
+		t.Fatalf("distilled cycles %v >= full %v", distilled, full)
+	}
+}
+
+func TestMispredictionPenalty(t *testing.T) {
+	// A random branch costs more than a fixed one, by roughly the
+	// pipeline depth per miss.
+	run := func(pattern func(i int) bool) float64 {
+		c := freshCore(Leading)
+		blk := condBlock()
+		var cycles float64
+		for i := 0; i < 2_000; i++ {
+			st := program.Step{Branch: 0, Taken: pattern(i), Kind: program.KindCond}
+			cycles += c.ExecBlock(blk, st, BlockCost{})
+		}
+		return cycles
+	}
+	stable := run(func(int) bool { return true })
+	x := uint64(7)
+	random := run(func(int) bool {
+		x = x*6364136223846793005 + 1442695040888963407
+		return x>>63 == 1
+	})
+	if random < stable+float64(Leading.Depth)*500 {
+		t.Fatalf("random-branch cycles %v vs stable %v: misprediction penalty missing", random, stable)
+	}
+}
+
+func TestMemoryStallsForStreamingAccesses(t *testing.T) {
+	run := func(span uint64) float64 {
+		c := freshCore(Leading)
+		blk := condBlock()
+		blk.AddrSpan = span
+		blk.Stride = 64
+		var cycles float64
+		for i := 0; i < 5_000; i++ {
+			st := program.Step{Branch: 0, Taken: true, Kind: program.KindCond}
+			cycles += c.ExecBlock(blk, st, BlockCost{})
+		}
+		return cycles
+	}
+	resident := run(512)       // fits in L1
+	streaming := run(64 << 20) // streams through memory
+	if streaming < resident*1.5 {
+		t.Fatalf("streaming cycles %v vs resident %v: memory stalls missing", streaming, resident)
+	}
+	if freshCore(Leading).Stats().MemStalls != 0 {
+		t.Fatal("fresh core has stalls")
+	}
+}
+
+func TestTrailingCoreSlower(t *testing.T) {
+	run := func(cfg Config) float64 {
+		c := freshCore(cfg)
+		blk := condBlock()
+		var cycles float64
+		for i := 0; i < 2_000; i++ {
+			st := program.Step{Branch: 0, Taken: true, Kind: program.KindCond}
+			cycles += c.ExecBlock(blk, st, BlockCost{})
+		}
+		return cycles
+	}
+	if lead, trail := run(Leading), run(Trailing); trail <= lead {
+		t.Fatalf("trailing core (%v cycles) not slower than leading (%v)", trail, lead)
+	}
+}
+
+func TestRegionEntryAndReturnBalance(t *testing.T) {
+	c := freshCore(Leading)
+	entry := &program.Block{Ops: 2, Kind: program.KindNone, Branch: -1, ValueLoad: -1}
+	exit := &program.Block{Ops: 1, Kind: program.KindReturn, Branch: -1, ValueLoad: -1}
+	for i := 0; i < 100; i++ {
+		c.ExecBlock(entry, program.Step{Region: 3, Branch: -1, RegionEntry: true}, BlockCost{})
+		c.ExecBlock(exit, program.Step{Region: 3, Branch: -1, Kind: program.KindReturn}, BlockCost{})
+	}
+	if c.Pred.RetMisses != 0 {
+		t.Fatalf("balanced call/return mispredicted %d times", c.Pred.RetMisses)
+	}
+}
+
+func TestIPC(t *testing.T) {
+	s := Stats{Instrs: 400, Cycles: 100}
+	if s.IPC() != 4 {
+		t.Fatalf("IPC = %v", s.IPC())
+	}
+	if (Stats{}).IPC() != 0 {
+		t.Fatal("empty IPC should be 0")
+	}
+}
+
+func TestColdStart(t *testing.T) {
+	c := freshCore(Leading)
+	blk := condBlock()
+	st := program.Step{Branch: 0, Taken: true, Kind: program.KindCond}
+	c.ExecBlock(blk, st, BlockCost{})
+	c.ColdStart()
+	if c.Mem.L1.Contains(blk.AddrBase) {
+		t.Fatal("L1 still warm after ColdStart")
+	}
+}
+
+func TestTable5CoreConfigs(t *testing.T) {
+	if Leading.Width != 4 || Leading.Depth != 12 || Leading.Window != 128 {
+		t.Fatalf("Leading = %+v", Leading)
+	}
+	if Trailing.Width != 2 || Trailing.Depth != 8 || Trailing.Window != 24 {
+		t.Fatalf("Trailing = %+v", Trailing)
+	}
+}

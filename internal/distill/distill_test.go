@@ -1,0 +1,130 @@
+package distill
+
+import (
+	"testing"
+
+	"reactivespec/internal/behavior"
+	"reactivespec/internal/program"
+)
+
+// fixedPolicy speculates branch 0 in the given direction.
+type fixedPolicy struct {
+	dir  bool
+	live bool
+}
+
+func (p fixedPolicy) Speculation(branch int) (bool, bool) {
+	if branch == 0 {
+		return p.dir, p.live
+	}
+	return false, false
+}
+
+func testProgram() *program.Program {
+	return &program.Program{
+		Name: "d",
+		Regions: []program.Region{{
+			Name: "r0", Weight: 1,
+			Blocks: []program.Block{
+				{Ops: 6, Loads: 2, DeadOps: 3, DeadLoads: 1,
+					Kind: program.KindCond, Branch: 0, TakenNext: 0, FallNext: -1, ValueLoad: -1},
+			},
+		}},
+		Branches: []program.Branch{{Model: behavior.Fixed(true), Region: 0}},
+	}
+}
+
+func TestHotRegionDetection(t *testing.T) {
+	d := New(testProgram())
+	d.HotThreshold = 3
+	for i := 0; i < 2; i++ {
+		d.OnRegionEntry(0)
+		if d.Optimized(0) {
+			t.Fatalf("region optimized after %d invocations", i+1)
+		}
+	}
+	d.OnRegionEntry(0)
+	if !d.Optimized(0) {
+		t.Fatal("region not optimized at threshold")
+	}
+	if d.RegionsOptimized != 1 {
+		t.Fatalf("RegionsOptimized = %d", d.RegionsOptimized)
+	}
+}
+
+func TestDistillRemovesSpeculatedBranch(t *testing.T) {
+	p := testProgram()
+	d := New(p)
+	d.HotThreshold = 1
+	d.OnRegionEntry(0)
+	blk := &p.Regions[0].Blocks[0]
+	st := program.Step{Region: 0, Block: 0, Branch: 0, Taken: true, Kind: program.KindCond}
+	cost, bad := d.Distill(blk, st, fixedPolicy{dir: true, live: true}, NoValues)
+	if bad {
+		t.Fatal("matching outcome flagged as violation")
+	}
+	if !cost.SkipBranch || cost.OpsRemoved != 3 || cost.LoadsRemoved != 1 {
+		t.Fatalf("cost = %+v", cost)
+	}
+}
+
+func TestDistillDetectsViolation(t *testing.T) {
+	p := testProgram()
+	d := New(p)
+	d.HotThreshold = 1
+	d.OnRegionEntry(0)
+	blk := &p.Regions[0].Blocks[0]
+	st := program.Step{Region: 0, Block: 0, Branch: 0, Taken: false, Kind: program.KindCond}
+	_, bad := d.Distill(blk, st, fixedPolicy{dir: true, live: true}, NoValues)
+	if !bad {
+		t.Fatal("contradicting outcome not flagged")
+	}
+}
+
+func TestDistillColdRegionUntouched(t *testing.T) {
+	p := testProgram()
+	d := New(p)
+	blk := &p.Regions[0].Blocks[0]
+	st := program.Step{Region: 0, Block: 0, Branch: 0, Taken: false, Kind: program.KindCond}
+	cost, bad := d.Distill(blk, st, fixedPolicy{dir: true, live: true}, NoValues)
+	if bad || cost.SkipBranch {
+		t.Fatal("cold region was distilled")
+	}
+}
+
+func TestDistillUnspeculatedBranchUntouched(t *testing.T) {
+	p := testProgram()
+	d := New(p)
+	d.HotThreshold = 1
+	d.OnRegionEntry(0)
+	blk := &p.Regions[0].Blocks[0]
+	st := program.Step{Region: 0, Block: 0, Branch: 0, Taken: false, Kind: program.KindCond}
+	cost, bad := d.Distill(blk, st, fixedPolicy{live: false}, NoValues)
+	if bad || cost.SkipBranch {
+		t.Fatal("unspeculated branch was distilled")
+	}
+}
+
+func TestReoptBatching(t *testing.T) {
+	d := New(testProgram())
+	d.BatchWindow = 1_000
+	d.NoteTransition(0, 100)
+	d.NoteTransition(0, 500)   // batched
+	d.NoteTransition(0, 1_099) // batched (window is 100+1000)
+	d.NoteTransition(0, 2_000) // new re-optimization
+	if d.Reopts != 2 {
+		t.Fatalf("Reopts = %d, want 2", d.Reopts)
+	}
+	if d.ChangesApplied != 4 {
+		t.Fatalf("ChangesApplied = %d, want 4", d.ChangesApplied)
+	}
+}
+
+func TestNoteTransitionIgnoresBadBranch(t *testing.T) {
+	d := New(testProgram())
+	d.NoteTransition(-1, 0)
+	d.NoteTransition(99, 0)
+	if d.Reopts != 0 {
+		t.Fatal("invalid branch indices triggered re-optimizations")
+	}
+}

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"io"
+
+	"reactivespec/internal/baseline"
+	"reactivespec/internal/bias"
+	"reactivespec/internal/core"
+	"reactivespec/internal/harness"
+	"reactivespec/internal/stats"
+	"reactivespec/internal/workload"
+)
+
+// This file holds the ablation studies that go beyond the paper's printed
+// figures: data the paper describes but does not show (profile averaging,
+// Section 2.2), predictions it makes about related work (the Dynamo-style
+// flush policy, Section 5), and parameter sweeps around the design choices
+// the sensitivity analysis (Section 3.3) samples at single points.
+
+// AveragingRow is one row of the profile-averaging study: selection from the
+// merged profile of K differing training inputs, evaluated on the evaluation
+// input.
+type AveragingRow struct {
+	Bench      string
+	Profiles   int
+	CorrectPct float64
+	WrongPct   float64
+	Selected   int
+}
+
+// ProfileAveraging reproduces the paper's unshown Section 2.2 claim:
+// averaging profiles reduces the misspeculation rate but also reduces
+// opportunity, because input-dependent branches stop looking biased.
+func ProfileAveraging(cfg Config, counts []int) ([]AveragingRow, error) {
+	cfg = cfg.withDefaults()
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4, 8}
+	}
+	perBench, err := runParallel(cfg.Benchmarks, func(name string) ([]AveragingRow, error) {
+		eval, err := cfg.build(name, workload.InputEval)
+		if err != nil {
+			return nil, err
+		}
+		maxK := 0
+		for _, k := range counts {
+			if k > maxK {
+				maxK = k
+			}
+		}
+		profiles := make([]*bias.Profile, maxK)
+		for i := range profiles {
+			spec, err := cfg.build(name, workload.InputVariant(i+1))
+			if err != nil {
+				return nil, err
+			}
+			profiles[i] = bias.FromStream(workload.NewGenerator(spec))
+		}
+		var rows []AveragingRow
+		for _, k := range counts {
+			merged := bias.Merge(profiles[:k]...)
+			sel := merged.Select(0.99, 1)
+			st := harness.Run(workload.NewGenerator(eval), baseline.NewStatic(sel))
+			rows = append(rows, AveragingRow{
+				Bench:      name,
+				Profiles:   k,
+				CorrectPct: st.CorrectFrac() * 100,
+				WrongPct:   st.MisspecFrac() * 100,
+				Selected:   sel.Len(),
+			})
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AveragingRow
+	for _, rs := range perBench {
+		rows = append(rows, rs...)
+	}
+	return rows, nil
+}
+
+// WriteAveraging renders the profile-averaging study.
+func WriteAveraging(w io.Writer, rows []AveragingRow, csv bool) error {
+	t := stats.NewTable("bench", "profiles", "correct%", "incorrect%", "selected")
+	for _, r := range rows {
+		t.AddRowf("%s", r.Bench, "%d", r.Profiles, "%.2f", r.CorrectPct, "%.4f", r.WrongPct, "%d", r.Selected)
+	}
+	if csv {
+		return t.WriteCSV(w)
+	}
+	return t.WriteText(w)
+}
+
+// FlushRow compares the reactive closed loop, the Dynamo-style periodic-flush
+// policy, and the open loop on one benchmark.
+type FlushRow struct {
+	Bench string
+	// CorrectPct / WrongPct per policy.
+	Closed, Flush, Open struct {
+		CorrectPct, WrongPct float64
+	}
+	Flushes uint64
+}
+
+// FlushPolicy tests the paper's Section 5 prediction that a preemptive
+// fragment-cache flush lands between the closed- and open-loop policies.
+func FlushPolicy(cfg Config) ([]FlushRow, error) {
+	cfg = cfg.withDefaults()
+	params := cfg.Params()
+	return runParallel(cfg.Benchmarks, func(name string) (FlushRow, error) {
+		spec, err := cfg.build(name, workload.InputEval)
+		if err != nil {
+			return FlushRow{}, err
+		}
+		row := FlushRow{Bench: name}
+
+		st := harness.Run(workload.NewGenerator(spec), core.New(params))
+		row.Closed.CorrectPct = st.CorrectFrac() * 100
+		row.Closed.WrongPct = st.MisspecFrac() * 100
+
+		// Flush every ~1/6th of the run: a few phase-level flushes.
+		fl := baseline.NewFlush(params.MonitorPeriod, 0.99, spec.Instructions()/6)
+		st = harness.Run(workload.NewGenerator(spec), fl)
+		row.Flush.CorrectPct = st.CorrectFrac() * 100
+		row.Flush.WrongPct = st.MisspecFrac() * 100
+		row.Flushes = fl.Flushes
+
+		st = harness.Run(workload.NewGenerator(spec), core.New(params.WithNoEviction()))
+		row.Open.CorrectPct = st.CorrectFrac() * 100
+		row.Open.WrongPct = st.MisspecFrac() * 100
+
+		return row, nil
+	})
+}
+
+// WriteFlush renders the flush-policy comparison.
+func WriteFlush(w io.Writer, rows []FlushRow, csv bool) error {
+	t := stats.NewTable("bench", "closed corr%", "closed incor%",
+		"flush corr%", "flush incor%", "open corr%", "open incor%", "flushes")
+	for _, r := range rows {
+		t.AddRowf("%s", r.Bench,
+			"%.1f", r.Closed.CorrectPct, "%.4f", r.Closed.WrongPct,
+			"%.1f", r.Flush.CorrectPct, "%.4f", r.Flush.WrongPct,
+			"%.1f", r.Open.CorrectPct, "%.4f", r.Open.WrongPct,
+			"%d", r.Flushes)
+	}
+	if csv {
+		return t.WriteCSV(w)
+	}
+	return t.WriteText(w)
+}
+
+// SweepPoint is one parameter setting's suite-average outcome.
+type SweepPoint struct {
+	Label      string
+	Value      uint64
+	CorrectPct float64
+	WrongPct   float64
+	Evictions  uint64
+	Selections uint64
+	Retired    int
+}
+
+// SweepKind names a parameter sweep.
+type SweepKind string
+
+// The supported sweeps. Each varies one Table 2 parameter around the
+// experiment baseline; Section 3.3 samples most of these at a single
+// alternative point, the sweeps fill in the curve.
+const (
+	SweepMonitor   SweepKind = "monitor"     // monitor period
+	SweepEvict     SweepKind = "evict"       // eviction threshold
+	SweepWait      SweepKind = "wait"        // revisit wait period
+	SweepOscLimit  SweepKind = "oscillation" // oscillation limit
+	SweepStep      SweepKind = "step"        // misspeculation counter step
+	SweepThreshold SweepKind = "threshold"   // selection threshold (×1000)
+)
+
+// sweepValues returns the default sweep points for a kind, derived from the
+// experiment-regime baseline.
+func sweepValues(kind SweepKind, base core.Params) []uint64 {
+	switch kind {
+	case SweepMonitor:
+		m := base.MonitorPeriod
+		return []uint64{m / 4, m / 2, m, m * 2, m * 4}
+	case SweepEvict:
+		e := uint64(base.EvictThreshold)
+		return []uint64{e / 10, e / 3, e, e * 3, e * 10}
+	case SweepWait:
+		w := base.WaitPeriod
+		return []uint64{w / 10, w / 3, w, w * 3, w * 10}
+	case SweepOscLimit:
+		return []uint64{1, 2, 5, 20, 1 << 30}
+	case SweepStep:
+		return []uint64{10, 25, 50, 100, 200}
+	case SweepThreshold:
+		return []uint64{985, 990, 995, 998, 999}
+	default:
+		return nil
+	}
+}
+
+func sweepApply(kind SweepKind, base core.Params, v uint64) core.Params {
+	switch kind {
+	case SweepMonitor:
+		base.MonitorPeriod = v
+	case SweepEvict:
+		base.EvictThreshold = uint32(v)
+	case SweepWait:
+		base.WaitPeriod = v
+	case SweepOscLimit:
+		base.MaxOptimizations = uint32(v)
+	case SweepStep:
+		base.MisspecStep = uint32(v)
+	case SweepThreshold:
+		base.SelectThreshold = float64(v) / 1000
+	}
+	return base
+}
+
+// Sweep runs one parameter sweep over the configured benchmarks and returns
+// suite-aggregate points.
+func Sweep(cfg Config, kind SweepKind) ([]SweepPoint, error) {
+	cfg = cfg.withDefaults()
+	base := cfg.Params()
+	values := sweepValues(kind, base)
+	if values == nil {
+		return nil, errUnknownSweep(kind)
+	}
+	return runParallelN(len(values), func(i int) (SweepPoint, error) {
+		v := values[i]
+		params := sweepApply(kind, base, v)
+		var events, correct, wrong uint64
+		var evictions, selections uint64
+		retired := 0
+		for _, name := range cfg.Benchmarks {
+			spec, err := cfg.build(name, workload.InputEval)
+			if err != nil {
+				return SweepPoint{}, err
+			}
+			ctl := core.New(params)
+			st := harness.Run(workload.NewGenerator(spec), ctl)
+			events += st.Events
+			correct += st.Correct
+			wrong += st.Misspec
+			cs := ctl.Stats()
+			evictions += cs.Evictions
+			selections += cs.Selections
+			_, _, _, r := ctl.StaticCounts()
+			retired += r
+		}
+		return SweepPoint{
+			Label:      string(kind),
+			Value:      v,
+			CorrectPct: 100 * float64(correct) / float64(events),
+			WrongPct:   100 * float64(wrong) / float64(events),
+			Evictions:  evictions,
+			Selections: selections,
+			Retired:    retired,
+		}, nil
+	})
+}
+
+type errUnknownSweep SweepKind
+
+func (e errUnknownSweep) Error() string { return "experiments: unknown sweep " + string(e) }
+
+// WriteSweep renders sweep points.
+func WriteSweep(w io.Writer, points []SweepPoint, csv bool) error {
+	t := stats.NewTable("sweep", "value", "correct%", "incorrect%", "selections", "evictions", "retired")
+	for _, p := range points {
+		t.AddRowf("%s", p.Label, "%d", p.Value, "%.2f", p.CorrectPct, "%.4f", p.WrongPct,
+			"%d", p.Selections, "%d", p.Evictions, "%d", p.Retired)
+	}
+	if csv {
+		return t.WriteCSV(w)
+	}
+	return t.WriteText(w)
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"io"
+	"sort"
+
+	"reactivespec/internal/stats"
+	"reactivespec/internal/workload"
+)
+
+// DescribeRow summarizes one behavior class of a workload's population.
+type DescribeRow struct {
+	Class       workload.BranchClass
+	Static      int
+	WeightPct   float64
+	MinExecs    uint64
+	MedianExecs uint64
+	MaxExecs    uint64
+}
+
+// Describe summarizes the named benchmark's population: how many static
+// branches of each behavior class it plants, their dynamic weight, and their
+// expected execution counts. It makes the workload substitution auditable.
+func Describe(cfg Config, name string, input workload.InputID) ([]DescribeRow, *workload.Spec, error) {
+	cfg = cfg.withDefaults()
+	spec, err := cfg.build(name, input)
+	if err != nil {
+		return nil, nil, err
+	}
+	type acc struct {
+		n      int
+		weight float64
+		execs  []uint64
+	}
+	byClass := map[workload.BranchClass]*acc{}
+	for _, b := range spec.Branches {
+		a := byClass[b.Class]
+		if a == nil {
+			a = &acc{}
+			byClass[b.Class] = a
+		}
+		a.n++
+		a.weight += b.Weight
+		a.execs = append(a.execs, uint64(b.Weight*float64(spec.Events)))
+	}
+	classes := make([]workload.BranchClass, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	rows := make([]DescribeRow, 0, len(classes))
+	for _, c := range classes {
+		a := byClass[c]
+		sort.Slice(a.execs, func(i, j int) bool { return a.execs[i] < a.execs[j] })
+		rows = append(rows, DescribeRow{
+			Class:       c,
+			Static:      a.n,
+			WeightPct:   a.weight * 100,
+			MinExecs:    a.execs[0],
+			MedianExecs: a.execs[len(a.execs)/2],
+			MaxExecs:    a.execs[len(a.execs)-1],
+		})
+	}
+	return rows, spec, nil
+}
+
+// WriteDescribe renders a population summary.
+func WriteDescribe(w io.Writer, spec *workload.Spec, rows []DescribeRow, csv bool) error {
+	t := stats.NewTable("class", "static", "weight%", "min execs", "median execs", "max execs")
+	for _, r := range rows {
+		t.AddRowf("%s", r.Class.String(), "%d", r.Static, "%.2f", r.WeightPct,
+			"%s", stats.Count(r.MinExecs), "%s", stats.Count(r.MedianExecs), "%s", stats.Count(r.MaxExecs))
+	}
+	if csv {
+		return t.WriteCSV(w)
+	}
+	hdr := stats.NewTable("workload", "input", "events", "instructions", "static branches")
+	hdr.AddRowf("%s", spec.Name, "%s", spec.Input.String(),
+		"%s", stats.Count(spec.Events), "%s", stats.Count(spec.Instructions()), "%d", len(spec.Branches))
+	if err := hdr.WriteText(w); err != nil {
+		return err
+	}
+	return t.WriteText(w)
+}

@@ -1,0 +1,354 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"reactivespec/internal/workload"
+)
+
+// quickCfg runs small: 1/20th of the calibrated workload scale with the
+// controller parameters scaled to match.
+func quickCfg(benches ...string) Config {
+	return Config{Scale: 0.05, ParamScale: 50, Benchmarks: benches}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Scale != 1 || cfg.ParamScale != 10 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if len(cfg.Benchmarks) != 12 {
+		t.Fatalf("default benchmarks = %v", cfg.Benchmarks)
+	}
+}
+
+func TestConfigParamsRegime(t *testing.T) {
+	p := Config{}.Params()
+	if p.MonitorPeriod != 1_000 || p.WaitPeriod != ExperimentWaitPeriod || p.OptLatency != 100_000 {
+		t.Fatalf("experiment params = %+v", p)
+	}
+	if q := (Config{ParamScale: 1}).Params(); q.MonitorPeriod != 10_000 || q.WaitPeriod != 1_000_000 {
+		t.Fatalf("paper-scale params = %+v", q)
+	}
+}
+
+func TestTable3Driver(t *testing.T) {
+	rows, err := Table3(quickCfg("gzip", "eon"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Bench != "gzip" || rows[1].Bench != "eon" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Touched == 0 || r.Biased == 0 {
+			t.Fatalf("%s: no branches classified (%+v)", r.Bench, r)
+		}
+		if r.Biased > r.Touched || r.Evicted > r.Biased {
+			t.Fatalf("%s: inconsistent static counts %+v", r.Bench, r)
+		}
+		if r.SpecPct <= 0 || r.SpecPct >= 100 {
+			t.Fatalf("%s: spec%% = %v", r.Bench, r.SpecPct)
+		}
+		if r.Paper.StaticTouch == 0 {
+			t.Fatalf("%s: paper stats missing", r.Bench)
+		}
+	}
+	var b strings.Builder
+	if err := WriteTable3(&b, rows, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "gzip") {
+		t.Fatal("rendering missing benchmark name")
+	}
+	b.Reset()
+	if err := WriteTable3(&b, rows, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), ",") {
+		t.Fatal("CSV rendering has no commas")
+	}
+}
+
+func TestFig5AndTable4Driver(t *testing.T) {
+	// crafty at 1/5 scale retains hot late-onset branches (the revisit
+	// arc's clientele); smaller benchmarks lose them below full scale.
+	points, err := Fig5(Config{Scale: 0.2, Benchmarks: []string{"crafty"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byConf := map[string]Fig5Point{}
+	for _, p := range points {
+		byConf[p.Config] = p
+		if p.CorrectPct < 0 || p.CorrectPct > 100 || p.WrongPct < 0 {
+			t.Fatalf("out-of-range point %+v", p)
+		}
+	}
+	for _, conf := range Fig5ConfigNames {
+		if _, ok := byConf[conf]; !ok {
+			t.Fatalf("configuration %q missing", conf)
+		}
+	}
+	// The paper's headline robustness result: removing the eviction arc
+	// costs orders of magnitude in misspeculation rate.
+	if byConf["no-evict"].WrongPct < 10*byConf["baseline"].WrongPct {
+		t.Fatalf("no-evict misspec %v not far above baseline %v",
+			byConf["no-evict"].WrongPct, byConf["baseline"].WrongPct)
+	}
+	// Removing the revisit arc costs correct speculation.
+	if byConf["no-revisit"].CorrectPct >= byConf["baseline"].CorrectPct {
+		t.Fatalf("no-revisit correct %v not below baseline %v",
+			byConf["no-revisit"].CorrectPct, byConf["baseline"].CorrectPct)
+	}
+
+	rows := Table4(points)
+	if len(rows) != len(Fig5ConfigNames) {
+		t.Fatalf("Table4 rows = %d", len(rows))
+	}
+	var b strings.Builder
+	if err := WriteTable4(&b, rows, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no-evict") {
+		t.Fatal("Table4 rendering incomplete")
+	}
+	b.Reset()
+	if err := WriteFig5(&b, points, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig2Driver(t *testing.T) {
+	series, err := Fig2(quickCfg("crafty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 {
+		t.Fatalf("series = %d", len(series))
+	}
+	s := series[0]
+	if len(s.Pareto) == 0 {
+		t.Fatal("empty Pareto curve")
+	}
+	// Pareto curve monotone.
+	for i := 1; i < len(s.Pareto); i++ {
+		if s.Pareto[i].CorrectF < s.Pareto[i-1].CorrectF {
+			t.Fatal("Pareto curve not monotone")
+		}
+	}
+	if len(s.Initial) != len(Fig2TrainLens(50)) {
+		t.Fatalf("initial-behavior points = %d", len(s.Initial))
+	}
+	// Cross-input profiling on crafty (a worst offender) must show more
+	// misspeculation than self-training at the same threshold.
+	if s.TrainInput.WrongPct <= s.Knee99.WrongF*100 {
+		t.Fatalf("train-input misspec %v not above self-training %v",
+			s.TrainInput.WrongPct, s.Knee99.WrongF*100)
+	}
+	// Longer initial training reduces misspeculation.
+	first, last := s.Initial[0], s.Initial[len(s.Initial)-1]
+	if last.WrongPct > first.WrongPct {
+		t.Fatalf("longer training increased misspec: %v -> %v", first.WrongPct, last.WrongPct)
+	}
+	var b strings.Builder
+	if err := WriteFig2(&b, series, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "knee-99") {
+		t.Fatal("Fig2 rendering incomplete")
+	}
+}
+
+func TestFig2TrainLens(t *testing.T) {
+	full := Fig2TrainLens(1)
+	if len(full) != 5 || full[0] != 1_000 || full[4] != 1_000_000 {
+		t.Fatalf("paper-scale train lens = %v", full)
+	}
+	scaled := Fig2TrainLens(10)
+	if scaled[0] != 100 || scaled[4] != 100_000 {
+		t.Fatalf("scaled train lens = %v", scaled)
+	}
+}
+
+func TestFig3Driver(t *testing.T) {
+	series, err := Fig3(Config{}) // needs the full-scale hot changers
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5 {
+		t.Fatalf("Fig3 series = %d, want 5", len(series))
+	}
+	for _, s := range series {
+		if len(s.BlockBias) < 20 {
+			t.Fatalf("branch %d has only %d blocks", s.Branch, len(s.BlockBias))
+		}
+		// Initially invariant: the first blocks are highly biased
+		// toward the initial direction.
+		for i := 0; i < 5; i++ {
+			if s.BlockBias[i] < 0.9 {
+				t.Fatalf("branch %d (%v) not initially biased: block %d = %v",
+					s.Branch, s.Class, i, s.BlockBias[i])
+			}
+		}
+	}
+	var b strings.Builder
+	if err := WriteFig3(&b, series, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFig3(&b, series, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig6Driver(t *testing.T) {
+	res, err := Fig6(quickCfg("gap", "mcf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rates) == 0 {
+		t.Fatal("no evictions observed")
+	}
+	for _, r := range res.Rates {
+		if r < 0 || r > 1 {
+			t.Fatalf("rate %v out of range", r)
+		}
+	}
+	if res.FracBelow30+res.FracReversed > 1 {
+		t.Fatal("summary fractions exceed 1")
+	}
+	var b strings.Builder
+	if err := WriteFig6(&b, res, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "softening") {
+		t.Fatal("Fig6 rendering incomplete")
+	}
+}
+
+func TestFig9Driver(t *testing.T) {
+	res, err := Fig9For(Config{Scale: 0.2, ParamScale: 10}, "vortex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tracks) < 5 {
+		t.Fatalf("only %d flipping branches", len(res.Tracks))
+	}
+	// Correlated-group members must appear among the flipping branches.
+	grouped := 0
+	for _, tr := range res.Tracks {
+		if tr.Group >= 0 {
+			grouped++
+		}
+	}
+	if grouped == 0 {
+		t.Fatal("no correlated-group members flip")
+	}
+	var b strings.Builder
+	if err := WriteFig9(&b, res, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "#") {
+		t.Fatal("Fig9 rendering has no biased windows")
+	}
+}
+
+func TestFig7Driver(t *testing.T) {
+	rows, err := Fig7(Config{Scale: 0.5, Benchmarks: []string{"crafty"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.ClosedLoop <= 0 || r.OpenLoop <= 0 {
+		t.Fatalf("speedups %+v", r)
+	}
+	// The paper's Figure 7 claim: the open-loop policy trails closed-loop.
+	if r.OpenLoop >= r.ClosedLoop {
+		t.Fatalf("open-loop %v >= closed-loop %v", r.OpenLoop, r.ClosedLoop)
+	}
+	if r.OpenMisspecs <= r.ClosedMisspecs {
+		t.Fatalf("open-loop misspecs %d <= closed %d", r.OpenMisspecs, r.ClosedMisspecs)
+	}
+	var b strings.Builder
+	if err := WriteFig7(&b, rows, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "geomean") {
+		t.Fatal("Fig7 rendering incomplete")
+	}
+}
+
+func TestFig8Driver(t *testing.T) {
+	rows, err := Fig8(Config{Scale: 0.25, Benchmarks: []string{"bzip2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if len(r.Speedups) != len(Fig8Latencies) {
+		t.Fatalf("speedups = %v", r.Speedups)
+	}
+	// Latency insensitivity: the largest latency costs little.
+	if r.Speedups[2] < r.Speedups[0]*0.85 {
+		t.Fatalf("latency sensitivity too high: %v", r.Speedups)
+	}
+	var b strings.Builder
+	if err := WriteFig8(&b, rows, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable1Driver(t *testing.T) {
+	var b strings.Builder
+	if err := WriteTable1(&b, quickCfg(), false); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range workload.Suite() {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table1 missing %s", name)
+		}
+	}
+}
+
+func TestUnknownBenchmarkPropagates(t *testing.T) {
+	if _, err := Table3(Config{Benchmarks: []string{"nope"}}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := Fig2(Config{Benchmarks: []string{"nope"}}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := Fig7(Config{Benchmarks: []string{"nope"}}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestCalibrationTracksPaper is the headline integration test: at full scale,
+// the baseline reactive controller's Table 3 row must land near the published
+// values for a representative benchmark subset.
+func TestCalibrationTracksPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale calibration check")
+	}
+	rows, err := Table3(Config{Benchmarks: []string{"gzip", "mcf", "vortex"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		biasedPct := 100 * float64(r.Biased) / float64(r.Touched)
+		paperBiased := 100 * float64(r.Paper.Biased) / float64(r.Paper.StaticTouch)
+		if biasedPct < paperBiased-8 || biasedPct > paperBiased+8 {
+			t.Errorf("%s: biased%% = %.1f, paper %.1f", r.Bench, biasedPct, paperBiased)
+		}
+		if r.SpecPct < r.Paper.SpecPct-8 || r.SpecPct > r.Paper.SpecPct+8 {
+			t.Errorf("%s: spec%% = %.1f, paper %.1f", r.Bench, r.SpecPct, r.Paper.SpecPct)
+		}
+		// Misspeculation distances are scale-compressed (EXPERIMENTS.md);
+		// require the same order of magnitude.
+		if r.MisspecDist < r.Paper.MisspecDist/12 || r.MisspecDist > r.Paper.MisspecDist*12 {
+			t.Errorf("%s: misspec distance = %.0f, paper %.0f", r.Bench, r.MisspecDist, r.Paper.MisspecDist)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/harness"
+	"reactivespec/internal/stats"
+	"reactivespec/internal/trace"
+	"reactivespec/internal/workload"
+)
+
+// Fig6Result characterizes what branches do right after leaving the biased
+// state (Figure 6): for each eviction, the misprediction rate — the fraction
+// of outcomes contradicting the original speculated direction — over the
+// next window of executions.
+type Fig6Result struct {
+	// Window is the number of post-eviction executions sampled (64 in the
+	// paper).
+	Window int
+	// Rates holds one post-eviction misprediction rate per observed
+	// eviction, sorted ascending.
+	Rates []float64
+	// FracBelow30 is the fraction of evictions whose post-transition
+	// misprediction rate is below 30% (bias softening; the paper reports
+	// over 50%).
+	FracBelow30 float64
+	// FracReversed is the fraction with misprediction rate above 90%
+	// (perfectly biased in the other direction; the paper reports ~20%).
+	FracReversed float64
+}
+
+// Fig6Window is the paper's post-transition sample window.
+const Fig6Window = 64
+
+// Fig6 runs the baseline reactive controller over the suite, sampling the
+// Fig6Window executions that follow each eviction.
+func Fig6(cfg Config) (Fig6Result, error) {
+	cfg = cfg.withDefaults()
+	res := Fig6Result{Window: Fig6Window}
+	type pending struct {
+		dir    bool
+		wrong  int
+		seen   int
+		active bool
+	}
+	for _, name := range cfg.Benchmarks {
+		spec, err := cfg.build(name, workload.InputEval)
+		if err != nil {
+			return Fig6Result{}, err
+		}
+		ctl := core.New(cfg.Params())
+		windows := make(map[trace.BranchID]*pending)
+		ctl.OnTransition = func(tr core.Transition) {
+			if tr.From == core.Biased && tr.To == core.Monitor {
+				dir, _ := ctl.Speculating(tr.Branch)
+				windows[tr.Branch] = &pending{dir: dir, active: true}
+			}
+		}
+		harness.RunObserved(workload.NewGenerator(spec), ctl,
+			func(ev trace.Event, _ uint64, _ core.Verdict) {
+				p := windows[ev.Branch]
+				if p == nil || !p.active {
+					return
+				}
+				p.seen++
+				if ev.Taken != p.dir {
+					p.wrong++
+				}
+				if p.seen >= Fig6Window {
+					res.Rates = append(res.Rates, float64(p.wrong)/float64(p.seen))
+					p.active = false
+				}
+			})
+		// Flush partially-observed windows at end of run.
+		for _, p := range windows {
+			if p.active && p.seen >= 8 {
+				res.Rates = append(res.Rates, float64(p.wrong)/float64(p.seen))
+			}
+		}
+	}
+	sort.Float64s(res.Rates)
+	n := len(res.Rates)
+	if n > 0 {
+		below30, reversed := 0, 0
+		for _, r := range res.Rates {
+			if r < 0.30 {
+				below30++
+			}
+			if r > 0.90 {
+				reversed++
+			}
+		}
+		res.FracBelow30 = float64(below30) / float64(n)
+		res.FracReversed = float64(reversed) / float64(n)
+	}
+	return res, nil
+}
+
+// WriteFig6 renders the post-eviction misprediction-rate distribution.
+func WriteFig6(w io.Writer, res Fig6Result, csv bool) error {
+	if csv {
+		t := stats.NewTable("eviction", "mispred_rate")
+		for i, r := range res.Rates {
+			t.AddRowf("%d", i, "%.4f", r)
+		}
+		return t.WriteCSV(w)
+	}
+	h := stats.NewHistogram(0, 1, 10)
+	for _, r := range res.Rates {
+		h.Add(r)
+	}
+	t := stats.NewTable("mispred-rate bucket", "evictions", "fraction", "cumulative")
+	for i := range h.Buckets {
+		bucket := fmt.Sprintf("%2d%%–%2d%%", i*10, (i+1)*10)
+		t.AddRowf("%s", bucket, "%d", int(h.Buckets[i]), "%.3f", h.Frac(i), "%.3f", h.CumFrac(i))
+	}
+	if err := t.WriteText(w); err != nil {
+		return err
+	}
+	sum := stats.NewTable("summary", "measured", "paper")
+	sum.AddRowf("%s", "evictions observed", "%d", len(res.Rates), "%s", "")
+	sum.AddRowf("%s", "mispred < 30% (softening)", "%s", stats.Pct(res.FracBelow30, 1), "%s", ">50%")
+	sum.AddRowf("%s", "mispred > 90% (reversed)", "%s", stats.Pct(res.FracReversed, 1), "%s", "~20%")
+	return sum.WriteText(w)
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"io"
+
+	"reactivespec/internal/mssp"
+	"reactivespec/internal/stats"
+)
+
+// Fig8Latencies are the optimization-latency sweep points. The paper sweeps
+// 0, 10^5 and 10^6 cycles over 200 M-instruction runs; scaled to our 16 M
+// runs, the same latency-to-run ratios are 0, 8k and 80k cycles.
+var Fig8Latencies = []struct {
+	Label  string
+	Cycles uint64
+}{
+	{"0", 0},
+	{"1e5 (scaled: 8k)", 8_000},
+	{"1e6 (scaled: 80k)", 80_000},
+}
+
+// Fig8Row is one benchmark's Figure 8 data: closed-loop MSSP performance,
+// normalized to the superscalar baseline, at each (re)optimization latency.
+type Fig8Row struct {
+	Bench    string
+	Speedups []float64 // one per Fig8Latencies entry
+}
+
+// Fig8 reproduces Figure 8: MSSP's insensitivity to optimization latency.
+// Latency is applied both to the controller's deployment delay and to the
+// distiller's re-optimization batching window.
+func Fig8(cfg Config) ([]Fig8Row, error) {
+	cfg = cfg.withDefaults()
+	mcfg := mssp.DefaultConfig()
+	mcfg.RunInstrs = uint64(float64(MSSPRunInstrs) * cfg.Scale)
+	return runParallel(cfg.Benchmarks, func(name string) (Fig8Row, error) {
+		prog, err := msspProgram(name, cfg.Seed, mcfg.RunInstrs)
+		if err != nil {
+			return Fig8Row{}, err
+		}
+		row := Fig8Row{Bench: name}
+		base, _ := mssp.Baseline(prog, mcfg.RunInstrs)
+		for _, lat := range Fig8Latencies {
+			m := mcfg
+			m.OptLatencyCycles = lat.Cycles
+			m.PrecomputedBaseline = base
+			// Cycles map 1:1 to instructions at the leading core's
+			// near-unit IPC; the controller's latency is expressed
+			// in instructions.
+			ctl := fig7Controller(cfg, 1_000, false, lat.Cycles)
+			res := mssp.Run(prog, ctl, m)
+			row.Speedups = append(row.Speedups, res.Speedup())
+		}
+		return row, nil
+	})
+}
+
+// WriteFig8 renders Figure 8 with a geometric-mean summary row.
+func WriteFig8(w io.Writer, rows []Fig8Row, csv bool) error {
+	header := []string{"bench", "B"}
+	for _, lat := range Fig8Latencies {
+		header = append(header, "lat="+lat.Label)
+	}
+	t := stats.NewTable(header...)
+	gm := make([]float64, len(Fig8Latencies))
+	for i := range gm {
+		gm[i] = 1
+	}
+	for _, r := range rows {
+		cells := []interface{}{"%s", r.Bench, "%.2f", 1.0}
+		for i, s := range r.Speedups {
+			cells = append(cells, "%.3f", s)
+			gm[i] *= s
+		}
+		t.AddRowf(cells...)
+	}
+	if n := float64(len(rows)); n > 0 {
+		cells := []interface{}{"%s", "geomean", "%.2f", 1.0}
+		for i := range gm {
+			cells = append(cells, "%.3f", pow1n(gm[i], n))
+		}
+		t.AddRowf(cells...)
+	}
+	if csv {
+		return t.WriteCSV(w)
+	}
+	return t.WriteText(w)
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"reactivespec/internal/stats"
+	"reactivespec/internal/trace"
+	"reactivespec/internal/workload"
+)
+
+// Fig9Track is one horizontal track of Figure 9: the time windows during
+// which one static branch is characterized as highly biased (>99%).
+type Fig9Track struct {
+	Branch trace.BranchID
+	Group  int // correlated group (−1 if none)
+	// BiasedWindow[i] reports whether the branch's bias exceeded 99% in
+	// run window i (windows of equal instruction length).
+	BiasedWindow []bool
+}
+
+// Fig9Result is the Figure 9 characterization of one benchmark.
+type Fig9Result struct {
+	Bench string
+	// Windows is the number of run windows.
+	Windows int
+	// Tracks are the branches that have significant periods both biased
+	// and unbiased, ordered by group then branch ID (the paper found 139
+	// such branches in vortex).
+	Tracks []Fig9Track
+}
+
+// Fig9Windows is the run-window count used for the characterization.
+const Fig9Windows = 60
+
+// Fig9 reproduces Figure 9 for vortex.
+func Fig9(cfg Config) (Fig9Result, error) { return Fig9For(cfg, "vortex") }
+
+// Fig9For computes the Figure 9 characterization for any benchmark.
+func Fig9For(cfg Config, bench string) (Fig9Result, error) {
+	cfg = cfg.withDefaults()
+	spec, err := cfg.build(bench, workload.InputEval)
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	n := len(spec.Branches)
+	type cell struct{ execs, taken uint32 }
+	grid := make([]cell, n*Fig9Windows)
+	gen := workload.NewGenerator(spec)
+	winLen := spec.Events/Fig9Windows + 1
+	var seen uint64
+	for {
+		ev, ok := gen.Next()
+		if !ok {
+			break
+		}
+		win := int(seen / winLen)
+		seen++
+		c := &grid[int(ev.Branch)*Fig9Windows+win]
+		c.execs++
+		if ev.Taken {
+			c.taken++
+		}
+	}
+	res := Fig9Result{Bench: bench, Windows: Fig9Windows}
+	for id := 0; id < n; id++ {
+		track := Fig9Track{Branch: trace.BranchID(id), Group: spec.Branches[id].Group,
+			BiasedWindow: make([]bool, Fig9Windows)}
+		biased, unbiased := 0, 0
+		for w := 0; w < Fig9Windows; w++ {
+			c := grid[id*Fig9Windows+w]
+			if c.execs < 16 {
+				continue // too few executions to characterize this window
+			}
+			maj := c.taken
+			if c.execs-c.taken > maj {
+				maj = c.execs - c.taken
+			}
+			if float64(maj) > 0.99*float64(c.execs) {
+				track.BiasedWindow[w] = true
+				biased++
+			} else {
+				unbiased++
+			}
+		}
+		// "Significant periods of both": at least ~8% of windows each.
+		if biased >= Fig9Windows/12 && unbiased >= Fig9Windows/12 {
+			res.Tracks = append(res.Tracks, track)
+		}
+	}
+	return res, nil
+}
+
+// WriteFig9 renders the tracks: one row per flipping branch, with '#' for
+// biased windows.
+func WriteFig9(w io.Writer, res Fig9Result, csv bool) error {
+	if csv {
+		t := stats.NewTable("branch", "group", "window", "biased")
+		for _, tr := range res.Tracks {
+			for i, b := range tr.BiasedWindow {
+				v := 0
+				if b {
+					v = 1
+				}
+				t.AddRowf("%d", int(tr.Branch), "%d", tr.Group, "%d", i, "%d", v)
+			}
+		}
+		return t.WriteCSV(w)
+	}
+	if _, err := fmt.Fprintf(w, "%s: %d branches flip between biased and unbiased characterization (paper: 139 in vortex at full scale)\n",
+		res.Bench, len(res.Tracks)); err != nil {
+		return err
+	}
+	t := stats.NewTable("branch", "group", "biased windows (time →)")
+	for _, tr := range res.Tracks {
+		var b strings.Builder
+		for _, v := range tr.BiasedWindow {
+			if v {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		t.AddRowf("%d", int(tr.Branch), "%d", tr.Group, "%s", b.String())
+	}
+	return t.WriteText(w)
+}

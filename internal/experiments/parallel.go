@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// runParallel maps fn over names with bounded concurrency, preserving input
+// order in the result. Each benchmark's simulation is independent and
+// deterministic, so parallel execution produces byte-identical results to a
+// sequential run.
+func runParallel[T any](names []string, fn func(name string) (T, error)) ([]T, error) {
+	results := make([]T, len(names))
+	errs := make([]error, len(names))
+	sem := make(chan struct{}, maxWorkers())
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = fn(name)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runParallelN is runParallel over integer indices [0, n).
+func runParallelN[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, maxWorkers())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func maxWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	return n
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRunParallelPreservesOrder(t *testing.T) {
+	names := []string{"a", "bb", "ccc", "dddd", "eeeee"}
+	got, err := runParallel(names, func(name string) (int, error) {
+		return len(name), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range got {
+		if n != i+1 {
+			t.Fatalf("result[%d] = %d, want %d", i, n, i+1)
+		}
+	}
+}
+
+func TestRunParallelPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := runParallel([]string{"x", "y"}, func(name string) (int, error) {
+		if name == "y" {
+			return 0, boom
+		}
+		return 1, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunParallelEmpty(t *testing.T) {
+	got, err := runParallel(nil, func(string) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty input: %v %v", got, err)
+	}
+}
+
+func TestRunParallelN(t *testing.T) {
+	got, err := runParallelN(7, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestProbeTable3(t *testing.T) {
+	if os.Getenv("PROBE") == "" {
+		t.Skip("probe only")
+	}
+	rows, err := Table3(Config{Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteTable3(os.Stdout, rows, false)
+}
+
+func TestProbeFig5(t *testing.T) {
+	if os.Getenv("PROBE") == "" {
+		t.Skip("probe only")
+	}
+	pts, err := Fig5(Config{Scale: 1, Benchmarks: []string{"gzip", "mcf", "gcc", "crafty"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteTable4(os.Stdout, Table4(pts), false)
+	WriteFig5(os.Stdout, pts, false)
+}
+
+func TestProbeFig2(t *testing.T) {
+	if os.Getenv("PROBE") == "" {
+		t.Skip("probe only")
+	}
+	series, err := Fig2(Config{Scale: 1, Benchmarks: []string{"gzip", "mcf", "crafty", "parser"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteFig2(os.Stdout, series, false)
+}
+
+func TestProbeFig7(t *testing.T) {
+	if os.Getenv("PROBE") == "" {
+		t.Skip("probe only")
+	}
+	rows, err := Fig7(Config{Scale: 1, Benchmarks: []string{"bzip2", "crafty", "gcc", "mcf", "vortex", "eon"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteFig7(os.Stdout, rows, false)
+}
+
+func TestProbeFig8(t *testing.T) {
+	if os.Getenv("PROBE") == "" {
+		t.Skip("probe only")
+	}
+	rows, err := Fig8(Config{Scale: 1, Benchmarks: []string{"bzip2", "crafty", "mcf"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteFig8(os.Stdout, rows, false)
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"io"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/replay"
+	"reactivespec/internal/stats"
+)
+
+// ReplayRow compares closed- and open-loop speculation control in the
+// rePLay-style frame engine on one benchmark: the same first-order
+// conclusion as Figure 7, in the paper's other named consumer of aggressive
+// software speculation.
+type ReplayRow struct {
+	Bench                        string
+	ClosedSpeedup, OpenSpeedup   float64
+	ClosedAbortPct, OpenAbortPct float64
+	Frames                       uint64
+}
+
+// Replay runs the frame engine over the benchmark-flavored programs.
+func Replay(cfg Config) ([]ReplayRow, error) {
+	cfg = cfg.withDefaults()
+	return runParallel(cfg.Benchmarks, func(name string) (ReplayRow, error) {
+		rcfg := replay.DefaultConfig()
+		rcfg.RunInstrs = uint64(float64(rcfg.RunInstrs) * cfg.Scale)
+		prog, err := msspProgram(name, cfg.Seed, rcfg.RunInstrs)
+		if err != nil {
+			return ReplayRow{}, err
+		}
+		params := cfg.Params()
+		params.MonitorPeriod = 1_000
+		params.OptLatency = 0
+		closed := replay.Run(prog, core.New(params), rcfg)
+		open := replay.Run(prog, core.New(params.WithNoEviction()), rcfg)
+		return ReplayRow{
+			Bench:          name,
+			ClosedSpeedup:  closed.Speedup(),
+			OpenSpeedup:    open.Speedup(),
+			ClosedAbortPct: closed.AbortRate() * 100,
+			OpenAbortPct:   open.AbortRate() * 100,
+			Frames:         closed.Frames,
+		}, nil
+	})
+}
+
+// WriteReplay renders the frame-engine comparison.
+func WriteReplay(w io.Writer, rows []ReplayRow, csv bool) error {
+	t := stats.NewTable("bench", "closed speedup", "open speedup", "closed abort%", "open abort%", "frames")
+	gmc, gmo := 1.0, 1.0
+	for _, r := range rows {
+		t.AddRowf("%s", r.Bench, "%.3f", r.ClosedSpeedup, "%.3f", r.OpenSpeedup,
+			"%.3f", r.ClosedAbortPct, "%.3f", r.OpenAbortPct, "%d", r.Frames)
+		gmc *= r.ClosedSpeedup
+		gmo *= r.OpenSpeedup
+	}
+	if n := float64(len(rows)); n > 0 {
+		t.AddRowf("%s", "geomean", "%.3f", pow1n(gmc, n), "%.3f", pow1n(gmo, n),
+			"%s", "", "%s", "", "%s", "")
+	}
+	if csv {
+		return t.WriteCSV(w)
+	}
+	return t.WriteText(w)
+}

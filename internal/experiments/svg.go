@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"io"
+
+	"reactivespec/internal/plot"
+)
+
+// SVG renderings of the figures (reactivespec -format svg figN > figN.svg).
+
+// SVGFig2 renders Figure 2 as a grid of per-benchmark charts: the
+// self-training Pareto line, its 99% knee, the cross-input triangle, and the
+// initial-behavior crosses, misspeculation rate (log) against correct
+// speculation rate.
+func SVGFig2(w io.Writer, series []Fig2Series) error {
+	plots := make([]*plot.Plot, 0, len(series))
+	for _, s := range series {
+		p := &plot.Plot{
+			Title:  s.Bench,
+			XLabel: "incorrect (% of dynamic branches, log)",
+			YLabel: "correct (%)",
+			LogX:   true,
+		}
+		var lx, ly []float64
+		for _, pt := range s.Pareto {
+			if pt.WrongF <= 0 {
+				continue
+			}
+			lx = append(lx, pt.WrongF*100)
+			ly = append(ly, pt.CorrectF*100)
+		}
+		p.Series = append(p.Series,
+			plot.Series{Name: "self-training", X: lx, Y: ly, Style: plot.Line},
+			plot.Series{Name: "knee 99%", X: []float64{zeroFloor(s.Knee99.WrongF * 100)}, Y: []float64{s.Knee99.CorrectF * 100}},
+			plot.Series{Name: "train input", X: []float64{zeroFloor(s.TrainInput.WrongPct)}, Y: []float64{s.TrainInput.CorrectPct}},
+		)
+		var ix, iy []float64
+		for _, pt := range s.Initial {
+			ix = append(ix, zeroFloor(pt.WrongPct))
+			iy = append(iy, pt.CorrectPct)
+		}
+		p.Series = append(p.Series, plot.Series{Name: "initial behavior", X: ix, Y: iy})
+		plots = append(plots, p)
+	}
+	return plot.Grid(w, plots, 3, 380, 280)
+}
+
+// zeroFloor keeps zero rates plottable on a log axis.
+func zeroFloor(v float64) float64 {
+	if v <= 0 {
+		return 1e-5
+	}
+	return v
+}
+
+// SVGFig5 renders Figure 5: one chart per benchmark with each controller
+// configuration as a point on the same axes as Figure 2.
+func SVGFig5(w io.Writer, points []Fig5Point) error {
+	byBench := map[string][]Fig5Point{}
+	var order []string
+	for _, p := range points {
+		if _, ok := byBench[p.Bench]; !ok {
+			order = append(order, p.Bench)
+		}
+		byBench[p.Bench] = append(byBench[p.Bench], p)
+	}
+	plots := make([]*plot.Plot, 0, len(order))
+	for _, bench := range order {
+		p := &plot.Plot{
+			Title:  bench,
+			XLabel: "incorrect (%, log)",
+			YLabel: "correct (%)",
+			LogX:   true,
+		}
+		for _, pt := range byBench[bench] {
+			p.Series = append(p.Series, plot.Series{
+				Name: pt.Config,
+				X:    []float64{zeroFloor(pt.WrongPct)},
+				Y:    []float64{pt.CorrectPct},
+			})
+		}
+		plots = append(plots, p)
+	}
+	return plot.Grid(w, plots, 3, 380, 280)
+}
+
+// SVGFig3 renders Figure 3: per-branch block-bias traces.
+func SVGFig3(w io.Writer, series []Fig3Series) error {
+	p := &plot.Plot{
+		Title:  "Figure 3: initially-invariant branches (gap)",
+		XLabel: "block of 1,000 instances",
+		YLabel: "bias toward initial direction",
+		YFixed: true, YMin: 0, YMax: 1.05,
+	}
+	for _, s := range series {
+		xs := make([]float64, len(s.BlockBias))
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		p.Series = append(p.Series, plot.Series{
+			Name:  s.Class.String(),
+			X:     xs,
+			Y:     s.BlockBias,
+			Style: plot.Line,
+		})
+	}
+	return p.WriteSVG(w, 760, 420)
+}
+
+// SVGFig6 renders Figure 6 as the post-eviction misprediction-rate
+// histogram.
+func SVGFig6(w io.Writer, res Fig6Result) error {
+	const buckets = 10
+	counts := make([]float64, buckets)
+	for _, r := range res.Rates {
+		i := int(r * buckets)
+		if i >= buckets {
+			i = buckets - 1
+		}
+		counts[i]++
+	}
+	xs := make([]float64, buckets)
+	for i := range xs {
+		xs[i] = (float64(i) + 0.5) / buckets
+	}
+	total := float64(len(res.Rates))
+	if total > 0 {
+		for i := range counts {
+			counts[i] /= total
+		}
+	}
+	p := &plot.Plot{
+		Title:  "Figure 6: misprediction rate after eviction",
+		XLabel: "post-transition misprediction rate",
+		YLabel: "fraction of evictions",
+		Series: []plot.Series{{Name: "evictions", X: xs, Y: counts, Style: plot.Bars}},
+	}
+	return p.WriteSVG(w, 560, 360)
+}
+
+// SVGFig7 renders Figure 7: per-benchmark normalized MSSP performance under
+// the four control configurations.
+func SVGFig7(w io.Writer, rows []Fig7Row) error {
+	p := &plot.Plot{
+		Title:  "Figure 7: closed- vs open-loop control (normalized to superscalar)",
+		XLabel: "benchmark index",
+		YLabel: "speedup vs baseline",
+	}
+	n := len(rows)
+	mk := func(name string, f func(r Fig7Row) float64, style plot.Style) plot.Series {
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i, r := range rows {
+			xs[i] = float64(i)
+			ys[i] = f(r)
+		}
+		return plot.Series{Name: name, X: xs, Y: ys, Style: style}
+	}
+	p.Series = []plot.Series{
+		mk("closed 1k (c)", func(r Fig7Row) float64 { return r.ClosedLoop }, plot.Line),
+		mk("open 1k (o)", func(r Fig7Row) float64 { return r.OpenLoop }, plot.Line),
+		mk("closed 10k (C)", func(r Fig7Row) float64 { return r.ClosedLoopLong }, plot.Line),
+		mk("open 10k (O)", func(r Fig7Row) float64 { return r.OpenLoopLong }, plot.Line),
+		{Name: "baseline (B)", X: []float64{0, float64(n - 1)}, Y: []float64{1, 1}, Style: plot.Line},
+	}
+	return p.WriteSVG(w, 760, 420)
+}
+
+// SVGFig8 renders Figure 8: normalized performance per optimization latency.
+func SVGFig8(w io.Writer, rows []Fig8Row) error {
+	p := &plot.Plot{
+		Title:  "Figure 8: (re)optimization latency sensitivity",
+		XLabel: "benchmark index",
+		YLabel: "speedup vs baseline",
+	}
+	n := len(rows)
+	for li, lat := range Fig8Latencies {
+		xs := make([]float64, 0, n)
+		ys := make([]float64, 0, n)
+		for i, r := range rows {
+			if li < len(r.Speedups) {
+				xs = append(xs, float64(i))
+				ys = append(ys, r.Speedups[li])
+			}
+		}
+		p.Series = append(p.Series, plot.Series{Name: "latency " + lat.Label, X: xs, Y: ys, Style: plot.Line})
+	}
+	return p.WriteSVG(w, 760, 420)
+}

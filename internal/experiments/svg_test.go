@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func assertSVG(t *testing.T, out string, wantMarks ...string) {
+	t.Helper()
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatalf("not an SVG document: %.80s", out)
+	}
+	for _, m := range wantMarks {
+		if !strings.Contains(out, m) {
+			t.Fatalf("SVG missing %q", m)
+		}
+	}
+}
+
+func TestSVGFig2(t *testing.T) {
+	series, err := Fig2(quickCfg("eon"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := SVGFig2(&b, series); err != nil {
+		t.Fatal(err)
+	}
+	assertSVG(t, b.String(), "eon", "self-training", "train input", "initial behavior")
+}
+
+func TestSVGFig5(t *testing.T) {
+	points, err := Fig5(quickCfg("eon"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := SVGFig5(&b, points); err != nil {
+		t.Fatal(err)
+	}
+	assertSVG(t, b.String(), "eon", "no-evict", "baseline")
+}
+
+func TestSVGFig3(t *testing.T) {
+	series, err := Fig3(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := SVGFig3(&b, series); err != nil {
+		t.Fatal(err)
+	}
+	assertSVG(t, b.String(), "polyline", "bias toward initial direction")
+}
+
+func TestSVGFig6(t *testing.T) {
+	res, err := Fig6(quickCfg("gap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := SVGFig6(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	assertSVG(t, b.String(), "misprediction", "<rect")
+}
+
+func TestSVGFig7And8(t *testing.T) {
+	cfg := Config{Scale: 0.1, Benchmarks: []string{"bzip2", "eon"}}
+	rows7, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := SVGFig7(&b, rows7); err != nil {
+		t.Fatal(err)
+	}
+	assertSVG(t, b.String(), "closed 1k", "open 1k", "baseline (B)")
+
+	rows8, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := SVGFig8(&b, rows8); err != nil {
+		t.Fatal(err)
+	}
+	assertSVG(t, b.String(), "latency 0", "latency 1e5")
+}
+
+func TestZeroFloor(t *testing.T) {
+	if zeroFloor(0) <= 0 || zeroFloor(-1) <= 0 {
+		t.Fatal("zeroFloor must return positive values for log axes")
+	}
+	if zeroFloor(0.5) != 0.5 {
+		t.Fatal("zeroFloor must pass positive values through")
+	}
+}

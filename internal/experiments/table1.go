@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"io"
+
+	"reactivespec/internal/stats"
+	"reactivespec/internal/workload"
+)
+
+// WriteTable1 renders Table 1: the profile and evaluation inputs of each
+// benchmark with the run lengths, both the paper's (billions of
+// instructions) and this reproduction's scaled runs.
+func WriteTable1(w io.Writer, cfg Config, csv bool) error {
+	cfg = cfg.withDefaults()
+	t := stats.NewTable("bench", "profile input", "evaluation input", "paper len", "scaled instrs", "scaled branches")
+	for _, row := range workload.Table1() {
+		spec, err := cfg.build(row.Name, workload.InputEval)
+		if err != nil {
+			return err
+		}
+		t.AddRowf(
+			"%s", row.Name,
+			"%s", row.ProfileInput,
+			"%s", row.EvalInput,
+			"%.0fB", row.LenBInstr,
+			"%s", stats.Count(spec.Instructions()),
+			"%s", stats.Count(spec.Events),
+		)
+	}
+	if csv {
+		return t.WriteCSV(w)
+	}
+	return t.WriteText(w)
+}

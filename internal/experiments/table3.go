@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"io"
+	"math"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/harness"
+	"reactivespec/internal/stats"
+	"reactivespec/internal/workload"
+)
+
+// Table3Row reproduces one row of Table 3 ("Model Transition Data"): how
+// often branches transition into and out of the biased state under the
+// baseline reactive controller, plus the achieved speculation coverage and
+// misspeculation distance. The published values are attached for the
+// paper-vs-measured comparison.
+type Table3Row struct {
+	Bench       string
+	Touched     int
+	Biased      int
+	Evicted     int
+	TotalEvicts uint64
+	Retired     int
+	SpecPct     float64 // correct speculations, % of dynamic branches
+	MisspecPct  float64 // misspeculations, % of dynamic branches
+	MisspecDist float64 // instructions between misspeculations
+	Paper       workload.PaperStats
+}
+
+// Table3 runs the baseline reactive controller over every benchmark's
+// evaluation input and reports the transition data.
+func Table3(cfg Config) ([]Table3Row, error) {
+	cfg = cfg.withDefaults()
+	return runParallel(cfg.Benchmarks, func(name string) (Table3Row, error) {
+		spec, err := cfg.build(name, workload.InputEval)
+		if err != nil {
+			return Table3Row{}, err
+		}
+		ctl := core.New(cfg.Params())
+		st := harness.Run(workload.NewGenerator(spec), ctl)
+		touched, biased, evicted, retired := ctl.StaticCounts()
+		paper, err := workload.PaperTable3(name)
+		if err != nil {
+			return Table3Row{}, err
+		}
+		return Table3Row{
+			Bench:       name,
+			Touched:     touched,
+			Biased:      biased,
+			Evicted:     evicted,
+			TotalEvicts: ctl.Stats().Evictions,
+			Retired:     retired,
+			SpecPct:     st.CorrectFrac() * 100,
+			MisspecPct:  st.MisspecFrac() * 100,
+			MisspecDist: st.MisspecDistance(),
+			Paper:       paper,
+		}, nil
+	})
+}
+
+// WriteTable3 renders Table 3 rows, including the paper's published values
+// and a suite average line, to w.
+func WriteTable3(w io.Writer, rows []Table3Row, csv bool) error {
+	t := stats.NewTable(
+		"bench", "touch", "bias%", "evict%", "evicts", "spec%", "dist",
+		"paper:bias%", "paper:evict%", "paper:spec%", "paper:dist")
+	var avgBias, avgEvict, avgSpec, avgDist stats.Running
+	for _, r := range rows {
+		biasPct := pct(r.Biased, r.Touched)
+		evictPct := pct(r.Evicted, r.Touched)
+		avgBias.Add(biasPct)
+		avgEvict.Add(evictPct)
+		avgSpec.Add(r.SpecPct)
+		if !math.IsInf(r.MisspecDist, 1) {
+			avgDist.Add(r.MisspecDist)
+		}
+		t.AddRowf(
+			"%s", r.Bench,
+			"%d", r.Touched,
+			"%.1f", biasPct,
+			"%.1f", evictPct,
+			"%d", r.TotalEvicts,
+			"%.1f", r.SpecPct,
+			"%.0f", r.MisspecDist,
+			"%.1f", pct(r.Paper.Biased, r.Paper.StaticTouch),
+			"%.1f", pct(r.Paper.Evicted, r.Paper.StaticTouch),
+			"%.1f", r.Paper.SpecPct,
+			"%.0f", r.Paper.MisspecDist,
+		)
+	}
+	t.AddRowf(
+		"%s", "ave",
+		"%s", "",
+		"%.1f", avgBias.Mean(),
+		"%.1f", avgEvict.Mean(),
+		"%s", "",
+		"%.1f", avgSpec.Mean(),
+		"%.0f", avgDist.Mean(),
+		"%.1f", 34.0,
+		"%.1f", 2.0,
+		"%.1f", 44.8,
+		"%.0f", 65000.0,
+	)
+	if csv {
+		return t.WriteCSV(w)
+	}
+	return t.WriteText(w)
+}
+
+func pct(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"io"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/stats"
+	"reactivespec/internal/tlspec"
+)
+
+// TLSRow compares speculation-control policies in the thread-level-
+// speculation consumer: the same first-order conclusion as Figure 7, in the
+// paper's third named context (its reference [18]).
+type TLSRow struct {
+	Policy        string
+	Speedup       float64
+	ParallelIters uint64
+	Violations    uint64
+}
+
+// TLS runs the synthetic loop suite under serial execution, reactive
+// (closed-loop) control, and open-loop control on a 4-core TLS machine.
+func TLS(cfg Config) ([]TLSRow, error) {
+	cfg = cfg.withDefaults()
+	// Loops execute orders of magnitude fewer times than hot branches, so
+	// the controller windows are regime-matched to loop lifetimes (the
+	// same scaling argument as EXPERIMENTS.md applies).
+	params := cfg.Params()
+	params.MonitorPeriod = 200
+	params.OptLatency = 2_000
+	params.WaitPeriod = 2_000
+	mk := func() *tlspec.Suite { return tlspec.SynthSuite(cfg.Seed, cfg.Scale) }
+	mcfg := tlspec.DefaultConfig()
+
+	rows := make([]TLSRow, 0, 3)
+	rows = append(rows, TLSRow{Policy: "serial", Speedup: 1.0})
+	closed := tlspec.Run(mk(), core.New(params), mcfg)
+	rows = append(rows, TLSRow{
+		Policy:        "reactive (closed loop)",
+		Speedup:       closed.Speedup(),
+		ParallelIters: closed.ParallelIters,
+		Violations:    closed.Violations,
+	})
+	open := tlspec.Run(mk(), core.New(params.WithNoEviction()), mcfg)
+	rows = append(rows, TLSRow{
+		Policy:        "open loop (no eviction)",
+		Speedup:       open.Speedup(),
+		ParallelIters: open.ParallelIters,
+		Violations:    open.Violations,
+	})
+	return rows, nil
+}
+
+// WriteTLS renders the TLS comparison.
+func WriteTLS(w io.Writer, rows []TLSRow, csv bool) error {
+	t := stats.NewTable("policy", "speedup", "parallel iters", "violations")
+	for _, r := range rows {
+		t.AddRowf("%s", r.Policy, "%.3f", r.Speedup,
+			"%s", stats.Count(r.ParallelIters), "%s", stats.Count(r.Violations))
+	}
+	if csv {
+		return t.WriteCSV(w)
+	}
+	return t.WriteText(w)
+}

@@ -1,0 +1,93 @@
+// Package memdep extends the study to memory-dependence speculation — the
+// third program behavior the paper reports its results generalize to
+// (Section 2: "memory dependences").
+//
+// A static store→load pair either conflicts (the load must wait for the
+// store) or not; speculating means reordering the load above the store,
+// which is profitable exactly when conflicts are rare. The behavior is
+// binary, so the pair populations reuse the behavior models and the core
+// reactive controller directly: "taken" encodes "no conflict this instance".
+// The population mix follows the memory-dependence characterizations the
+// paper cites (Moshovos et al., reference [10]): most pairs never conflict,
+// a minority conflict frequently, and some start conflict-free and begin
+// conflicting when data structures grow into aliasing.
+package memdep
+
+import (
+	"reactivespec/internal/behavior"
+	"reactivespec/internal/workload"
+)
+
+// BuildSuite constructs the default dependence-pair workload at the given
+// scale (1.0 ≈ 4 M dynamic pair instances) as a workload.Spec, so the whole
+// branch tool chain (generator, harness, controllers, oracles) applies
+// unchanged.
+func BuildSuite(seed uint64, scale float64) *workload.Spec {
+	if scale <= 0 {
+		scale = 1
+	}
+	events := uint64(4_000_000 * scale)
+	rnd := seed ^ 0x3e3d
+	next := func() uint64 {
+		rnd += 0x9e3779b97f4a7c15
+		z := rnd
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	frand := func() float64 { return float64(next()>>11) / float64(1<<53) }
+
+	spec := &workload.Spec{
+		Name:    "memdep",
+		Input:   workload.InputEval,
+		Seed:    seed ^ 0xdef,
+		Events:  events,
+		MeanGap: 9, // dependence pairs are sparser than branches
+	}
+	add := func(n int, weightEach float64, class workload.BranchClass, mk func(i int) behavior.Model) {
+		for i := 0; i < n; i++ {
+			spec.Branches = append(spec.Branches, workload.BranchSpec{
+				Weight: weightEach,
+				Model:  mk(i),
+				Class:  class,
+				Group:  -1,
+			})
+		}
+	}
+	// ~55% of dynamic pair instances never conflict (independent
+	// structures): safe reordering targets.
+	add(70, 0.55/70, workload.ClassBiased, func(int) behavior.Model {
+		return behavior.Bernoulli{Seed: next(), PTaken: 1 - 1e-4*(0.5+2*frand())}
+	})
+	// ~25% conflict often (producer/consumer through memory): must not be
+	// reordered.
+	add(40, 0.25/40, workload.ClassUnbiased, func(int) behavior.Model {
+		return behavior.Bernoulli{Seed: next(), PTaken: 0.3 + 0.5*frand()}
+	})
+	// ~12% begin conflict-free and start aliasing when the data structure
+	// grows (the dependence analog of a branch reversal).
+	add(10, 0.12/10, workload.ClassSoftening, func(int) behavior.Model {
+		execs := 0.12 / 10 * float64(events)
+		at := uint64((0.3 + 0.4*frand()) * execs)
+		return behavior.Segments{Seed: next(), Segs: []behavior.Segment{
+			{Len: at, PTaken: 1 - 2e-4},
+			{PTaken: 0.2 + 0.5*frand()},
+		}}
+	})
+	// ~8% conflict in bursts (periodic rehash / GC-like episodes).
+	add(6, 0.08/6, workload.ClassBursty, func(int) behavior.Model {
+		return behavior.Bursty{Seed: next(), PTaken: 1 - 2e-4, PBurst: 0.004, BurstLen: 16, PInBurst: 0.5}
+	})
+	normalize(spec)
+	return spec
+}
+
+func normalize(spec *workload.Spec) {
+	sum := 0.0
+	for _, b := range spec.Branches {
+		sum += b.Weight
+	}
+	for i := range spec.Branches {
+		spec.Branches[i].Weight /= sum
+	}
+}

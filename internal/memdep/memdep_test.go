@@ -1,0 +1,71 @@
+package memdep
+
+import (
+	"testing"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/harness"
+	"reactivespec/internal/workload"
+)
+
+func TestSuiteShape(t *testing.T) {
+	spec := BuildSuite(1, 0.1)
+	if len(spec.Branches) == 0 || spec.Events == 0 {
+		t.Fatal("empty suite")
+	}
+	sum := 0.0
+	classes := map[workload.BranchClass]int{}
+	for _, b := range spec.Branches {
+		sum += b.Weight
+		classes[b.Class]++
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	for _, cl := range []workload.BranchClass{workload.ClassBiased, workload.ClassUnbiased,
+		workload.ClassSoftening, workload.ClassBursty} {
+		if classes[cl] == 0 {
+			t.Fatalf("class %v missing", cl)
+		}
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a := workload.NewGenerator(BuildSuite(7, 0.05))
+	b := workload.NewGenerator(BuildSuite(7, 0.05))
+	for i := 0; i < 10_000; i++ {
+		ea, oka := a.Next()
+		eb, okb := b.Next()
+		if ea != eb || oka != okb {
+			t.Fatalf("streams diverge at %d", i)
+		}
+		if !oka {
+			break
+		}
+	}
+}
+
+func TestReactiveControlOnDependences(t *testing.T) {
+	spec := BuildSuite(0, 0.2)
+	params := core.DefaultParams().Scaled(50)
+	params.WaitPeriod = 5_000
+
+	ctl := core.New(params)
+	st := harness.Run(workload.NewGenerator(spec), ctl)
+	open := harness.Run(workload.NewGenerator(spec), core.New(params.WithNoEviction()))
+
+	// Reordering must cover a majority of safe pairs with few conflicts.
+	if st.CorrectFrac() < 0.35 {
+		t.Fatalf("reactive correct fraction = %v", st.CorrectFrac())
+	}
+	if st.MisspecFrac() > 0.005 {
+		t.Fatalf("reactive conflict fraction = %v", st.MisspecFrac())
+	}
+	// And the open loop must be much worse on the aliasing-onset pairs.
+	if open.Misspec < 5*st.Misspec {
+		t.Fatalf("open-loop conflicts %d not far above reactive %d", open.Misspec, st.Misspec)
+	}
+	if _, biased, evicted, _ := ctl.StaticCounts(); biased == 0 || evicted == 0 {
+		t.Fatal("controller never classified or evicted a pair")
+	}
+}

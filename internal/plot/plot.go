@@ -1,0 +1,242 @@
+// Package plot renders simple SVG charts — scatter, line, and bar — with
+// axes, ticks, and legends, using only the standard library. The experiment
+// drivers use it to regenerate the paper's figures as figures, not just as
+// tables (reactivespec -format svg fig2 > fig2.svg).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Style selects how a series is drawn.
+type Style uint8
+
+const (
+	// Scatter draws one marker per point.
+	Scatter Style = iota
+	// Line connects the points with a polyline.
+	Line
+	// Bars draws one vertical bar per point (x is the bar center).
+	Bars
+)
+
+// Series is one named data series.
+type Series struct {
+	Name  string
+	X, Y  []float64
+	Style Style
+}
+
+// Plot is one chart.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// LogX plots the x axis on a log10 scale (all x must be > 0).
+	LogX bool
+	// YMin/YMax fix the y range when YFixed is set.
+	YMin, YMax float64
+	YFixed     bool
+}
+
+// palette holds visually distinct series colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+const (
+	marginL = 64.0
+	marginR = 16.0
+	marginT = 36.0
+	marginB = 48.0
+)
+
+// WriteSVG renders the plot as a standalone SVG document.
+func (p *Plot) WriteSVG(w io.Writer, width, height int) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	p.render(&b, 0, 0, float64(width), float64(height))
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Grid renders several plots in a column-major grid as one SVG document.
+func Grid(w io.Writer, plots []*Plot, cols, cellW, cellH int) error {
+	if cols < 1 {
+		cols = 1
+	}
+	rows := (len(plots) + cols - 1) / cols
+	width, height := cols*cellW, rows*cellH
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	for i, p := range plots {
+		x := float64((i % cols) * cellW)
+		y := float64((i / cols) * cellH)
+		p.render(&b, x, y, float64(cellW), float64(cellH))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// render draws the plot into the rectangle (ox, oy, w, h).
+func (p *Plot) render(b *strings.Builder, ox, oy, w, h float64) {
+	xmin, xmax, ymin, ymax := p.ranges()
+	plotW := w - marginL - marginR
+	plotH := h - marginT - marginB
+	tx := func(x float64) float64 {
+		if p.LogX {
+			x = math.Log10(math.Max(x, 1e-12))
+		}
+		return ox + marginL + (x-xmin)/(xmax-xmin)*plotW
+	}
+	ty := func(y float64) float64 {
+		return oy + marginT + (1-(y-ymin)/(ymax-ymin))*plotH
+	}
+
+	// Frame and title.
+	fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="white" stroke="#333"/>`+"\n",
+		ox+marginL, oy+marginT, plotW, plotH)
+	if p.Title != "" {
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="13" text-anchor="middle" font-weight="bold">%s</text>`+"\n",
+			ox+marginL+plotW/2, oy+marginT-12, esc(p.Title))
+	}
+
+	// Ticks.
+	for _, t := range ticks(xmin, xmax, 5) {
+		x := ox + marginL + (t-xmin)/(xmax-xmin)*plotW
+		label := formatTick(t, p.LogX)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ccc"/>`+"\n",
+			x, oy+marginT, x, oy+marginT+plotH)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			x, oy+marginT+plotH+14, label)
+	}
+	for _, t := range ticks(ymin, ymax, 5) {
+		y := oy + marginT + (1-(t-ymin)/(ymax-ymin))*plotH
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ccc"/>`+"\n",
+			ox+marginL, y, ox+marginL+plotW, y)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			ox+marginL-4, y+3, formatTick(t, false))
+	}
+	// Axis labels.
+	if p.XLabel != "" {
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			ox+marginL+plotW/2, oy+h-8, esc(p.XLabel))
+	}
+	if p.YLabel != "" {
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 %.1f %.1f)">%s</text>`+"\n",
+			ox+14, oy+marginT+plotH/2, ox+14, oy+marginT+plotH/2, esc(p.YLabel))
+	}
+
+	// Series.
+	for si, s := range p.Series {
+		color := palette[si%len(palette)]
+		switch s.Style {
+		case Line:
+			var pts []string
+			for i := range s.X {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", tx(s.X[i]), ty(s.Y[i])))
+			}
+			fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				strings.Join(pts, " "), color)
+		case Bars:
+			barW := plotW / float64(len(s.X)+1) * 0.7
+			for i := range s.X {
+				x := tx(s.X[i])
+				y := ty(s.Y[i])
+				fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.8"/>`+"\n",
+					x-barW/2, y, barW, ty(ymin)-y, color)
+			}
+		default: // Scatter
+			for i := range s.X {
+				fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s" fill-opacity="0.85"/>`+"\n",
+					tx(s.X[i]), ty(s.Y[i]), color)
+			}
+		}
+		// Legend.
+		lx := ox + marginL + 8
+		ly := oy + marginT + 14 + float64(si)*14
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="9" height="9" fill="%s"/>`+"\n", lx, ly-8, color)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			lx+13, ly, esc(s.Name))
+	}
+}
+
+// ranges computes the data ranges with a small padding.
+func (p *Plot) ranges() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			x := s.X[i]
+			if p.LogX {
+				x = math.Log10(math.Max(x, 1e-12))
+			}
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if p.YFixed {
+		ymin, ymax = p.YMin, p.YMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// 5% padding.
+	dx, dy := (xmax-xmin)*0.05, (ymax-ymin)*0.05
+	xmin -= dx
+	xmax += dx
+	if !p.YFixed {
+		ymin -= dy
+		ymax += dy
+	}
+	return xmin, xmax, ymin, ymax
+}
+
+// ticks returns ~n round tick positions covering [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	if n < 2 || hi <= lo {
+		return nil
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(n))))
+	for span/step > float64(n)*2 {
+		step *= 2
+	}
+	for span/step > float64(n) {
+		step *= 2.5
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func formatTick(t float64, log bool) string {
+	if log {
+		return fmt.Sprintf("%.3g", math.Pow(10, t))
+	}
+	return fmt.Sprintf("%.4g", t)
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

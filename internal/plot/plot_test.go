@@ -1,0 +1,135 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func samplePlot() *Plot {
+	return &Plot{
+		Title:  "Test & Title",
+		XLabel: "x axis",
+		YLabel: "y axis",
+		Series: []Series{
+			{Name: "scatter", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}, Style: Scatter},
+			{Name: "line", X: []float64{1, 2, 3}, Y: []float64{2, 3, 5}, Style: Line},
+		},
+	}
+}
+
+func TestWriteSVGStructure(t *testing.T) {
+	var b strings.Builder
+	if err := samplePlot().WriteSVG(&b, 400, 300); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<svg", "</svg>", "<circle", "<polyline", "Test &amp; Title", "x axis", "y axis"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<circle") != 3 {
+		t.Fatalf("expected 3 scatter markers, got %d", strings.Count(out, "<circle"))
+	}
+}
+
+func TestBars(t *testing.T) {
+	p := &Plot{Series: []Series{{Name: "bars", X: []float64{0, 1, 2}, Y: []float64{3, 1, 2}, Style: Bars}}}
+	var b strings.Builder
+	if err := p.WriteSVG(&b, 300, 200); err != nil {
+		t.Fatal(err)
+	}
+	// Frame rect + 3 bar rects + legend swatch.
+	if got := strings.Count(b.String(), "<rect"); got != 5 {
+		t.Fatalf("rect count = %d, want 5", got)
+	}
+}
+
+func TestGridLaysOutAllPlots(t *testing.T) {
+	plots := []*Plot{samplePlot(), samplePlot(), samplePlot()}
+	var b strings.Builder
+	if err := Grid(&b, plots, 2, 300, 200); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `width="600" height="400"`) {
+		t.Fatalf("grid dimensions wrong: %s", out[:120])
+	}
+	if got := strings.Count(out, "Test &amp; Title"); got != 3 {
+		t.Fatalf("title count = %d", got)
+	}
+}
+
+func TestEmptyPlot(t *testing.T) {
+	var b strings.Builder
+	if err := (&Plot{}).WriteSVG(&b, 200, 150); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<svg") {
+		t.Fatal("empty plot produced no SVG")
+	}
+}
+
+func TestLogXAxis(t *testing.T) {
+	p := &Plot{
+		LogX:   true,
+		Series: []Series{{Name: "s", X: []float64{0.001, 0.1, 10}, Y: []float64{1, 2, 3}, Style: Line}},
+	}
+	var b strings.Builder
+	if err := p.WriteSVG(&b, 300, 200); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedYRange(t *testing.T) {
+	p := samplePlot()
+	p.YFixed, p.YMin, p.YMax = true, 0, 100
+	xmin, xmax, ymin, ymax := p.ranges()
+	if ymin != 0 || ymax != 100 {
+		t.Fatalf("fixed y range = [%v, %v]", ymin, ymax)
+	}
+	if xmin >= xmax {
+		t.Fatal("degenerate x range")
+	}
+}
+
+func TestTicksRound(t *testing.T) {
+	ts := ticks(0, 10, 5)
+	if len(ts) < 3 || len(ts) > 11 {
+		t.Fatalf("ticks(0,10,5) = %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("ticks not increasing: %v", ts)
+		}
+	}
+	if ticks(5, 5, 5) != nil {
+		t.Fatal("degenerate range should yield no ticks")
+	}
+}
+
+func TestTicksCoverRangeProperty(t *testing.T) {
+	for _, span := range []struct{ lo, hi float64 }{
+		{0, 1}, {0, 0.001}, {-50, 150}, {1e6, 2e6}, {0.023, 0.87},
+	} {
+		ts := ticks(span.lo, span.hi, 5)
+		if len(ts) == 0 {
+			t.Fatalf("no ticks for [%v, %v]", span.lo, span.hi)
+		}
+		for _, tk := range ts {
+			if tk < span.lo-1e-9 || tk > span.hi+1e-9 {
+				t.Fatalf("tick %v outside [%v, %v]", tk, span.lo, span.hi)
+			}
+		}
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if formatTick(0.5, false) != "0.5" {
+		t.Fatalf("formatTick = %q", formatTick(0.5, false))
+	}
+	if got := formatTick(math.Log10(100), true); got != "100" {
+		t.Fatalf("log formatTick = %q", got)
+	}
+}

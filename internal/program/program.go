@@ -1,0 +1,319 @@
+// Package program defines the synthetic program IR executed by the MSSP
+// timing simulation (Section 4): regions (functions / loop bodies) made of
+// basic blocks carrying instruction counts, memory-reference descriptors, and
+// terminating branches driven by behavior models. The executor walks the IR
+// and produces the dynamic block stream that the distiller, the master core,
+// and the trailing (verification) cores consume.
+//
+// This substitutes for the paper's SimpleScalar-loaded Alpha binaries: the
+// MSSP results of Figures 7–8 are relative (closed- vs. open-loop control,
+// optimization-latency sweeps), so any program population with comparable
+// branch-bias structure exercises the same machine behavior.
+package program
+
+import (
+	"fmt"
+
+	"reactivespec/internal/behavior"
+	"reactivespec/internal/values"
+)
+
+// BranchKind labels a block's terminating control transfer.
+type BranchKind uint8
+
+const (
+	// KindNone falls through to the next block.
+	KindNone BranchKind = iota
+	// KindCond is a conditional branch (the speculation target).
+	KindCond
+	// KindCall invokes a region (pushes the return-address stack).
+	KindCall
+	// KindReturn exits a region (pops the return-address stack).
+	KindReturn
+	// KindIndirect is a multi-target indirect jump.
+	KindIndirect
+)
+
+// Block is one basic block.
+type Block struct {
+	// Ops is the number of non-memory ALU instructions.
+	Ops int
+	// Loads and Stores are the memory instruction counts.
+	Loads, Stores int
+	// DeadOps (and DeadLoads) are the instructions the distiller can
+	// remove when this block's conditional branch is speculated away:
+	// the compare chain feeding the branch and the code made dead by
+	// assuming one direction (cf. the paper's Figure 1 example).
+	DeadOps, DeadLoads int
+
+	// Kind describes the terminating control transfer; KindCond blocks
+	// name the static branch that decides the successor.
+	Kind BranchKind
+	// Branch is the global static branch index for KindCond (else -1).
+	Branch int
+	// TakenNext and FallNext are successor block indices within the
+	// region (-1 exits the region). KindNone uses FallNext.
+	TakenNext, FallNext int
+	// Targets are the successor choices of a KindIndirect block.
+	Targets []int
+
+	// ValueLoad names a static load in Program.ValueLoads whose produced
+	// value the distiller may speculate on (Figure 1's x.d == 32
+	// approximation); -1 if the block has no such load.
+	ValueLoad int
+	// FoldOps and FoldLoads are the instructions removed when the value
+	// load is speculated to a constant (the load itself plus the
+	// computation the constant folds away).
+	FoldOps, FoldLoads int
+
+	// PC is the static address of the terminating instruction.
+	PC uint64
+	// AddrBase, AddrSpan and Stride describe the block's data working
+	// set; the timing model generates load/store addresses from them.
+	AddrBase, AddrSpan, Stride uint64
+}
+
+// Instrs returns the block's total original instruction count (including the
+// terminating control transfer, if any).
+func (b *Block) Instrs() int {
+	n := b.Ops + b.Loads + b.Stores
+	if b.Kind != KindNone {
+		n++
+	}
+	return n
+}
+
+// Region is a function or loop body: an entry block plus a small CFG.
+type Region struct {
+	Name   string
+	Blocks []Block
+	// Weight is the region's relative invocation frequency.
+	Weight float64
+	// EntryPC is the region's entry address (the call target).
+	EntryPC uint64
+}
+
+// Branch is a static conditional branch.
+type Branch struct {
+	Model  behavior.Model
+	PC     uint64
+	Region int
+	// Class is a free-form label for tests and reports (e.g. "biased",
+	// "changer").
+	Class string
+}
+
+// ValueLoad is a static load whose value stream a values.Model produces.
+type ValueLoad struct {
+	Model  values.Model
+	Region int
+	// Class is a free-form label ("invariant", "phase", "varying").
+	Class string
+}
+
+// Program is a complete synthetic program.
+type Program struct {
+	Name       string
+	Seed       uint64
+	Regions    []Region
+	Branches   []Branch
+	ValueLoads []ValueLoad
+}
+
+// Validate checks structural invariants: successor indices in range, branch
+// indices valid, weights non-negative.
+func (p *Program) Validate() error {
+	for ri := range p.Regions {
+		r := &p.Regions[ri]
+		if r.Weight < 0 {
+			return fmt.Errorf("program: region %d has negative weight", ri)
+		}
+		for bi := range r.Blocks {
+			b := &r.Blocks[bi]
+			check := func(n int) error {
+				if n < -1 || n >= len(r.Blocks) {
+					return fmt.Errorf("program: region %d block %d successor %d out of range", ri, bi, n)
+				}
+				return nil
+			}
+			if err := check(b.TakenNext); err != nil {
+				return err
+			}
+			if err := check(b.FallNext); err != nil {
+				return err
+			}
+			for _, t := range b.Targets {
+				if err := check(t); err != nil {
+					return err
+				}
+			}
+			if b.Kind == KindCond && (b.Branch < 0 || b.Branch >= len(p.Branches)) {
+				return fmt.Errorf("program: region %d block %d names invalid branch %d", ri, bi, b.Branch)
+			}
+			if b.DeadOps > b.Ops || b.DeadLoads > b.Loads {
+				return fmt.Errorf("program: region %d block %d removes more instructions than it has", ri, bi)
+			}
+			if b.ValueLoad >= len(p.ValueLoads) {
+				return fmt.Errorf("program: region %d block %d names invalid value load %d", ri, bi, b.ValueLoad)
+			}
+			if b.FoldOps > b.Ops || b.FoldLoads > b.Loads {
+				return fmt.Errorf("program: region %d block %d folds more instructions than it has", ri, bi)
+			}
+		}
+	}
+	return nil
+}
+
+// Step is one dynamic basic-block execution.
+type Step struct {
+	Region, Block int
+	// Branch and Taken describe the resolved conditional branch (Branch
+	// is -1 for non-conditional blocks).
+	Branch int
+	Taken  bool
+	// Kind mirrors the block's terminating control transfer.
+	Kind BranchKind
+	// Target is the resolved next-PC for indirect jumps and returns.
+	Target uint64
+	// ValueLoad and Value carry the block's value-load result (ValueLoad
+	// is -1 when the block has none).
+	ValueLoad int
+	Value     uint32
+	// RegionEntry is set on the first step of a region invocation.
+	RegionEntry bool
+}
+
+// Executor walks a program deterministically, producing the dynamic block
+// stream. Region invocations are sampled by weight; within a region the CFG
+// is followed with branch outcomes drawn from the branch models.
+type Executor struct {
+	prog     *Program
+	execIdx  []uint64 // per-branch execution index
+	valIdx   []uint64 // per-value-load execution index
+	rnd      rng
+	weights  []float64
+	cum      []float64
+	total    float64
+	curReg   int
+	curBlk   int
+	inRegion bool
+	steps    uint64
+	// MaxBlocksPerInvocation bounds loop iterations within a single
+	// region invocation so malformed CFGs cannot hang the simulation.
+	MaxBlocksPerInvocation int
+}
+
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float64() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// NewExecutor returns an executor positioned before the first step.
+func NewExecutor(p *Program) *Executor {
+	e := &Executor{
+		prog:                   p,
+		execIdx:                make([]uint64, len(p.Branches)),
+		valIdx:                 make([]uint64, len(p.ValueLoads)),
+		MaxBlocksPerInvocation: 100_000,
+	}
+	for _, r := range p.Regions {
+		e.total += r.Weight
+		e.cum = append(e.cum, e.total)
+	}
+	e.Reset()
+	return e
+}
+
+// Reset rewinds the executor to the program start.
+func (e *Executor) Reset() {
+	e.rnd = rng{s: e.prog.Seed}
+	for i := range e.execIdx {
+		e.execIdx[i] = 0
+	}
+	for i := range e.valIdx {
+		e.valIdx[i] = 0
+	}
+	e.inRegion = false
+	e.steps = 0
+}
+
+// pickRegion samples a region invocation by weight.
+func (e *Executor) pickRegion() int {
+	x := e.rnd.float64() * e.total
+	lo, hi := 0, len(e.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Next produces the next dynamic block. It never returns false — programs
+// are unbounded streams; callers stop after the instruction budget of a run.
+func (e *Executor) Next() Step {
+	if !e.inRegion {
+		e.curReg = e.pickRegion()
+		e.curBlk = 0
+		e.inRegion = true
+		e.steps = 0
+	}
+	r := &e.prog.Regions[e.curReg]
+	b := &r.Blocks[e.curBlk]
+	st := Step{
+		Region:      e.curReg,
+		Block:       e.curBlk,
+		Branch:      -1,
+		Kind:        b.Kind,
+		ValueLoad:   -1,
+		RegionEntry: e.steps == 0,
+	}
+	e.steps++
+	if b.ValueLoad >= 0 {
+		n := e.valIdx[b.ValueLoad]
+		e.valIdx[b.ValueLoad] = n + 1
+		st.ValueLoad = b.ValueLoad
+		st.Value = e.prog.ValueLoads[b.ValueLoad].Model.Value(n)
+	}
+	next := b.FallNext
+	switch b.Kind {
+	case KindCond:
+		n := e.execIdx[b.Branch]
+		e.execIdx[b.Branch] = n + 1
+		taken := e.prog.Branches[b.Branch].Model.Outcome(n)
+		st.Branch = b.Branch
+		st.Taken = taken
+		if taken {
+			next = b.TakenNext
+		}
+	case KindIndirect:
+		if len(b.Targets) > 0 {
+			next = b.Targets[e.rnd.next()%uint64(len(b.Targets))]
+			st.Target = r.EntryPC + uint64(next)*64
+		}
+	case KindReturn:
+		next = -1
+	}
+	if e.steps >= uint64(e.MaxBlocksPerInvocation) {
+		next = -1
+	}
+	if next < 0 {
+		e.inRegion = false
+	} else {
+		e.curBlk = next
+	}
+	return st
+}
+
+// Executions returns how many times branch id has executed.
+func (e *Executor) Executions(id int) uint64 { return e.execIdx[id] }

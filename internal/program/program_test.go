@@ -1,0 +1,268 @@
+package program
+
+import (
+	"testing"
+
+	"reactivespec/internal/behavior"
+)
+
+// twoBlockProgram is a minimal hand-built program: entry block with a
+// conditional branch that either loops to itself or exits.
+func twoBlockProgram(m behavior.Model) *Program {
+	return &Program{
+		Name: "tiny",
+		Seed: 1,
+		Regions: []Region{{
+			Name:   "r0",
+			Weight: 1,
+			Blocks: []Block{
+				{Ops: 3, Loads: 1, Kind: KindCond, Branch: 0, TakenNext: 0, FallNext: -1, ValueLoad: -1, PC: 0x100, AddrSpan: 256, Stride: 8},
+			},
+		}},
+		Branches: []Branch{{Model: m, PC: 0x100, Region: 0}},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := twoBlockProgram(behavior.Fixed(false)).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadSuccessor(t *testing.T) {
+	p := twoBlockProgram(behavior.Fixed(false))
+	p.Regions[0].Blocks[0].TakenNext = 7
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected successor range error")
+	}
+}
+
+func TestValidateRejectsBadBranchIndex(t *testing.T) {
+	p := twoBlockProgram(behavior.Fixed(false))
+	p.Regions[0].Blocks[0].Branch = 3
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected branch index error")
+	}
+}
+
+func TestValidateRejectsOverRemoval(t *testing.T) {
+	p := twoBlockProgram(behavior.Fixed(false))
+	p.Regions[0].Blocks[0].DeadOps = 99
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected dead-op count error")
+	}
+}
+
+func TestBlockInstrs(t *testing.T) {
+	b := Block{Ops: 3, Loads: 2, Stores: 1, Kind: KindCond}
+	if b.Instrs() != 7 {
+		t.Fatalf("Instrs = %d, want 7", b.Instrs())
+	}
+	b.Kind = KindNone
+	if b.Instrs() != 6 {
+		t.Fatalf("fall-through Instrs = %d, want 6", b.Instrs())
+	}
+}
+
+func TestExecutorFollowsOutcomes(t *testing.T) {
+	// Branch taken exactly 3 times per invocation, then exits.
+	p := twoBlockProgram(behavior.InductionFlip{FlipAt: 3, TakenFirst: true})
+	e := NewExecutor(p)
+	steps := 0
+	for i := 0; i < 4; i++ {
+		st := e.Next()
+		if st.Region != 0 || st.Block != 0 || st.Branch != 0 {
+			t.Fatalf("step %d = %+v", i, st)
+		}
+		wantTaken := i < 3
+		if st.Taken != wantTaken {
+			t.Fatalf("step %d taken = %v", i, st.Taken)
+		}
+		steps++
+	}
+	// The next step begins a fresh invocation.
+	st := e.Next()
+	if !st.RegionEntry {
+		t.Fatal("expected a new region invocation")
+	}
+	_ = steps
+}
+
+func TestExecutorDeterminism(t *testing.T) {
+	p, err := Synthesize("det", DefaultSynthOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := NewExecutor(p), NewExecutor(p)
+	for i := 0; i < 50_000; i++ {
+		sa, sb := a.Next(), b.Next()
+		if sa != sb {
+			t.Fatalf("executors diverge at step %d: %+v vs %+v", i, sa, sb)
+		}
+	}
+}
+
+func TestExecutorReset(t *testing.T) {
+	p, err := Synthesize("rst", DefaultSynthOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor(p)
+	first := make([]Step, 1_000)
+	for i := range first {
+		first[i] = e.Next()
+	}
+	e.Reset()
+	for i := range first {
+		if got := e.Next(); got != first[i] {
+			t.Fatalf("reset replay diverges at %d", i)
+		}
+	}
+}
+
+func TestExecutorLoopCap(t *testing.T) {
+	// An always-taken self-loop would never exit without the cap.
+	p := twoBlockProgram(behavior.Fixed(true))
+	e := NewExecutor(p)
+	e.MaxBlocksPerInvocation = 100
+	for i := 0; i < 100; i++ {
+		e.Next()
+	}
+	st := e.Next()
+	if !st.RegionEntry {
+		t.Fatal("loop cap did not force a region exit")
+	}
+}
+
+func TestExecutorTracksExecutions(t *testing.T) {
+	p := twoBlockProgram(behavior.Fixed(false))
+	e := NewExecutor(p)
+	for i := 0; i < 10; i++ {
+		e.Next() // each invocation executes the branch once and exits
+	}
+	if got := e.Executions(0); got != 10 {
+		t.Fatalf("Executions = %d, want 10", got)
+	}
+}
+
+func TestSynthesizeValidates(t *testing.T) {
+	for _, name := range []string{"a", "b", "c"} {
+		p, err := Synthesize(name, DefaultSynthOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(p.Regions) != DefaultSynthOptions().Regions {
+			t.Fatalf("%s: %d regions", name, len(p.Regions))
+		}
+		if len(p.Branches) == 0 {
+			t.Fatalf("%s: no branches", name)
+		}
+	}
+}
+
+func TestSynthesizeRejectsBadOptions(t *testing.T) {
+	o := DefaultSynthOptions()
+	o.Regions = 0
+	if _, err := Synthesize("bad", o); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSynthesizeClassMix(t *testing.T) {
+	o := DefaultSynthOptions()
+	o.BiasedFrac = 0.6
+	o.ChangerFrac = 0.3
+	o.Regions = 40
+	p, err := Synthesize("mix", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, b := range p.Branches {
+		counts[b.Class]++
+	}
+	if counts["loop"] != 40 {
+		t.Fatalf("loop branches = %d, want one per region", counts["loop"])
+	}
+	for _, class := range []string{"biased", "unbiased", "changer"} {
+		if counts[class] == 0 {
+			t.Fatalf("class %q missing: %v", class, counts)
+		}
+	}
+}
+
+func TestSynthesizeDifferentNamesDiffer(t *testing.T) {
+	a, _ := Synthesize("one", DefaultSynthOptions())
+	b, _ := Synthesize("two", DefaultSynthOptions())
+	ea, eb := NewExecutor(a), NewExecutor(b)
+	same := 0
+	for i := 0; i < 1_000; i++ {
+		if ea.Next() == eb.Next() {
+			same++
+		}
+	}
+	if same == 1_000 {
+		t.Fatal("differently-named programs produced identical streams")
+	}
+}
+
+func TestSynthesizePlantsValueLoads(t *testing.T) {
+	p, err := Synthesize("vals", DefaultSynthOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.ValueLoads) == 0 {
+		t.Fatal("no value loads planted")
+	}
+	classes := map[string]int{}
+	for _, vl := range p.ValueLoads {
+		classes[vl.Class]++
+	}
+	for _, c := range []string{"invariant", "phase", "varying"} {
+		if classes[c] == 0 {
+			t.Fatalf("value-load class %q missing: %v", c, classes)
+		}
+	}
+	// Every referencing block must be consistent.
+	for _, r := range p.Regions {
+		for _, b := range r.Blocks {
+			if b.ValueLoad >= 0 {
+				if b.Loads == 0 {
+					t.Fatal("value-load block has no loads")
+				}
+				if b.FoldLoads == 0 {
+					t.Fatal("value-load block folds nothing")
+				}
+			}
+		}
+	}
+}
+
+func TestExecutorProducesValues(t *testing.T) {
+	p, err := Synthesize("vals2", DefaultSynthOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor(p)
+	valIdx := make([]uint64, len(p.ValueLoads))
+	seen := 0
+	for i := 0; i < 200_000 && seen < 500; i++ {
+		st := e.Next()
+		if st.ValueLoad < 0 {
+			continue
+		}
+		n := valIdx[st.ValueLoad]
+		valIdx[st.ValueLoad] = n + 1
+		if want := p.ValueLoads[st.ValueLoad].Model.Value(n); st.Value != want {
+			t.Fatalf("value load %d execution %d: got %d, model says %d",
+				st.ValueLoad, n, st.Value, want)
+		}
+		seen++
+	}
+	if seen == 0 {
+		t.Fatal("executor never produced a value load")
+	}
+}

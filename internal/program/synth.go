@@ -1,0 +1,299 @@
+package program
+
+import (
+	"fmt"
+	"math"
+
+	"reactivespec/internal/behavior"
+	"reactivespec/internal/values"
+)
+
+// SynthOptions parameterize Synthesize. The zero value is not useful; start
+// from DefaultSynthOptions.
+type SynthOptions struct {
+	Seed uint64
+	// Regions is the number of regions (functions / loop bodies).
+	Regions int
+	// DiamondsPerRegion is the number of if/else diamonds in a region's
+	// loop body.
+	DiamondsPerRegion int
+	// MeanTrip is the mean loop trip count per region invocation.
+	MeanTrip int
+	// BiasedFrac is the fraction of diamond branches that are highly
+	// biased (speculation candidates).
+	BiasedFrac float64
+	// ChangerFrac is the fraction of biased branches whose behavior
+	// changes mid-run (the open-loop hazard).
+	ChangerFrac float64
+	// RunInstrs is the intended run length; change points are placed
+	// relative to each branch's expected execution count in such a run.
+	RunInstrs uint64
+	// MemFootprint is the total data working set in bytes; larger
+	// footprints push more accesses to the L2 and memory.
+	MemFootprint uint64
+	// StreamFrac is the fraction of regions whose accesses stream through
+	// the footprint with poor locality (e.g. mcf-like pointer chasing).
+	StreamFrac float64
+}
+
+// DefaultSynthOptions returns a mid-sized SPECint-flavored program
+// configuration.
+func DefaultSynthOptions() SynthOptions {
+	return SynthOptions{
+		Regions:           24,
+		DiamondsPerRegion: 4,
+		MeanTrip:          48,
+		BiasedFrac:        0.5,
+		ChangerFrac:       0.06,
+		RunInstrs:         10_000_000,
+		MemFootprint:      8 << 20,
+		StreamFrac:        0.15,
+	}
+}
+
+// Synthesize builds a deterministic synthetic program.
+//
+// Each region is: entry block → loop header (conditional back-edge) → a body
+// chain of if/else diamonds (the interesting speculation candidates) → back
+// to the header, plus an occasional indirect switch, and a return block.
+// Region weights are Zipf-distributed so a handful of regions are hot, as in
+// the SPECint programs the paper studies.
+func Synthesize(name string, o SynthOptions) (*Program, error) {
+	if o.Regions < 1 || o.DiamondsPerRegion < 1 || o.MeanTrip < 2 {
+		return nil, fmt.Errorf("program: invalid options %+v", o)
+	}
+	r := rng{s: o.Seed ^ hashString(name)}
+	p := &Program{Name: name, Seed: o.Seed ^ hashString(name) ^ 0x5eed}
+
+	// Region invocation weights: zipf(0.9).
+	weights := make([]float64, o.Regions)
+	wsum := 0.0
+	for i := range weights {
+		weights[i] = 1 / pow(float64(i+1), 0.9)
+		wsum += weights[i]
+	}
+
+	// Estimate instructions per invocation to translate RunInstrs into
+	// expected per-branch execution counts (change-point placement).
+	const blockInstrs = 9.0 // rough mean instructions per body block
+	instrsPerInv := blockInstrs * float64(o.MeanTrip) * float64(2+o.DiamondsPerRegion)
+
+	pcBase := uint64(0x1000)
+	addrBase := uint64(0x10_0000)
+	for ri := 0; ri < o.Regions; ri++ {
+		share := weights[ri] / wsum
+		estInvocations := float64(o.RunInstrs) / instrsPerInv * share
+		trips := float64(o.MeanTrip) * (0.5 + r.float64())
+		estBodyExecs := estInvocations * trips
+
+		streaming := r.float64() < o.StreamFrac
+		span := o.MemFootprint / uint64(o.Regions*4)
+		if streaming {
+			span = o.MemFootprint
+		}
+		if span < 256 {
+			span = 256
+		}
+
+		reg := Region{
+			Name:    fmt.Sprintf("%s_r%d", name, ri),
+			Weight:  weights[ri],
+			EntryPC: pcBase,
+		}
+		newBlock := func(ops, loads, stores int) int {
+			stride := uint64(8)
+			if streaming {
+				stride = 64 + (r.next()%8)*32
+			}
+			reg.Blocks = append(reg.Blocks, Block{
+				Ops: ops, Loads: loads, Stores: stores,
+				Branch: -1, TakenNext: -1, FallNext: -1, ValueLoad: -1,
+				PC:       pcBase + uint64(len(reg.Blocks))*64,
+				AddrBase: addrBase + uint64(len(reg.Blocks))*4096,
+				AddrSpan: span,
+				Stride:   stride,
+			})
+			return len(reg.Blocks) - 1
+		}
+		addCondBranch := func(blk int, m behavior.Model, class string, dead bool) {
+			b := &reg.Blocks[blk]
+			b.Kind = KindCond
+			b.Branch = len(p.Branches)
+			if dead {
+				// Unchecked speculation removes the branch, the
+				// compare chain feeding it, and the code made dead
+				// by assuming one direction (Figure 1).
+				b.DeadOps = b.Ops * 2 / 3
+				if b.Loads > 0 {
+					b.DeadLoads = 1
+				}
+			}
+			p.Branches = append(p.Branches, Branch{
+				Model: m, PC: b.PC, Region: ri, Class: class,
+			})
+		}
+
+		// Layout: 0 entry, 1 header, body..., merge-back, exit.
+		entry := newBlock(4+int(r.next()%4), 1, 0)
+		header := newBlock(2, 1, 0)
+		exit := newBlock(2, 0, 1)
+		reg.Blocks[exit].Kind = KindReturn
+		reg.Blocks[entry].FallNext = header
+
+		// Loop back-edge branch: taken = continue looping.
+		pCont := 1 - 1/trips
+		addCondBranch(header, behavior.Bernoulli{Seed: r.next(), PTaken: pCont}, "loop", false)
+
+		prev := header
+		connect := func(from, to int, taken bool) {
+			if taken {
+				reg.Blocks[from].TakenNext = to
+			} else {
+				reg.Blocks[from].FallNext = to
+			}
+		}
+		for d := 0; d < o.DiamondsPerRegion; d++ {
+			cond := newBlock(3+int(r.next()%5), 1+int(r.next()%2), 0)
+			thenB := newBlock(2+int(r.next()%6), int(r.next()%2), int(r.next()%2))
+			elseB := newBlock(2+int(r.next()%6), int(r.next()%2), 0)
+			merge := newBlock(2+int(r.next()%3), 0, int(r.next()%2))
+			if prev == header {
+				connect(header, cond, true)
+			} else {
+				connect(prev, cond, false)
+			}
+			m, class := diamondModel(&r, o, estBodyExecs)
+			addCondBranch(cond, m, class, true)
+			connect(cond, thenB, true)
+			connect(cond, elseB, false)
+			connect(thenB, merge, false)
+			connect(elseB, merge, false)
+			// Roughly every other diamond's then-block carries a
+			// value-speculation candidate load (the Figure 1
+			// x.d == 32 pattern).
+			if d%2 == 0 {
+				tb := &reg.Blocks[thenB]
+				if tb.Loads == 0 {
+					tb.Loads = 1
+				}
+				tb.ValueLoad = len(p.ValueLoads)
+				tb.FoldOps = tb.Ops / 2
+				tb.FoldLoads = 1
+				p.ValueLoads = append(p.ValueLoads, ValueLoad{
+					Model:  valueModel(&r, estBodyExecs),
+					Region: ri,
+					Class:  "",
+				})
+				vl := &p.ValueLoads[len(p.ValueLoads)-1]
+				vl.Class = valueClassOf(vl.Model)
+			}
+			prev = merge
+		}
+		// Occasional indirect switch at the end of the body.
+		if ri%4 == 1 {
+			sw := newBlock(2, 1, 0)
+			t1 := newBlock(3, 0, 0)
+			t2 := newBlock(3, 0, 0)
+			t3 := newBlock(3, 0, 0)
+			connect(prev, sw, false)
+			reg.Blocks[sw].Kind = KindIndirect
+			reg.Blocks[sw].Targets = []int{t1, t2, t3}
+			back := newBlock(1, 0, 0)
+			for _, t := range []int{t1, t2, t3} {
+				connect(t, back, false)
+			}
+			reg.Blocks[back].FallNext = header
+		} else {
+			connect(prev, header, false)
+		}
+		// Loop exit path.
+		reg.Blocks[header].FallNext = exit
+
+		p.Regions = append(p.Regions, reg)
+		pcBase += uint64(len(reg.Blocks))*64 + 0x1000
+		addrBase += span + 64<<10
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// diamondModel picks a diamond branch's behavior model per the options' mix.
+func diamondModel(r *rng, o SynthOptions, estExecs float64) (behavior.Model, string) {
+	dir := r.next()&1 == 0
+	u := r.float64()
+	if u < o.BiasedFrac {
+		if r.float64() < o.ChangerFrac {
+			// A changer: biased for the first 20–45% of its
+			// expected executions, then reversed or softened.
+			at := uint64((0.2 + 0.25*r.float64()) * estExecs)
+			if at < 2_000 {
+				at = 2_000
+			}
+			post := 0.5 // softened
+			if r.float64() < 0.4 {
+				post = 1e-4 // fully reversed
+			}
+			p1, p2 := 1-1e-4, post
+			if !dir {
+				p1, p2 = 1e-4, 1-post
+			}
+			return behavior.Segments{Seed: r.next(), Segs: []behavior.Segment{
+				{Len: at, PTaken: p1},
+				{PTaken: p2},
+			}}, "changer"
+		}
+		res := 1e-4 * (0.5 + 4*r.float64())
+		p := 1 - res
+		if !dir {
+			p = res
+		}
+		return behavior.Bernoulli{Seed: r.next(), PTaken: p}, "biased"
+	}
+	p := 0.5 + 0.4*r.float64()
+	if !dir {
+		p = 1 - p
+	}
+	return behavior.Bernoulli{Seed: r.next(), PTaken: p}, "unbiased"
+}
+
+// valueModel picks a value-load behavior: mostly invariant, sometimes
+// phase-switching, sometimes never-repeating.
+func valueModel(r *rng, estExecs float64) values.Model {
+	u := r.float64()
+	switch {
+	case u < 0.60:
+		return values.MostlyConstant{Seed: r.next(), Dominant: uint32(r.next()), P: 1 - 1e-4*(0.5+2*r.float64())}
+	case u < 0.80:
+		at := uint64((0.25 + 0.4*r.float64()) * estExecs)
+		if at < 2_000 {
+			at = 2_000
+		}
+		return values.PhaseConstant{V1: uint32(r.next()), V2: uint32(r.next()), SwitchAt: at}
+	default:
+		return values.Stride{Base: uint32(r.next()), Step: uint32(1 + r.next()%8)}
+	}
+}
+
+func valueClassOf(m values.Model) string {
+	switch m.(type) {
+	case values.MostlyConstant:
+		return "invariant"
+	case values.PhaseConstant:
+		return "phase"
+	default:
+		return "varying"
+	}
+}
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

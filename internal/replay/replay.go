@@ -1,0 +1,193 @@
+// Package replay implements a rePLay-style frame engine — the second
+// aggressive-software-speculation consumer the paper names (its reference
+// [4]). rePLay builds long, single-entry, single-exit optimization frames by
+// converting biased branches into assertions; a failed assertion aborts the
+// whole frame, costing far more than the per-branch benefit, which is
+// exactly the low-misspeculation-rate regime the reactive controller exists
+// to guarantee.
+//
+// The engine here consumes the same synthetic program IR as the MSSP
+// simulation. Frames are built over hot regions by following the expected
+// path and asserting every branch the speculation controller currently
+// classifies as biased; branches the controller rejects terminate the frame
+// instead. The cost model is instruction-count based: a completed frame
+// executes fewer instructions than the original path (cross-block
+// optimization), an aborted frame wastes its speculative work and pays a
+// recovery penalty.
+package replay
+
+import (
+	"math"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/program"
+	"reactivespec/internal/trace"
+)
+
+// Config parameterizes the frame engine.
+type Config struct {
+	// MaxFrameBlocks caps frame length in dynamic blocks (rePLay frames
+	// average ~100 instructions; ~12 blocks of our IR).
+	MaxFrameBlocks int
+	// OptGain is the fraction of instructions the frame optimizer removes
+	// from a completed frame (cross-block dead-code removal, as enabled
+	// by assertions).
+	OptGain float64
+	// AbortPenalty is the recovery cost of a failed assertion, in
+	// instruction-equivalents (pipeline flush + recovery sequencing).
+	AbortPenalty float64
+	// HotThreshold is the region-invocation count before frames are
+	// constructed for it.
+	HotThreshold uint64
+	// RunInstrs is the run length in original dynamic instructions.
+	RunInstrs uint64
+}
+
+// DefaultConfig returns a rePLay-flavored configuration.
+func DefaultConfig() Config {
+	return Config{
+		MaxFrameBlocks: 12,
+		OptGain:        0.25,
+		AbortPenalty:   220,
+		HotThreshold:   4,
+		RunInstrs:      8_000_000,
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	// OriginalInstrs is the run length.
+	OriginalInstrs uint64
+	// FrameInstrs counts instructions executed inside completed frames
+	// (after optimization); OutsideInstrs everything else.
+	FrameInstrs, OutsideInstrs float64
+	// Frames and Aborts count frame executions and assertion failures.
+	Frames, Aborts uint64
+	// AbortedWork is the speculative work discarded by aborts, and
+	// PenaltyInstrs the recovery costs, in instruction-equivalents.
+	AbortedWork, PenaltyInstrs float64
+	// ControllerStats exposes the speculation controller's counters.
+	ControllerStats core.Stats
+}
+
+// EffectiveInstrs is the run's total instruction-equivalent cost.
+func (r Result) EffectiveInstrs() float64 {
+	return r.FrameInstrs + r.OutsideInstrs + r.AbortedWork + r.PenaltyInstrs
+}
+
+// Speedup returns original instructions over effective instructions — the
+// instruction-level benefit of framing (a cost-model figure, not a cycle
+// simulation).
+func (r Result) Speedup() float64 {
+	eff := r.EffectiveInstrs()
+	if eff == 0 {
+		return 0
+	}
+	return float64(r.OriginalInstrs) / eff
+}
+
+// AbortRate returns aborts per frame execution.
+func (r Result) AbortRate() float64 {
+	if r.Frames == 0 {
+		return 0
+	}
+	return float64(r.Aborts) / float64(r.Frames)
+}
+
+// Run drives the program through the frame engine under the given
+// speculation controller.
+//
+// The dynamic stream is consumed region-invocation-wise: once a region is
+// hot, each invocation attempts a frame from its entry; the frame extends
+// while the controller's live speculation agrees to assert the branches
+// encountered, up to MaxFrameBlocks. A block whose branch is live-speculated
+// in direction d asserts d; if the actual outcome differs the frame aborts
+// there. Unspeculated branches end the frame (frame boundary), and execution
+// continues unframed until the next invocation.
+func Run(p *program.Program, ctl *core.Controller, cfg Config) Result {
+	exec := program.NewExecutor(p)
+	var res Result
+	hot := make([]uint64, len(p.Regions))
+
+	var (
+		inFrame    bool
+		frameLen   float64 // original instructions covered by the frame
+		frameSaved float64 // instructions the optimizer removed
+		frameBlks  int
+	)
+	endFrame := func(completed bool) {
+		if !inFrame {
+			return
+		}
+		res.Frames++
+		if completed {
+			res.FrameInstrs += frameLen - frameSaved
+		} else {
+			res.Aborts++
+			// The frame's work is discarded and re-executed
+			// unframed, plus the recovery penalty.
+			res.AbortedWork += frameLen - frameSaved
+			res.OutsideInstrs += frameLen
+			res.PenaltyInstrs += cfg.AbortPenalty
+		}
+		inFrame = false
+		frameLen, frameSaved, frameBlks = 0, 0, 0
+	}
+
+	var origInstrs uint64
+	for origInstrs < cfg.RunInstrs {
+		st := exec.Next()
+		blk := &p.Regions[st.Region].Blocks[st.Block]
+		instrs := float64(blk.Instrs())
+		origInstrs += uint64(blk.Instrs())
+
+		if st.RegionEntry {
+			endFrame(true)
+			hot[st.Region]++
+		}
+		// Frames chain: in a hot region, a new frame begins wherever the
+		// previous one ended (rePLay stitches frames from committed
+		// traces back to back; unassertable branches become frame
+		// boundaries rather than dead zones).
+		if !inFrame && hot[st.Region] >= cfg.HotThreshold {
+			inFrame = true
+		}
+
+		// The controller observes every branch outcome regardless of
+		// framing (rePLay profiles from committed state).
+		var specDir, specLive bool
+		if st.Branch >= 0 {
+			specDir, specLive = ctl.Speculating(trace.BranchID(st.Branch))
+			ctl.OnBranch(trace.BranchID(st.Branch), st.Taken, origInstrs)
+		}
+		ctl.AddInstrs(uint64(blk.Instrs()))
+
+		if !inFrame {
+			res.OutsideInstrs += instrs
+			continue
+		}
+		frameLen += instrs
+		frameBlks++
+		if st.Branch >= 0 {
+			if !specLive {
+				// Unasserted branch: frame boundary.
+				endFrame(true)
+				continue
+			}
+			// Asserted branch: the assertion replaces the branch
+			// and enables cross-block optimization.
+			frameSaved += math.Min(instrs-1, 1+cfg.OptGain*instrs)
+			if st.Taken != specDir {
+				endFrame(false)
+				continue
+			}
+		}
+		if frameBlks >= cfg.MaxFrameBlocks {
+			endFrame(true)
+		}
+	}
+	endFrame(true)
+	res.OriginalInstrs = origInstrs
+	res.ControllerStats = ctl.Stats()
+	return res
+}

@@ -1,0 +1,101 @@
+package replay
+
+import (
+	"testing"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/program"
+)
+
+func testParams() core.Params {
+	p := core.DefaultParams().Scaled(50)
+	p.WaitPeriod = 5_000
+	return p
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RunInstrs = 1_500_000
+	return cfg
+}
+
+func synth(t *testing.T, changerFrac float64) *program.Program {
+	t.Helper()
+	o := program.DefaultSynthOptions()
+	o.Regions = 8
+	o.MeanTrip = 16
+	o.RunInstrs = 1_500_000
+	o.BiasedFrac = 0.6
+	o.ChangerFrac = changerFrac
+	p, err := program.Synthesize("replay-test", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFramesForm(t *testing.T) {
+	res := Run(synth(t, 0.05), core.New(testParams()), testConfig())
+	if res.Frames == 0 {
+		t.Fatal("no frames executed")
+	}
+	if res.FrameInstrs <= 0 {
+		t.Fatal("no framed instructions")
+	}
+	if res.OriginalInstrs < testConfig().RunInstrs {
+		t.Fatalf("OriginalInstrs = %d", res.OriginalInstrs)
+	}
+}
+
+func TestFramingSpeedsUpStablePrograms(t *testing.T) {
+	res := Run(synth(t, 0.02), core.New(testParams()), testConfig())
+	if res.Speedup() <= 1.0 {
+		t.Fatalf("speedup = %v, want > 1 on a stable program", res.Speedup())
+	}
+	if res.AbortRate() > 0.02 {
+		t.Fatalf("abort rate = %v under reactive control", res.AbortRate())
+	}
+}
+
+func TestOpenLoopAbortsMore(t *testing.T) {
+	prog := synth(t, 0.4)
+	closed := Run(prog, core.New(testParams()), testConfig())
+	open := Run(prog, core.New(testParams().WithNoEviction()), testConfig())
+	if open.Aborts <= closed.Aborts {
+		t.Fatalf("open-loop aborts %d <= closed %d", open.Aborts, closed.Aborts)
+	}
+	if open.Speedup() >= closed.Speedup() {
+		t.Fatalf("open-loop speedup %v >= closed %v", open.Speedup(), closed.Speedup())
+	}
+}
+
+func TestAbortAccounting(t *testing.T) {
+	res := Run(synth(t, 0.4), core.New(testParams().WithNoEviction()), testConfig())
+	if res.Aborts == 0 {
+		t.Fatal("expected aborts on a changer-heavy open-loop run")
+	}
+	if res.AbortedWork <= 0 || res.PenaltyInstrs <= 0 {
+		t.Fatalf("abort costs not accounted: %+v", res)
+	}
+	// Effective cost must exceed the completed work alone.
+	if res.EffectiveInstrs() <= res.FrameInstrs+res.OutsideInstrs {
+		t.Fatal("aborts added no cost")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		return Run(synth(t, 0.1), core.New(testParams()), testConfig())
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestZeroResultSafe(t *testing.T) {
+	var r Result
+	if r.Speedup() != 0 || r.AbortRate() != 0 {
+		t.Fatal("zero result derived values should be 0")
+	}
+}

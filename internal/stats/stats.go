@@ -1,0 +1,244 @@
+// Package stats provides the small statistics and reporting utilities shared
+// by the experiment drivers: streaming moments, histograms, and aligned
+// table / CSV rendering.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Running accumulates streaming mean/variance (Welford's algorithm).
+type Running struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add observes one value.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		r.min = math.Min(r.min, x)
+		r.max = math.Max(r.max, x)
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() uint64 { return r.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the sample variance (0 with fewer than two observations).
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Var()) }
+
+// Min returns the smallest observation (0 with no observations).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observation (0 with no observations).
+func (r *Running) Max() float64 { return r.max }
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi); values outside
+// the range land in the first or last bucket.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []uint64
+	total   uint64
+}
+
+// NewHistogram returns a histogram with n buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 {
+		n = 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]uint64, n)}
+}
+
+// Add observes one value.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Frac returns the fraction of observations in bucket i.
+func (h *Histogram) Frac(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Buckets[i]) / float64(h.total)
+}
+
+// CumFrac returns the fraction of observations in buckets [0, i].
+func (h *Histogram) CumFrac(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var c uint64
+	for j := 0; j <= i && j < len(h.Buckets); j++ {
+		c += h.Buckets[j]
+	}
+	return float64(c) / float64(h.total)
+}
+
+// Table renders rows of cells as an aligned text table or as CSV.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable returns a table with the given header.
+func NewTable(header ...string) *Table { return &Table{Header: header} }
+
+// AddRow appends a row; cells beyond the header width are kept as-is.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row built from Sprintf specs alternating with values:
+// AddRowf("%s", name, "%.2f", x).
+func (t *Table) AddRowf(pairs ...interface{}) {
+	if len(pairs)%2 != 0 {
+		panic("stats: AddRowf needs format/value pairs")
+	}
+	row := make([]string, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		row = append(row, fmt.Sprintf(pairs[i].(string), pairs[i+1]))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteText writes an aligned, human-readable rendering.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if pad := widths[i] - len(c); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if len(t.Header) > 0 {
+		if err := writeRow(t.Header); err != nil {
+			return err
+		}
+		total := 0
+		for _, wd := range widths {
+			total += wd + 2
+		}
+		if _, err := io.WriteString(w, strings.Repeat("-", total)+"\n"); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes an RFC-4180-ish CSV rendering (quoting cells containing
+// commas or quotes).
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if len(t.Header) > 0 {
+		if err := writeRow(t.Header); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pct formats a fraction as a percentage with the given decimals.
+func Pct(f float64, decimals int) string {
+	return fmt.Sprintf("%.*f%%", decimals, f*100)
+}
+
+// Count formats a large count with thousands separators.
+func Count(n uint64) string {
+	s := fmt.Sprintf("%d", n)
+	if len(s) <= 3 {
+		return s
+	}
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+	}
+	for i := lead; i < len(s); i += 3 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s[i : i+3])
+	}
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v", r.Mean())
+	}
+	if math.Abs(r.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %v", r.Var())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningEmptyAndSingle(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Var() != 0 || r.StdDev() != 0 {
+		t.Fatal("empty Running should be all-zero")
+	}
+	r.Add(3)
+	if r.Var() != 0 {
+		t.Fatal("single observation has zero variance")
+	}
+}
+
+func TestRunningMatchesDirectComputationProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var r Running
+		sum := 0.0
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				ok = false
+				break
+			}
+			r.Add(x)
+			sum += x
+		}
+		if !ok || len(xs) == 0 {
+			return true
+		}
+		mean := sum / float64(len(xs))
+		return math.Abs(r.Mean()-mean) < 1e-6*(1+math.Abs(mean))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	for _, x := range []float64{0.05, 0.15, 0.15, 0.95, 1.5, -0.5} {
+		h.Add(x)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Buckets[0] != 2 { // 0.05 and the clamped -0.5
+		t.Fatalf("bucket 0 = %d", h.Buckets[0])
+	}
+	if h.Buckets[1] != 2 {
+		t.Fatalf("bucket 1 = %d", h.Buckets[1])
+	}
+	if h.Buckets[9] != 2 { // 0.95 and the clamped 1.5
+		t.Fatalf("bucket 9 = %d", h.Buckets[9])
+	}
+	if math.Abs(h.Frac(0)-2.0/6) > 1e-12 {
+		t.Fatalf("Frac(0) = %v", h.Frac(0))
+	}
+	if math.Abs(h.CumFrac(1)-4.0/6) > 1e-12 {
+		t.Fatalf("CumFrac(1) = %v", h.CumFrac(1))
+	}
+	if h.CumFrac(9) != 1 {
+		t.Fatalf("CumFrac(last) = %v", h.CumFrac(9))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if h.Frac(0) != 0 || h.CumFrac(3) != 0 {
+		t.Fatal("empty histogram fractions should be 0")
+	}
+}
+
+func TestTableText(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRowf("%s", "beta", "%d", 22)
+	var b strings.Builder
+	if err := tab.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"name", "value", "alpha", "beta", "22"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRow(`has,comma`, `has"quote`)
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"has,comma"`) {
+		t.Fatalf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Fatalf("quote cell not escaped: %s", out)
+	}
+}
+
+func TestAddRowfPanicsOnOddArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTable("x").AddRowf("%s")
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.4481, 1); got != "44.8%" {
+		t.Fatalf("Pct = %q", got)
+	}
+	if got := Pct(0.00023, 3); got != "0.023%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := map[uint64]string{
+		0:          "0",
+		999:        "999",
+		1_000:      "1,000",
+		65_000:     "65,000",
+		1_234_567:  "1,234,567",
+		10_000_000: "10,000,000",
+	}
+	for in, want := range cases {
+		if got := Count(in); got != want {
+			t.Errorf("Count(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package tlspec implements a thread-level-speculation consumer — the third
+// aggressive-software-speculation context the paper names (its reference
+// [18], compiler-driven TLS). A loop is speculatively parallelized on the
+// assumption that its cross-iteration memory dependences never materialize;
+// a materialized dependence squashes the violating epoch at a cost far above
+// the per-iteration benefit.
+//
+// The speculation decision here is per static dependence pair ("this
+// store→load pair never conflicts across iterations"), which is a binary
+// repeated behavior — so the paper's reactive controller applies unchanged:
+// the loop runs parallel only while every one of its pairs is live-speculated
+// conflict-free, and pairs that begin conflicting (a data structure growing
+// into aliasing) are evicted, returning the loop to serial execution instead
+// of letting it squash forever.
+package tlspec
+
+import (
+	"fmt"
+
+	"reactivespec/internal/behavior"
+	"reactivespec/internal/core"
+	"reactivespec/internal/trace"
+)
+
+// Pair is one static cross-iteration dependence pair of a loop. Its model
+// yields true when the pair does NOT conflict in a given iteration.
+type Pair struct {
+	Model behavior.Model
+	// Class labels the population slice for reports.
+	Class string
+}
+
+// Loop is one speculatively-parallelizable loop.
+type Loop struct {
+	Name string
+	// BodyInstrs is the instruction count of one iteration.
+	BodyInstrs int
+	// Invocations and TripsPerInvocation size the loop's execution.
+	Invocations        int
+	TripsPerInvocation int
+	// Pairs are the loop's cross-iteration dependence pairs.
+	Pairs []Pair
+}
+
+// Iterations returns the loop's total dynamic iteration count.
+func (l *Loop) Iterations() uint64 {
+	return uint64(l.Invocations) * uint64(l.TripsPerInvocation)
+}
+
+// Suite is a workload of loops.
+type Suite struct {
+	Name  string
+	Loops []Loop
+}
+
+// Config parameterizes the TLS machine.
+type Config struct {
+	// Cores is the number of speculative worker cores.
+	Cores int
+	// SquashPenalty is the recovery cost of one violated epoch, in
+	// instruction-equivalents, on top of re-executing the iteration.
+	SquashPenalty float64
+}
+
+// DefaultConfig returns a 4-core TLS machine.
+func DefaultConfig() Config {
+	return Config{Cores: 4, SquashPenalty: 300}
+}
+
+// Result summarizes one run.
+type Result struct {
+	// SerialInstrs is the all-serial cost; EffectiveInstrs the cost under
+	// the speculation policy.
+	SerialInstrs, EffectiveInstrs float64
+	// ParallelIters and SerialIters partition the iterations.
+	ParallelIters, SerialIters uint64
+	// Violations counts squashed epochs.
+	Violations uint64
+	// ControllerStats exposes the dependence controller's counters.
+	ControllerStats core.Stats
+}
+
+// Speedup returns serial cost over effective cost.
+func (r Result) Speedup() float64 {
+	if r.EffectiveInstrs == 0 {
+		return 0
+	}
+	return r.SerialInstrs / r.EffectiveInstrs
+}
+
+// Run executes the suite under the given dependence controller.
+//
+// Iterations are processed invocation by invocation. An invocation runs
+// parallel when every pair of the loop is live-speculated conflict-free: its
+// iterations cost BodyInstrs/Cores each, except that an iteration whose pair
+// conflicts is squashed (full re-execution plus the penalty). Otherwise the
+// invocation runs serial at full cost. The controller observes every pair
+// outcome either way (TLS profiles dependences from committed state).
+func Run(s *Suite, ctl *core.Controller, cfg Config) Result {
+	if cfg.Cores < 1 {
+		cfg.Cores = 1
+	}
+	var res Result
+	var instr uint64
+
+	// Global pair IDs: loop i's pairs follow loop i-1's.
+	base := make([]int, len(s.Loops))
+	next := 0
+	for i := range s.Loops {
+		base[i] = next
+		next += len(s.Loops[i].Pairs)
+	}
+	execIdx := make([]uint64, next)
+
+	for li := range s.Loops {
+		loop := &s.Loops[li]
+		body := float64(loop.BodyInstrs)
+		for inv := 0; inv < loop.Invocations; inv++ {
+			// The loop is parallelized for this invocation only if
+			// every pair is currently live-speculated.
+			parallel := len(loop.Pairs) > 0
+			for pi := range loop.Pairs {
+				if _, live := ctl.Speculating(trace.BranchID(base[li] + pi)); !live {
+					parallel = false
+					break
+				}
+			}
+			for it := 0; it < loop.TripsPerInvocation; it++ {
+				instr += uint64(loop.BodyInstrs)
+				violated := false
+				for pi := range loop.Pairs {
+					id := base[li] + pi
+					n := execIdx[id]
+					execIdx[id] = n + 1
+					noConflict := loop.Pairs[pi].Model.Outcome(n)
+					v := ctl.OnBranch(trace.BranchID(id), noConflict, instr)
+					if parallel && v == core.Misspec {
+						violated = true
+					}
+				}
+				ctl.AddInstrs(uint64(loop.BodyInstrs))
+				res.SerialInstrs += body
+				if parallel {
+					res.ParallelIters++
+					res.EffectiveInstrs += body / float64(cfg.Cores)
+					if violated {
+						res.Violations++
+						res.EffectiveInstrs += body + cfg.SquashPenalty
+					}
+				} else {
+					res.SerialIters++
+					res.EffectiveInstrs += body
+				}
+			}
+		}
+	}
+	res.ControllerStats = ctl.Stats()
+	return res
+}
+
+// SynthSuite builds a deterministic loop workload: loops whose dependences
+// never conflict (profitable), loops that conflict often (must stay serial),
+// and loops whose dependences begin conflicting mid-run (the open-loop
+// hazard).
+func SynthSuite(seed uint64, scale float64) *Suite {
+	if scale <= 0 {
+		scale = 1
+	}
+	rnd := seed ^ 0x715c
+	nextRand := func() uint64 {
+		rnd += 0x9e3779b97f4a7c15
+		z := rnd
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	invocations := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 4 {
+			v = 4
+		}
+		return v
+	}
+	s := &Suite{Name: "tls-suite"}
+	// Independent loops: always parallelizable.
+	for i := 0; i < 6; i++ {
+		s.Loops = append(s.Loops, Loop{
+			Name: fmt.Sprintf("indep%d", i), BodyInstrs: 40 + int(nextRand()%40),
+			Invocations: invocations(220), TripsPerInvocation: 64,
+			Pairs: []Pair{
+				{Model: behavior.Bernoulli{Seed: nextRand(), PTaken: 1 - 2e-4}, Class: "independent"},
+				{Model: behavior.Bernoulli{Seed: nextRand(), PTaken: 1 - 2e-4}, Class: "independent"},
+			},
+		})
+	}
+	// Dependent loops: conflict constantly; must never be parallelized.
+	for i := 0; i < 3; i++ {
+		s.Loops = append(s.Loops, Loop{
+			Name: fmt.Sprintf("dep%d", i), BodyInstrs: 50,
+			Invocations: invocations(120), TripsPerInvocation: 64,
+			Pairs: []Pair{
+				{Model: behavior.Bernoulli{Seed: nextRand(), PTaken: 0.4 + 0.3*float64(nextRand()%100)/100}, Class: "dependent"},
+			},
+		})
+	}
+	// Aliasing-onset loops: conflict-free until the data structure grows.
+	for i := 0; i < 3; i++ {
+		total := uint64(invocations(160)) * 64
+		at := total/3 + uint64(nextRand()%(total/3))
+		s.Loops = append(s.Loops, Loop{
+			Name: fmt.Sprintf("onset%d", i), BodyInstrs: 45,
+			Invocations: invocations(160), TripsPerInvocation: 64,
+			Pairs: []Pair{
+				{Model: behavior.Segments{Seed: nextRand(), Segs: []behavior.Segment{
+					{Len: at, PTaken: 1 - 2e-4},
+					{PTaken: 0.5},
+				}}, Class: "onset"},
+			},
+		})
+	}
+	return s
+}

@@ -1,0 +1,128 @@
+package tlspec
+
+import (
+	"testing"
+
+	"reactivespec/internal/behavior"
+	"reactivespec/internal/core"
+)
+
+func testParams() core.Params {
+	p := core.DefaultParams().Scaled(50)
+	p.WaitPeriod = 2_000
+	return p
+}
+
+func TestIndependentLoopParallelizes(t *testing.T) {
+	s := &Suite{Loops: []Loop{{
+		Name: "indep", BodyInstrs: 50, Invocations: 40, TripsPerInvocation: 64,
+		Pairs: []Pair{{Model: behavior.Fixed(true)}},
+	}}}
+	res := Run(s, core.New(testParams()), DefaultConfig())
+	if res.ParallelIters == 0 {
+		t.Fatal("independent loop never parallelized")
+	}
+	if res.Speedup() <= 1.5 {
+		t.Fatalf("speedup = %v, want well above 1 on 4 cores", res.Speedup())
+	}
+	if res.Violations != 0 {
+		t.Fatalf("violations = %d on a conflict-free loop", res.Violations)
+	}
+}
+
+func TestDependentLoopStaysSerial(t *testing.T) {
+	s := &Suite{Loops: []Loop{{
+		Name: "dep", BodyInstrs: 50, Invocations: 40, TripsPerInvocation: 64,
+		Pairs: []Pair{{Model: behavior.Bernoulli{Seed: 1, PTaken: 0.5}}},
+	}}}
+	res := Run(s, core.New(testParams()), DefaultConfig())
+	if res.ParallelIters != 0 {
+		t.Fatalf("conflicting loop parallelized %d iterations", res.ParallelIters)
+	}
+	if res.Speedup() != 1.0 {
+		t.Fatalf("serial speedup = %v, want exactly 1", res.Speedup())
+	}
+}
+
+func TestOnsetLoopEvictedByReactiveControl(t *testing.T) {
+	mk := func() *Suite {
+		return &Suite{Loops: []Loop{{
+			Name: "onset", BodyInstrs: 50, Invocations: 120, TripsPerInvocation: 64,
+			Pairs: []Pair{{Model: behavior.Segments{Seed: 2, Segs: []behavior.Segment{
+				{Len: 2_000, PTaken: 1 - 1e-4},
+				{PTaken: 0.5},
+			}}}},
+		}}}
+	}
+	closed := Run(mk(), core.New(testParams()), DefaultConfig())
+	open := Run(mk(), core.New(testParams().WithNoEviction()), DefaultConfig())
+	if closed.Violations == 0 {
+		t.Fatal("closed loop saw no violations at all (onset never speculated?)")
+	}
+	if open.Violations <= closed.Violations*3 {
+		t.Fatalf("open-loop violations %d not far above closed %d", open.Violations, closed.Violations)
+	}
+	if open.Speedup() >= closed.Speedup() {
+		t.Fatalf("open-loop speedup %v >= closed %v", open.Speedup(), closed.Speedup())
+	}
+	// The open loop must actually lose to serial execution here: squash
+	// costs dominate once the dependence materializes.
+	if open.Speedup() >= 1.0 {
+		t.Fatalf("open-loop speedup %v, expected below serial", open.Speedup())
+	}
+}
+
+func TestSynthSuiteShape(t *testing.T) {
+	s := SynthSuite(0, 0.2)
+	if len(s.Loops) != 12 {
+		t.Fatalf("loops = %d", len(s.Loops))
+	}
+	classes := map[string]int{}
+	for _, l := range s.Loops {
+		if l.Iterations() == 0 {
+			t.Fatalf("loop %s has no iterations", l.Name)
+		}
+		for _, p := range l.Pairs {
+			classes[p.Class]++
+		}
+	}
+	for _, c := range []string{"independent", "dependent", "onset"} {
+		if classes[c] == 0 {
+			t.Fatalf("class %q missing", c)
+		}
+	}
+}
+
+func TestSynthSuiteEndToEnd(t *testing.T) {
+	s := SynthSuite(0, 0.25)
+	closed := Run(s, core.New(testParams()), DefaultConfig())
+	open := Run(SynthSuite(0, 0.25), core.New(testParams().WithNoEviction()), DefaultConfig())
+	if closed.Speedup() <= 1.0 {
+		t.Fatalf("closed-loop TLS speedup = %v", closed.Speedup())
+	}
+	if open.Speedup() >= closed.Speedup() {
+		t.Fatalf("open %v >= closed %v", open.Speedup(), closed.Speedup())
+	}
+	st := closed.ControllerStats
+	if st.Correct+st.Misspec+st.NotSpec != st.Events {
+		t.Fatalf("controller partition broken: %+v", st)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		return Run(SynthSuite(3, 0.1), core.New(testParams()), DefaultConfig())
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestZeroCoreClamp(t *testing.T) {
+	s := &Suite{Loops: []Loop{{Name: "x", BodyInstrs: 10, Invocations: 1, TripsPerInvocation: 4,
+		Pairs: []Pair{{Model: behavior.Fixed(true)}}}}}
+	res := Run(s, core.New(testParams()), Config{Cores: 0, SquashPenalty: 10})
+	if res.EffectiveInstrs <= 0 {
+		t.Fatal("zero-core config should clamp to one core")
+	}
+}

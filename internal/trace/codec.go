@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace file format: a small header followed by one varint-encoded record
+// per event. The branch ID is delta-encoded against the previous event's
+// (zig-zag), the outcome is folded into the gap's low bit, so hot traces
+// compress to a few bytes per event.
+//
+//	magic   [4]byte  "RSPT"
+//	version uvarint  (1)
+//	events  uvarint  (total records)
+//	records:
+//	  deltaID zigzag-varint
+//	  gapTaken uvarint   (gap<<1 | taken)
+
+var traceMagic = [4]byte{'R', 'S', 'P', 'T'}
+
+const traceVersion = 1
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("trace: malformed trace file")
+
+// Writer serializes an event stream.
+type Writer struct {
+	w      *bufio.Writer
+	events uint64
+	buf    [2 * binary.MaxVarintLen64]byte
+	prevID int64
+}
+
+// NewWriter writes a trace header for a stream of totalEvents events and
+// returns the writer. The caller must Write exactly totalEvents events and
+// then Flush.
+func NewWriter(w io.Writer, totalEvents uint64) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return nil, err
+	}
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], traceVersion)
+	n += binary.PutUvarint(hdr[n:], totalEvents)
+	if _, err := bw.Write(hdr[:n]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, events: totalEvents}, nil
+}
+
+// Write appends one event.
+func (t *Writer) Write(ev Event) error {
+	delta := int64(ev.Branch) - t.prevID
+	t.prevID = int64(ev.Branch)
+	n := binary.PutVarint(t.buf[:], delta)
+	gapTaken := uint64(ev.Gap) << 1
+	if ev.Taken {
+		gapTaken |= 1
+	}
+	n += binary.PutUvarint(t.buf[n:], gapTaken)
+	_, err := t.w.Write(t.buf[:n])
+	return err
+}
+
+// Flush completes the trace.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Capture drains a stream into w in trace format and returns the number of
+// events written. totalEvents must match the stream's length exactly; use
+// CaptureAll when it is unknown.
+func Capture(w io.Writer, s Stream, totalEvents uint64) (uint64, error) {
+	tw, err := NewWriter(w, totalEvents)
+	if err != nil {
+		return 0, err
+	}
+	var n uint64
+	for {
+		ev, ok := s.Next()
+		if !ok {
+			break
+		}
+		if err := tw.Write(ev); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if n != totalEvents {
+		return n, fmt.Errorf("trace: captured %d events, header says %d", n, totalEvents)
+	}
+	return n, tw.Flush()
+}
+
+// Reader replays a serialized trace as a Stream.
+type Reader struct {
+	r      *bufio.Reader
+	left   uint64
+	prevID int64
+	err    error
+}
+
+// NewReader validates the header and returns a stream over the trace.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic[:])
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil || version != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, version)
+	}
+	events, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	return &Reader{r: br, left: events}, nil
+}
+
+// Events returns the number of events remaining.
+func (t *Reader) Events() uint64 { return t.left }
+
+// Err returns the first decode error encountered, if any (Next ends the
+// stream on error; callers that care should check Err afterwards).
+func (t *Reader) Err() error { return t.err }
+
+// Next implements Stream.
+func (t *Reader) Next() (Event, bool) {
+	if t.left == 0 || t.err != nil {
+		return Event{}, false
+	}
+	delta, err := binary.ReadVarint(t.r)
+	if err != nil {
+		t.err = fmt.Errorf("%w: %v", ErrBadTrace, err)
+		return Event{}, false
+	}
+	gapTaken, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		t.err = fmt.Errorf("%w: %v", ErrBadTrace, err)
+		return Event{}, false
+	}
+	t.prevID += delta
+	if t.prevID < 0 || t.prevID > int64(^uint32(0)) {
+		t.err = fmt.Errorf("%w: branch id out of range", ErrBadTrace)
+		return Event{}, false
+	}
+	if gapTaken>>1 > uint64(^uint32(0)) {
+		t.err = fmt.Errorf("%w: gap out of range", ErrBadTrace)
+		return Event{}, false
+	}
+	t.left--
+	return Event{
+		Branch: BranchID(t.prevID),
+		Taken:  gapTaken&1 == 1,
+		Gap:    uint32(gapTaken >> 1),
+	}, true
+}

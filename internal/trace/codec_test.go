@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, events []Event) []Event {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := Capture(&buf, NewSliceStream(events), uint64(len(events)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(events)) {
+		t.Fatalf("captured %d events, want %d", n, len(events))
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Events() != uint64(len(events)) {
+		t.Fatalf("header says %d events", r.Events())
+	}
+	got := Collect(r)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	return got
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	events := mkEvents(1_000)
+	got := roundTrip(t, events)
+	if len(got) != len(events) {
+		t.Fatalf("decoded %d events", len(got))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestCodecEmpty(t *testing.T) {
+	if got := roundTrip(t, nil); len(got) != 0 {
+		t.Fatalf("decoded %d events from empty trace", len(got))
+	}
+}
+
+func TestCodecLargeIDs(t *testing.T) {
+	events := []Event{
+		{Branch: 0, Taken: true, Gap: 1},
+		{Branch: 1 << 30, Taken: false, Gap: 1 << 20},
+		{Branch: 5, Taken: true, Gap: 1},
+	}
+	got := roundTrip(t, events)
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d = %+v", i, got[i])
+		}
+	}
+}
+
+func TestCodecRejectsBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE1234"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestCodecRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Capture(&buf, NewSliceStream(mkEvents(100)), 100); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Collect(r)
+	if r.Err() == nil {
+		t.Fatal("truncated trace decoded without error")
+	}
+}
+
+func TestCaptureCountMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Capture(&buf, NewSliceStream(mkEvents(5)), 10); err == nil {
+		t.Fatal("event-count mismatch accepted")
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(ids []uint16, gaps []uint8, taken []bool) bool {
+		n := len(ids)
+		if len(gaps) < n {
+			n = len(gaps)
+		}
+		if len(taken) < n {
+			n = len(taken)
+		}
+		events := make([]Event, n)
+		for i := 0; i < n; i++ {
+			events[i] = Event{Branch: BranchID(ids[i]), Taken: taken[i], Gap: uint32(gaps[i]) + 1}
+		}
+		var buf bytes.Buffer
+		if _, err := Capture(&buf, NewSliceStream(events), uint64(n)); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got := Collect(r)
+		if r.Err() != nil || len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace decoder: it must never
+// panic, and must either decode cleanly or report ErrBadTrace-wrapped
+// errors.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid trace and some corruptions of it.
+	var buf bytes.Buffer
+	events := mkEvents(20)
+	if _, err := Capture(&buf, NewSliceStream(events), 20); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("RSPT"))
+	f.Add([]byte{})
+	corrupted := append([]byte{}, valid...)
+	if len(corrupted) > 8 {
+		corrupted[8] ^= 0xff
+	}
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		n := 0
+		for {
+			ev, ok := r.Next()
+			if !ok {
+				break
+			}
+			_ = ev // any uint32 gap is representable; oversized ones error out
+			n++
+			if n > 1<<20 {
+				t.Fatal("decoder produced more events than any input this size could encode")
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks that any event sequence encodes and decodes exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events := make([]Event, 0, len(data)/3)
+		for i := 0; i+2 < len(data); i += 3 {
+			events = append(events, Event{
+				Branch: BranchID(data[i]),
+				Taken:  data[i+1]&1 == 1,
+				Gap:    uint32(data[i+2]) + 1,
+			})
+		}
+		var buf bytes.Buffer
+		if _, err := Capture(&buf, NewSliceStream(events), uint64(len(events))); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Collect(r)
+		if r.Err() != nil {
+			t.Fatal(r.Err())
+		}
+		if len(got) != len(events) {
+			t.Fatalf("decoded %d of %d events", len(got), len(events))
+		}
+		for i := range got {
+			if got[i] != events[i] {
+				t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,759 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"reactivespec/internal/behavior"
+)
+
+// calibration captures the per-benchmark statistics published in the paper
+// (Tables 1 and 3) together with the behavior-mix knobs used to plant the
+// Section 2.3 behavior classes. All counts are the paper's full-scale values;
+// Options scale them down to a laptop-scale regime.
+type calibration struct {
+	name        string
+	staticTouch int     // Table 3 "touch": static conditional branches touched
+	lenBInstr   float64 // Table 1 "Len": run length, billions of instructions
+	biased      int     // Table 3 "bias": branches entering the biased state
+	evicted     int     // Table 3 "evict": static branches ever evicted
+	totalEvicts int     // Table 3 "total evicts"
+	specPct     float64 // Table 3 "% spec.": dynamic branches correctly speculated
+	misspecDist float64 // Table 3 "misspec dist.": instructions per misspeculation
+	meanGap     uint32  // mean instructions per conditional branch
+
+	specBoost     float64 // calibration correction on the biased-tier weight
+	twoPhaseShare float64 // dynamic-weight share on two-phase exploitable branches
+	lateShare     float64 // share of biased weight on late-onset branches
+	inputFlip     float64 // share of biased weight reversing on the profile input
+	inputMiss     float64 // share of biased weight unexercised by the profile input
+	corrGroups    int     // correlated flip groups (Figure 9)
+	corrPerGroup  int     // branches per correlated group
+	stubbornLate  bool    // plant a heavy very-late reversal (the mcf case)
+
+	profileInput string // Table 1 profile-input description
+	evalInput    string // Table 1 evaluation-input description
+}
+
+// calibrations is ordered as the paper's tables are.
+var calibrations = []calibration{
+	{name: "bzip2", staticTouch: 282, lenBInstr: 19, biased: 109, evicted: 6, totalEvicts: 15, specPct: 44.1, misspecDist: 26400, meanGap: 6,
+		specBoost: 1.02, twoPhaseShare: 0.02, lateShare: 0.20, inputFlip: 0.010, inputMiss: 0.40, corrGroups: 0, corrPerGroup: 0,
+		profileInput: "input.compressed", evalInput: "input.source 10"},
+	{name: "crafty", staticTouch: 1124, lenBInstr: 45, biased: 396, evicted: 138, totalEvicts: 276, specPct: 25.1, misspecDist: 109366, meanGap: 5,
+		specBoost: 1.10, twoPhaseShare: 0.01, lateShare: 0.18, inputFlip: 0.060, inputMiss: 0.45, corrGroups: 1, corrPerGroup: 5,
+		profileInput: "ponder=on ver 0", evalInput: "ponder=off ver 5 sd=12"},
+	{name: "eon", staticTouch: 403, lenBInstr: 9, biased: 95, evicted: 3, totalEvicts: 3, specPct: 38.3, misspecDist: 105552, meanGap: 7,
+		specBoost: 1.06, twoPhaseShare: 0, lateShare: 0.14, inputFlip: 0.008, inputMiss: 0.40, corrGroups: 0, corrPerGroup: 0,
+		profileInput: "rushmeier input", evalInput: "kajiya input"},
+	{name: "gap", staticTouch: 3011, lenBInstr: 10, biased: 1045, evicted: 167, totalEvicts: 201, specPct: 52.5, misspecDist: 36728, meanGap: 6,
+		specBoost: 1.18, twoPhaseShare: 0.02, lateShare: 0.16, inputFlip: 0.012, inputMiss: 0.45, corrGroups: 2, corrPerGroup: 5,
+		profileInput: "(test input)", evalInput: "(train input)"},
+	{name: "gcc", staticTouch: 7943, lenBInstr: 13, biased: 2068, evicted: 11, totalEvicts: 12, specPct: 66.3, misspecDist: 20802, meanGap: 6,
+		specBoost: 1.15, twoPhaseShare: 0, lateShare: 0.14, inputFlip: 0.010, inputMiss: 0.50, corrGroups: 0, corrPerGroup: 0,
+		profileInput: "-O0 cp-decl.i", evalInput: "-O3 integrate.i"},
+	{name: "gzip", staticTouch: 314, lenBInstr: 14, biased: 66, evicted: 7, totalEvicts: 12, specPct: 35.4, misspecDist: 43043, meanGap: 6,
+		specBoost: 1.04, twoPhaseShare: 0.05, lateShare: 0.16, inputFlip: 0.010, inputMiss: 0.35, corrGroups: 0, corrPerGroup: 0,
+		profileInput: "input.compressed 4", evalInput: "input.source 10"},
+	{name: "mcf", staticTouch: 366, lenBInstr: 9, biased: 210, evicted: 22, totalEvicts: 47, specPct: 33.6, misspecDist: 12896, meanGap: 6,
+		specBoost: 1.10, twoPhaseShare: 0.05, lateShare: 0.16, inputFlip: 0.010, inputMiss: 0.35, corrGroups: 0, corrPerGroup: 0, stubbornLate: true,
+		profileInput: "(test input)", evalInput: "(train input)"},
+	{name: "parser", staticTouch: 1552, lenBInstr: 13, biased: 284, evicted: 53, totalEvicts: 124, specPct: 26.3, misspecDist: 50643, meanGap: 5,
+		specBoost: 1.15, twoPhaseShare: 0.01, lateShare: 0.16, inputFlip: 0.050, inputMiss: 0.40, corrGroups: 1, corrPerGroup: 4,
+		profileInput: "(test input)", evalInput: "(train input)"},
+	{name: "perl", staticTouch: 1968, lenBInstr: 35, biased: 1075, evicted: 58, totalEvicts: 64, specPct: 63.4, misspecDist: 55382, meanGap: 6,
+		specBoost: 1.02, twoPhaseShare: 0.02, lateShare: 0.14, inputFlip: 0.045, inputMiss: 0.50, corrGroups: 1, corrPerGroup: 5,
+		profileInput: "scrabbl.pl", evalInput: "diffmail.pl"},
+	{name: "twolf", staticTouch: 1542, lenBInstr: 36, biased: 440, evicted: 19, totalEvicts: 22, specPct: 32.1, misspecDist: 165711, meanGap: 6,
+		specBoost: 1.08, twoPhaseShare: 0.01, lateShare: 0.14, inputFlip: 0.008, inputMiss: 0.40, corrGroups: 0, corrPerGroup: 0,
+		profileInput: "(train input) fast 3", evalInput: "(ref input) fast 1"},
+	{name: "vortex", staticTouch: 3484, lenBInstr: 32, biased: 1671, evicted: 67, totalEvicts: 104, specPct: 88.5, misspecDist: 92163, meanGap: 6,
+		specBoost: 1.02, twoPhaseShare: 0.01, lateShare: 0.06, inputFlip: 0.008, inputMiss: 0.40, corrGroups: 6, corrPerGroup: 9,
+		profileInput: "(train input)", evalInput: "(reduced ref input)"},
+	{name: "vpr", staticTouch: 758, lenBInstr: 21, biased: 340, evicted: 16, totalEvicts: 38, specPct: 31.6, misspecDist: 65588, meanGap: 6,
+		specBoost: 1.07, twoPhaseShare: 0.01, lateShare: 0.14, inputFlip: 0.055, inputMiss: 0.40, corrGroups: 0, corrPerGroup: 0,
+		profileInput: "-bend_cost 2.0", evalInput: "-bend_cost 1.0"},
+}
+
+// Suite returns the benchmark names in paper order.
+func Suite() []string {
+	names := make([]string, len(calibrations))
+	for i, c := range calibrations {
+		names[i] = c.name
+	}
+	return names
+}
+
+// InputInfo describes a benchmark's Table 1 row.
+type InputInfo struct {
+	Name         string
+	ProfileInput string
+	EvalInput    string
+	LenBInstr    float64
+}
+
+// Table1 returns the paper's Table 1: the profile/evaluation input pairs.
+func Table1() []InputInfo {
+	rows := make([]InputInfo, len(calibrations))
+	for i, c := range calibrations {
+		rows[i] = InputInfo{Name: c.name, ProfileInput: c.profileInput, EvalInput: c.evalInput, LenBInstr: c.lenBInstr}
+	}
+	return rows
+}
+
+// PaperStats exposes a benchmark's published Table 3 statistics, used by the
+// experiment drivers to print paper-vs-measured comparisons.
+type PaperStats struct {
+	StaticTouch, Biased, Evicted, TotalEvicts int
+	SpecPct, MisspecDist                      float64
+}
+
+// PaperTable3 returns the published Table 3 row for the named benchmark.
+func PaperTable3(name string) (PaperStats, error) {
+	c, err := findCalibration(name)
+	if err != nil {
+		return PaperStats{}, err
+	}
+	return PaperStats{
+		StaticTouch: c.staticTouch, Biased: c.biased, Evicted: c.evicted,
+		TotalEvicts: c.totalEvicts, SpecPct: c.specPct, MisspecDist: c.misspecDist,
+	}, nil
+}
+
+// Options scale a workload relative to the paper's full-size runs.
+//
+// The paper's runs are 9–45 billion instructions with thousands of static
+// branches executing up to hundreds of millions of times each. The default
+// scale reduces dynamic instruction counts by 250× and static populations by
+// 2.5×, which keeps the per-branch execution counts in the same regime
+// relative to the (correspondingly scaled) controller parameters. See
+// EXPERIMENTS.md for the regime argument.
+type Options struct {
+	// EventScale multiplies the paper's dynamic instruction counts.
+	// Zero means the default (1/250).
+	EventScale float64
+	// StaticScale multiplies the paper's static branch counts.
+	// Zero means the default (1/2.5).
+	StaticScale float64
+	// Seed perturbs all generated randomness. Zero is a valid seed.
+	Seed uint64
+}
+
+// DefaultEventScale and DefaultStaticScale are the default workload scales.
+const (
+	DefaultEventScale  = 1.0 / 250
+	DefaultStaticScale = 1.0 / 2.5
+)
+
+func (o Options) withDefaults() Options {
+	if o.EventScale == 0 {
+		o.EventScale = DefaultEventScale
+	}
+	if o.StaticScale == 0 {
+		o.StaticScale = DefaultStaticScale
+	}
+	return o
+}
+
+func findCalibration(name string) (calibration, error) {
+	for _, c := range calibrations {
+		if c.name == name {
+			return c, nil
+		}
+	}
+	return calibration{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Build instantiates the named benchmark for the given input at the given
+// scale. Building the same (name, input, options) always yields an identical
+// Spec.
+func Build(name string, input InputID, opts Options) (*Spec, error) {
+	c, err := findCalibration(name)
+	if err != nil {
+		return nil, err
+	}
+	return build(c, input, opts.withDefaults()), nil
+}
+
+// MustBuild is Build, panicking on unknown benchmark names.
+func MustBuild(name string, input InputID, opts Options) *Spec {
+	s, err := Build(name, input, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// BuildSuite instantiates every benchmark for the given input.
+func BuildSuite(input InputID, opts Options) []*Spec {
+	specs := make([]*Spec, len(calibrations))
+	for i, c := range calibrations {
+		specs[i] = build(c, input, opts.withDefaults())
+	}
+	return specs
+}
+
+// zipfWeights returns n weights proportional to 1/(i+1)^exp, normalized to
+// sum to total.
+func zipfWeights(n int, exp, total float64) []float64 {
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), exp)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] *= total / sum
+	}
+	return w
+}
+
+// flooredZipfWeights gives each of n branches at least floor weight (so no
+// biased branch is dominated by its monitor window) and distributes the rest
+// of total as a zipf(1.0) head. If the floors alone exceed total they are
+// scaled down proportionally.
+func flooredZipfWeights(n int, total, floor float64) []float64 {
+	if floor*float64(n) > 0.9*total {
+		floor = 0.9 * total / float64(n)
+	}
+	w := zipfWeights(n, 1.0, total-floor*float64(n))
+	for i := range w {
+		w[i] += floor
+	}
+	return w
+}
+
+func scaleCount(n int, f float64, min int) int {
+	v := int(math.Round(float64(n) * f))
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// build is the calibrated population constructor. It lays out the static
+// branch population in three dynamic-frequency tiers (hot/warm/cold), plants
+// the Section 2 behavior classes into chosen slots of the biased tier, and
+// appends a small number of explicitly-weighted special branches (two-phase,
+// the mcf-style stubborn reversal).
+func build(c calibration, input InputID, opts Options) *Spec {
+	seed := opts.Seed ^ hashString(c.name)
+	rnd := rng{state: seed ^ 0xc0ffee}
+
+	events := uint64(c.lenBInstr * 1e9 / float64(c.meanGap) * opts.EventScale)
+	nStatic := scaleCount(c.staticTouch, opts.StaticScale, 24)
+	nBiased := scaleCount(c.biased, opts.StaticScale, 8)
+	evictBudget := scaleCount(c.evicted, opts.StaticScale, 2)
+	totalEvicts := scaleCount(c.totalEvicts, opts.StaticScale, evictBudget)
+	if evictBudget > nBiased/2 {
+		evictBudget = nBiased / 2
+	}
+	nCold := int(0.40 * float64(nStatic))
+	nWarm := nStatic - nBiased - nCold
+	if nWarm < 4 {
+		nWarm = 4
+		nCold = nStatic - nBiased - nWarm
+	}
+
+	// Special explicitly-weighted branches come out of the eviction budget
+	// first: they are the hottest changers.
+	nTwoPhase := 0
+	if c.twoPhaseShare > 0 {
+		nTwoPhase = 1
+		if c.twoPhaseShare > 0.08 {
+			nTwoPhase = 2
+		}
+	}
+	nStubborn := 0
+	if c.stubbornLate {
+		nStubborn = 1
+	}
+	nSoftHot := 1 // one hot bias-softening branch per benchmark
+	nChangers := evictBudget - nTwoPhase - nStubborn - nSoftHot
+	if nChangers < 1 {
+		nChangers = 1
+	}
+
+	// Dynamic-weight budget. Biased branches carry specWeight of the
+	// dynamic events; the correct-speculation coverage lands below that
+	// because of monitoring, optimization latency, changer second phases,
+	// and the residual misspeculation rate. specBoost is the calibrated
+	// per-benchmark correction for those losses.
+	specWeight := math.Min(0.97, c.specPct/100*1.08*c.specBoost)
+	const softHotShare = 0.09
+	specialWeight := c.twoPhaseShare + 0.06*float64(nStubborn) + softHotShare*float64(nSoftHot)
+	tierWeight := specWeight - specialWeight
+	if tierWeight < 0.05 {
+		tierWeight = 0.05
+	}
+	coldWeight := 0.015
+	warmWeight := 1 - tierWeight - specialWeight - coldWeight
+
+	biasedW := flooredZipfWeights(nBiased, tierWeight, 5_000/float64(events))
+	warmW := zipfWeights(nWarm, 0.8, warmWeight)
+
+	// Misspeculation-residual target for the stable biased population,
+	// derived from the published misspeculation distance after reserving
+	// a large share of the budget for eviction costs (counter ramp plus
+	// the lame-duck window after each eviction).
+	instrs := float64(events) * float64(c.meanGap)
+	misspecBudget := instrs / c.misspecDist
+	rTarget := misspecBudget * 0.25 / (0.9 * specWeight * float64(events))
+	rTarget = clamp(rTarget, 1e-6, 2.0e-3)
+
+	branches := make([]BranchSpec, 0, nStatic+nTwoPhase+nStubborn)
+	classOf := make([]BranchClass, nBiased)
+	for i := range classOf {
+		classOf[i] = ClassBiased
+	}
+	expExecs := func(i int) float64 { return biasedW[i] * float64(events) }
+
+	// --- Late-onset branches: hottest slots. They sit out a monitor
+	// window and a wait period before being discovered, so they need
+	// plenty of executions to deliver benefit; they are what the revisit
+	// arc (unbiased→monitor) exists for.
+	lateBudget := c.lateShare * tierWeight
+	nLate := 0
+	{
+		accum := 0.0
+		for i := 0; i < nBiased && accum < lateBudget; i++ {
+			if expExecs(i) < 40_000 {
+				break
+			}
+			classOf[i] = ClassLateOnset
+			accum += biasedW[i]
+			nLate++
+		}
+	}
+
+	// --- Changers (evicted branches): slots just hot enough to be
+	// selected, change, and be evicted, taken from the coolest eligible
+	// end so eviction lame-duck windows stay cheap.
+	changerSlots := make([]int, 0, nChangers)
+	for i := nBiased - 1; i >= nLate && len(changerSlots) < nChangers; i-- {
+		if classOf[i] == ClassBiased && expExecs(i) >= 5_000 {
+			changerSlots = append(changerSlots, i)
+		}
+	}
+	// Two "showcase" changers take hot slots so every benchmark has
+	// branches that are highly biased for tens of thousands of instances
+	// before changing — the Figure 3 population.
+	if len(changerSlots) >= 4 {
+		hot := make([]int, 0, 3)
+		for i := nLate; i < nBiased && len(hot) < 3; i++ {
+			if classOf[i] == ClassBiased && expExecs(i) >= 30_000 {
+				alreadyChanger := false
+				for _, s := range changerSlots {
+					if s == i {
+						alreadyChanger = true
+						break
+					}
+				}
+				if !alreadyChanger {
+					hot = append(hot, i)
+				}
+			}
+		}
+		// Showcase slots take fixed, distinct classes and come out
+		// of the changer budget.
+		if len(hot) > 0 {
+			changerSlots = changerSlots[:len(changerSlots)-len(hot)]
+			classOf[hot[0]] = ClassReversal
+			if len(hot) > 1 {
+				classOf[hot[1]] = ClassInduction
+			}
+			if len(hot) > 2 {
+				classOf[hot[2]] = ClassOscillator
+			}
+		}
+	}
+	nChangers = len(changerSlots)
+
+	// Distribute eviction multiplicity: oscillators absorb the surplus
+	// beyond one eviction per changer.
+	extraEvicts := totalEvicts - nChangers - nTwoPhase - nStubborn
+	if extraEvicts < 0 {
+		extraEvicts = 0
+	}
+	nOsc := 0
+	if extraEvicts > 0 {
+		nOsc = (extraEvicts + 2) / 3 // each oscillator evicts ~3 extra times
+		if nOsc > nChangers {
+			nOsc = nChangers
+		}
+	}
+	// Correlated hot members come out of the changer budget too.
+	nCorrHot := 0
+	if c.corrGroups > 0 {
+		nCorrHot = c.corrGroups * 2
+		if nCorrHot > nChangers-nOsc {
+			nCorrHot = max(0, nChangers-nOsc)
+		}
+	}
+
+	// Correlated group schedules: shared fractional windows per group.
+	groupSched := make([][]float64, c.corrGroups) // ascending boundary fractions
+	for g := range groupSched {
+		nb := 2 + int(rnd.intn(3)) // 2–4 boundaries → 1–2 biased windows
+		bs := make([]float64, nb)
+		for j := range bs {
+			bs[j] = 0.1 + 0.8*rnd.float64()
+		}
+		sort.Float64s(bs)
+		groupSched[g] = bs
+	}
+
+	for j, slot := range changerSlots {
+		switch {
+		case j < nOsc:
+			classOf[slot] = ClassOscillator
+		case j < nOsc+nCorrHot:
+			classOf[slot] = ClassCorrelated
+		default:
+			// Figure 6: over half of biased->unbiased transitions
+			// merely soften; only ~20% fully reverse. Keep the
+			// changer mix softening-heavy.
+			switch (j - nOsc - nCorrHot) % 10 {
+			case 0:
+				classOf[slot] = ClassReversal
+			case 5:
+				classOf[slot] = ClassInduction
+			default:
+				classOf[slot] = ClassSoftening
+			}
+		}
+	}
+
+	// A small bursty population in the stable-biased mid-tier exercises
+	// the eviction hysteresis without (usually) being evicted.
+	nBursty := 0
+	for i := nBiased - 1; i >= 0 && nBursty < 3; i-- {
+		if classOf[i] == ClassBiased && expExecs(i) >= 4_000 {
+			classOf[i] = ClassBursty
+			nBursty++
+		}
+	}
+
+	// The input-flip and input-miss subsets (profile-input divergence).
+	// Shares are fractions of the stable biased population's weight.
+	// Each profile-input variant draws its own subsets from a
+	// variant-specific deterministic stream, so averaging profiles across
+	// variants (Section 2.2) sees genuinely different input-dependent
+	// behavior.
+	stableW := 0.0
+	for i, cl := range classOf {
+		if cl == ClassBiased || cl == ClassBursty {
+			stableW += biasedW[i]
+		}
+	}
+	inputSel := input
+	if inputSel == InputEval {
+		// The eval input's subsets are never applied, but drawing them
+		// keeps the main rnd stream identical across inputs.
+		inputSel = InputProfile
+	}
+	inputRnd := rng{state: mixSeed(seed, 0x1417+uint64(inputSel))}
+	flipped := pickWeightShare(biasedW, classOf, c.inputFlip*stableW, &inputRnd)
+	missed := pickWeightShare(biasedW, classOf, c.inputMiss*stableW, &inputRnd)
+
+	// --- Materialize the biased tier.
+	hotCorrIdx := 0
+	for i := 0; i < nBiased; i++ {
+		e := expExecs(i)
+		bseed := mixSeed(seed, uint64(i))
+		dir := rnd.next()&1 == 0 // biased direction (taken or not-taken)
+		r := clamp(rTarget*math.Exp(2.4*(rnd.float64()-0.5)), 1e-6, 2.5e-3)
+		p := biasProb(dir, r)
+		var m behavior.Model
+		class := classOf[i]
+		group := -1
+		switch class {
+		case ClassBiased:
+			m = behavior.Bernoulli{Seed: bseed, PTaken: p}
+		case ClassBursty:
+			m = behavior.Bursty{Seed: bseed, PTaken: p, PBurst: 0.003, BurstLen: 16, PInBurst: 0.35}
+		case ClassLateOnset:
+			// The onset is long in absolute terms (it must outlast a
+			// monitor window and fool initial-behavior training) but a
+			// small fraction of the branch's life, so the whole-run
+			// bias still clears a 99% self-training threshold.
+			onset := uint64(clamp(0.01*e, 2_500, 10_000))
+			m = behavior.Segments{Seed: bseed, Segs: []behavior.Segment{
+				{Len: onset, PTaken: 0.45 + 0.1*rnd.float64()},
+				{PTaken: biasProb(dir, r)},
+			}}
+		case ClassReversal:
+			at := uint64((0.25 + 0.5*rnd.float64()) * e)
+			m = behavior.Segments{Seed: bseed, Segs: []behavior.Segment{
+				{Len: at, PTaken: biasProb(dir, 2e-4)},
+				{PTaken: biasProb(!dir, 2e-4)},
+			}}
+		case ClassSoftening:
+			at := uint64((0.25 + 0.5*rnd.float64()) * e)
+			soft := 0.45 + 0.50*math.Sqrt(rnd.float64())
+			m = behavior.Segments{Seed: bseed, Segs: []behavior.Segment{
+				{Len: at, PTaken: biasProb(dir, 2e-4)},
+				{PTaken: biasProb(dir, 1-soft)},
+			}}
+		case ClassInduction:
+			at := uint64((0.4 + 0.3*rnd.float64()) * e)
+			if e > 70_000 {
+				at = 32_768 // the paper's loop-induction anecdote
+			}
+			m = behavior.InductionFlip{FlipAt: at, TakenFirst: dir}
+		case ClassOscillator:
+			// A repeatedly-evicted branch: long highly-biased phases
+			// separated by short noisy windows. Each noisy window
+			// ramps the eviction counter; the restored bias then
+			// earns re-selection after one monitor window, until the
+			// oscillation limit conservatively retires the branch.
+			cycles := float64(5 + rnd.intn(3))
+			lenA := uint64(e/cycles) - 50
+			if lenA < 1_000 {
+				lenA = 1_000
+			}
+			m = behavior.Cyclic{Seed: bseed, LenA: lenA, LenB: 50,
+				PA: biasProb(dir, 2e-4), PB: biasProb(dir, 0.5)}
+		case ClassCorrelated:
+			g := hotCorrIdx % c.corrGroups
+			hotCorrIdx++
+			group = g
+			m = corrModel(bseed, dir, groupSched[g], uint64(e))
+		}
+		// Profile-input divergence.
+		if input != InputEval {
+			if missed[i] {
+				branches = append(branches, BranchSpec{Weight: 0, Model: m, Class: class, Group: group})
+				continue
+			}
+			if flipped[i] {
+				m = behavior.Inverted{M: m}
+			}
+		}
+		branches = append(branches, BranchSpec{Weight: biasedW[i], Model: m, Class: class, Group: group})
+	}
+
+	// --- Warm unbiased tier. Correlated cold members (branches that flip
+	// in Figure 9's characterization but are too cool to be speculation
+	// candidates) occupy the tail slots.
+	corrCold := 0
+	if c.corrGroups > 0 {
+		corrCold = c.corrGroups*c.corrPerGroup - nCorrHot
+		if corrCold > nWarm/2 {
+			corrCold = nWarm / 2
+		}
+	}
+	for i := 0; i < nWarm; i++ {
+		bseed := mixSeed(seed, uint64(nBiased+i))
+		if i >= nWarm-corrCold {
+			g := (i - (nWarm - corrCold)) % c.corrGroups
+			dir := rnd.next()&1 == 0
+			// Cool, but with enough executions per characterization
+			// window to appear in the Figure 9 tracks.
+			w := math.Max(warmW[i], 2_600/float64(events))
+			e := w * float64(events)
+			branches = append(branches, BranchSpec{
+				Weight: w,
+				Model:  corrModel(bseed, dir, groupSched[g], uint64(e)),
+				Class:  ClassCorrelated,
+				Group:  g,
+			})
+			continue
+		}
+		p := 0.50 + 0.45*rnd.float64() // bias in [50%, 95%): never selectable
+		if rnd.next()&1 == 0 {
+			p = 1 - p
+		}
+		branches = append(branches, BranchSpec{
+			Weight: warmW[i],
+			Model:  behavior.Bernoulli{Seed: bseed, PTaken: p},
+			Class:  ClassUnbiased,
+			Group:  -1,
+		})
+	}
+
+	// --- Cold tier: touched, but too rare to classify.
+	for i := 0; i < nCold; i++ {
+		bseed := mixSeed(seed, uint64(nBiased+nWarm+i))
+		p := rnd.float64()
+		branches = append(branches, BranchSpec{
+			Weight: coldWeight / float64(nCold),
+			Model:  behavior.Bernoulli{Seed: bseed, PTaken: p},
+			Class:  ClassCold,
+			Group:  -1,
+		})
+	}
+
+	// --- Special explicitly-weighted branches.
+	//
+	// Two-phase branches: two long, opposite, highly-biased phases. Their
+	// whole-run bias is ~50–60%, so a static self-training selection
+	// rejects them, but the reactive controller exploits both phases via
+	// the eviction arc — the gzip/mcf cases where the model beats
+	// self-training (Section 3.2).
+	for t := 0; t < nTwoPhase; t++ {
+		bseed := mixSeed(seed, 0x70000+uint64(t))
+		w := c.twoPhaseShare / float64(nTwoPhase)
+		e := w * float64(events)
+		split := uint64((0.40 + 0.2*rnd.float64()) * e)
+		dir := rnd.next()&1 == 0
+		branches = append(branches, BranchSpec{
+			Weight: w,
+			Model: behavior.Segments{Seed: bseed, Segs: []behavior.Segment{
+				{Len: split, PTaken: biasProb(dir, 1e-4)},
+				{PTaken: biasProb(!dir, 1e-4)},
+			}},
+			Class: ClassTwoPhase,
+			Group: -1,
+		})
+	}
+	// The hot softening branch: highly biased for the first half of the
+	// run, then ~85% biased in the same direction. The reactive baseline
+	// evicts it at the change and (correctly) never re-selects it; an
+	// open-loop (no-eviction) policy keeps speculating, harvesting extra
+	// correct speculations at a steady misspeculation cost — the reason
+	// the Table 4 no-eviction row has both the highest correct rate and a
+	// two-orders-of-magnitude-worse incorrect rate.
+	for t := 0; t < nSoftHot; t++ {
+		bseed := mixSeed(seed, 0x50f7+uint64(t))
+		w := softHotShare
+		e := w * float64(events)
+		at := uint64((0.45 + 0.1*rnd.float64()) * e)
+		dir := rnd.next()&1 == 0
+		branches = append(branches, BranchSpec{
+			Weight: w,
+			Model: behavior.Segments{Seed: bseed, Segs: []behavior.Segment{
+				{Len: at, PTaken: biasProb(dir, 1e-4)},
+				{PTaken: biasProb(dir, 0.15)},
+			}},
+			Class: ClassSoftening,
+			Group: -1,
+		})
+	}
+
+	// The stubborn mcf-style branch: heavily weighted, biased far past any
+	// plausible initial-training window, then reversing. It defeats
+	// initial-behavior training at every training length (Section 2.2).
+	if nStubborn > 0 {
+		bseed := mixSeed(seed, 0xabcdef)
+		w := 0.06
+		e := w * float64(events)
+		at := uint64(0.55 * e)
+		branches = append(branches, BranchSpec{
+			Weight: w,
+			Model: behavior.Segments{Seed: bseed, Segs: []behavior.Segment{
+				{Len: at, PTaken: 1e-4},
+				{PTaken: 1 - 1e-4},
+			}},
+			Class: ClassReversal,
+			Group: -1,
+		})
+	}
+
+	normalizeWeights(branches)
+	return &Spec{
+		Name:     c.name,
+		Input:    input,
+		Seed:     seed ^ uint64(input)*0x9e3779b97f4a7c15,
+		Events:   events,
+		MeanGap:  c.meanGap,
+		Branches: branches,
+	}
+}
+
+// corrModel builds a correlated-group member: highly biased inside the
+// group's shared windows, moderately unbiased outside, with boundaries at the
+// group's shared run fractions translated to this branch's execution count.
+func corrModel(seed uint64, dir bool, sched []float64, execs uint64) behavior.Model {
+	segs := make([]behavior.Segment, 0, len(sched)+1)
+	prev := 0.0
+	biasedPhase := true
+	for _, f := range sched {
+		length := uint64((f - prev) * float64(execs))
+		p := biasProb(dir, 2e-4)
+		if !biasedPhase {
+			p = biasProb(dir, 1-0.82)
+		}
+		segs = append(segs, behavior.Segment{Len: length, PTaken: p})
+		biasedPhase = !biasedPhase
+		prev = f
+	}
+	p := biasProb(dir, 2e-4)
+	if !biasedPhase {
+		p = biasProb(dir, 1-0.82)
+	}
+	segs = append(segs, behavior.Segment{PTaken: p})
+	return behavior.Segments{Seed: seed, Segs: segs}
+}
+
+// pickWeightShare marks eligible (stable biased or bursty) slots until their
+// cumulative weight reaches share, in a deterministic shuffled order so the
+// marked set is neither all-hot nor all-cold.
+func pickWeightShare(w []float64, classes []BranchClass, share float64, rnd *rng) []bool {
+	marked := make([]bool, len(w))
+	if share <= 0 {
+		return marked
+	}
+	order := make([]int, 0, len(w))
+	for i := range w {
+		if classes[i] == ClassBiased || classes[i] == ClassBursty {
+			order = append(order, i)
+		}
+	}
+	for i := len(order) - 1; i > 0; i-- {
+		j := int(rnd.intn(uint64(i + 1)))
+		order[i], order[j] = order[j], order[i]
+	}
+	accum := 0.0
+	for _, i := range order {
+		if accum >= share {
+			break
+		}
+		marked[i] = true
+		accum += w[i]
+	}
+	return marked
+}
+
+// biasProb returns the taken probability of a branch biased in direction dir
+// with residual misspeculation rate r.
+func biasProb(dir bool, r float64) float64 {
+	if dir {
+		return 1 - r
+	}
+	return r
+}
+
+func normalizeWeights(branches []BranchSpec) {
+	sum := 0.0
+	for _, b := range branches {
+		sum += b.Weight
+	}
+	if sum <= 0 {
+		return
+	}
+	for i := range branches {
+		branches[i].Weight /= sum
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Min(hi, math.Max(lo, v))
+}
+
+func mixSeed(seed, n uint64) uint64 {
+	z := seed ^ (n+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,24 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"reactivespec/internal/workload"
+)
+
+// Example builds a tiny gcc-flavored workload and replays a few events.
+func Example() {
+	spec := workload.MustBuild("gcc", workload.InputEval, workload.Options{
+		EventScale:  1.0 / 50_000,
+		StaticScale: 1.0 / 50,
+	})
+	fmt.Printf("%s: %d static branches, %d events\n",
+		spec.Name, len(spec.Branches), spec.Events)
+
+	gen := workload.NewGenerator(spec)
+	ev, _ := gen.Next()
+	fmt.Printf("first event: branch %d taken=%v gap=%d\n", ev.Branch, ev.Taken, ev.Gap)
+	// Output:
+	// gcc: 160 static branches, 43333 events
+	// first event: branch 3 taken=false gap=4
+}

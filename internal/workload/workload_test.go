@@ -1,0 +1,398 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"reactivespec/internal/behavior"
+	"reactivespec/internal/trace"
+)
+
+// tinyOpts keeps test workloads small.
+var tinyOpts = Options{EventScale: 1.0 / 20_000, StaticScale: 1.0 / 10}
+
+func TestSuiteNamesAndOrder(t *testing.T) {
+	names := Suite()
+	if len(names) != 12 {
+		t.Fatalf("suite has %d benchmarks, want 12", len(names))
+	}
+	if names[0] != "bzip2" || names[11] != "vpr" {
+		t.Fatalf("suite order wrong: %v", names)
+	}
+}
+
+func TestBuildUnknownBenchmark(t *testing.T) {
+	if _, err := Build("nonesuch", InputEval, Options{}); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild should panic on unknown benchmark")
+		}
+	}()
+	MustBuild("nonesuch", InputEval, Options{})
+}
+
+func TestBuildSuiteCoversAll(t *testing.T) {
+	specs := BuildSuite(InputEval, tinyOpts)
+	if len(specs) != 12 {
+		t.Fatalf("BuildSuite returned %d specs", len(specs))
+	}
+	for i, s := range specs {
+		if s.Name != Suite()[i] {
+			t.Fatalf("spec %d name %q", i, s.Name)
+		}
+	}
+}
+
+func TestWeightsNormalized(t *testing.T) {
+	for _, name := range Suite() {
+		spec := MustBuild(name, InputEval, tinyOpts)
+		sum := 0.0
+		for _, b := range spec.Branches {
+			if b.Weight < 0 {
+				t.Fatalf("%s: negative weight", name)
+			}
+			sum += b.Weight
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s: weights sum to %v", name, sum)
+		}
+	}
+}
+
+func TestSpecDeterministic(t *testing.T) {
+	a := MustBuild("gcc", InputEval, tinyOpts)
+	b := MustBuild("gcc", InputEval, tinyOpts)
+	if len(a.Branches) != len(b.Branches) || a.Events != b.Events || a.Seed != b.Seed {
+		t.Fatal("identical Build calls produced different specs")
+	}
+	for i := range a.Branches {
+		if a.Branches[i].Weight != b.Branches[i].Weight || a.Branches[i].Class != b.Branches[i].Class {
+			t.Fatalf("branch %d differs between identical builds", i)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	spec := MustBuild("gzip", InputEval, tinyOpts)
+	g1 := NewGenerator(spec)
+	g2 := NewGenerator(spec)
+	for i := 0; i < 10_000; i++ {
+		e1, ok1 := g1.Next()
+		e2, ok2 := g2.Next()
+		if ok1 != ok2 || e1 != e2 {
+			t.Fatalf("generators diverge at event %d: %+v vs %+v", i, e1, e2)
+		}
+		if !ok1 {
+			break
+		}
+	}
+}
+
+func TestGeneratorReset(t *testing.T) {
+	spec := MustBuild("mcf", InputEval, tinyOpts)
+	g := NewGenerator(spec)
+	first := trace.Collect(trace.Head(g, 1_000))
+	g.Reset()
+	second := trace.Collect(trace.Head(g, 1_000))
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("reset replay diverges at %d", i)
+		}
+	}
+}
+
+func TestGeneratorEventCount(t *testing.T) {
+	spec := MustBuild("eon", InputEval, tinyOpts)
+	g := NewGenerator(spec)
+	n := uint64(len(trace.Collect(g)))
+	if n != spec.Events {
+		t.Fatalf("generated %d events, spec says %d", n, spec.Events)
+	}
+	if g.Emitted() != spec.Events {
+		t.Fatalf("Emitted = %d", g.Emitted())
+	}
+}
+
+func TestGeneratorFrequenciesTrackWeights(t *testing.T) {
+	spec := MustBuild("bzip2", InputEval, Options{EventScale: 1.0 / 2_000, StaticScale: 1.0 / 10})
+	g := NewGenerator(spec)
+	counts := make([]uint64, len(spec.Branches))
+	total := uint64(0)
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			break
+		}
+		counts[ev.Branch]++
+		total++
+	}
+	// The hottest branches must track their weights within ~25%.
+	for id, b := range spec.Branches {
+		if b.Weight < 0.02 {
+			continue
+		}
+		got := float64(counts[id]) / float64(total)
+		if got < b.Weight*0.75 || got > b.Weight*1.25 {
+			t.Errorf("branch %d frequency %v vs weight %v", id, got, b.Weight)
+		}
+	}
+}
+
+func TestGeneratorGapRange(t *testing.T) {
+	spec := MustBuild("gap", InputEval, tinyOpts)
+	g := NewGenerator(spec)
+	var sum, n uint64
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			break
+		}
+		if ev.Gap < 1 || ev.Gap > 2*spec.MeanGap-1 {
+			t.Fatalf("gap %d outside [1, %d]", ev.Gap, 2*spec.MeanGap-1)
+		}
+		sum += uint64(ev.Gap)
+		n++
+	}
+	mean := float64(sum) / float64(n)
+	if math.Abs(mean-float64(spec.MeanGap)) > 0.5 {
+		t.Fatalf("mean gap %v, want ≈%d", mean, spec.MeanGap)
+	}
+}
+
+func TestOutcomesMatchModels(t *testing.T) {
+	spec := MustBuild("parser", InputEval, tinyOpts)
+	g := NewGenerator(spec)
+	execIdx := make([]uint64, len(spec.Branches))
+	for i := 0; i < 20_000; i++ {
+		ev, ok := g.Next()
+		if !ok {
+			break
+		}
+		n := execIdx[ev.Branch]
+		execIdx[ev.Branch] = n + 1
+		if want := spec.Branches[ev.Branch].Model.Outcome(n); ev.Taken != want {
+			t.Fatalf("event %d branch %d outcome %v, model says %v", i, ev.Branch, ev.Taken, want)
+		}
+	}
+}
+
+func TestBehaviorClassesPresent(t *testing.T) {
+	// Class presence is a property of the default calibrated scale;
+	// building a spec (without generating its stream) is cheap.
+	spec := MustBuild("gap", InputEval, Options{})
+	have := make(map[BranchClass]int)
+	for _, b := range spec.Branches {
+		have[b.Class]++
+	}
+	for _, cl := range []BranchClass{ClassBiased, ClassUnbiased, ClassCold, ClassReversal,
+		ClassSoftening, ClassInduction, ClassLateOnset, ClassOscillator, ClassCorrelated} {
+		if have[cl] == 0 {
+			t.Errorf("gap workload missing class %v", cl)
+		}
+	}
+}
+
+func TestStubbornBranchOnlyInMcf(t *testing.T) {
+	for _, name := range []string{"mcf", "gcc"} {
+		spec := MustBuild(name, InputEval, tinyOpts)
+		// The stubborn branch is the final, heavily-weighted reversal.
+		last := spec.Branches[len(spec.Branches)-1]
+		isStubborn := last.Class == ClassReversal && last.Weight > 0.04
+		if (name == "mcf") != isStubborn {
+			t.Errorf("%s: stubborn-branch presence = %v", name, isStubborn)
+		}
+	}
+}
+
+func TestProfileInputDiverges(t *testing.T) {
+	eval := MustBuild("crafty", InputEval, tinyOpts)
+	prof := MustBuild("crafty", InputProfile, tinyOpts)
+	if len(eval.Branches) != len(prof.Branches) {
+		t.Fatalf("input variants have different populations: %d vs %d",
+			len(eval.Branches), len(prof.Branches))
+	}
+	zeroed, inverted := 0, 0
+	for i := range prof.Branches {
+		if prof.Branches[i].Weight == 0 && eval.Branches[i].Weight > 0 {
+			zeroed++
+		}
+		if _, ok := prof.Branches[i].Model.(behavior.Inverted); ok {
+			inverted++
+		}
+	}
+	if zeroed == 0 {
+		t.Error("profile input exercises every branch; expected unexercised regions")
+	}
+	if inverted == 0 {
+		t.Error("profile input has no reversed-bias branches")
+	}
+}
+
+func TestEvalInputNotInverted(t *testing.T) {
+	eval := MustBuild("crafty", InputEval, tinyOpts)
+	for i, b := range eval.Branches {
+		if _, ok := b.Model.(behavior.Inverted); ok {
+			t.Fatalf("eval input branch %d is inverted", i)
+		}
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 12 {
+		t.Fatalf("Table1 has %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.ProfileInput == "" || r.EvalInput == "" || r.LenBInstr <= 0 {
+			t.Fatalf("incomplete Table1 row %+v", r)
+		}
+	}
+	if rows[4].Name != "gcc" || rows[4].LenBInstr != 13 {
+		t.Fatalf("gcc row wrong: %+v", rows[4])
+	}
+}
+
+func TestPaperTable3Published(t *testing.T) {
+	ps, err := PaperTable3("vortex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.StaticTouch != 3484 || ps.Biased != 1671 || ps.SpecPct != 88.5 {
+		t.Fatalf("vortex paper stats %+v", ps)
+	}
+	if _, err := PaperTable3("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestInstructionsApproximation(t *testing.T) {
+	spec := MustBuild("twolf", InputEval, tinyOpts)
+	if spec.Instructions() != spec.Events*uint64(spec.MeanGap) {
+		t.Fatal("Instructions should be Events × MeanGap")
+	}
+}
+
+func TestInputIDString(t *testing.T) {
+	if InputEval.String() != "eval" || InputProfile.String() != "profile" {
+		t.Fatal("InputID names wrong")
+	}
+	if InputID(9).String() == "" {
+		t.Fatal("unknown InputID should format")
+	}
+}
+
+func TestBranchClassStrings(t *testing.T) {
+	if ClassTwoPhase.String() != "two-phase" || ClassCold.String() != "cold" {
+		t.Fatal("class names wrong")
+	}
+	if BranchClass(200).String() == "" {
+		t.Fatal("unknown class should format")
+	}
+	if ClassBiased.Changed() || !ClassReversal.Changed() || !ClassTwoPhase.Changed() {
+		t.Fatal("Changed classification wrong")
+	}
+}
+
+func TestAliasTableMatchesWeightsProperty(t *testing.T) {
+	// Property: the alias table's sampling distribution tracks the input
+	// weights for any weight vector.
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		weights := make([]float64, len(raw))
+		sum := 0.0
+		any := false
+		for i, w := range raw {
+			weights[i] = float64(w)
+			sum += weights[i]
+			if w > 0 {
+				any = true
+			}
+		}
+		if !any {
+			return true // all-zero weights are rejected by construction
+		}
+		tab := newAliasTable(weights)
+		r := rng{state: 99}
+		const draws = 200_000
+		counts := make([]int, len(weights))
+		for i := 0; i < draws; i++ {
+			u := r.next()
+			f := r.float64()
+			counts[tab.pick(u, f)]++
+		}
+		for i, w := range weights {
+			want := w / sum
+			got := float64(counts[i]) / draws
+			if math.Abs(got-want) > 0.02 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAliasTableRejectsAllZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for all-zero weights")
+		}
+	}()
+	newAliasTable([]float64{0, 0})
+}
+
+func TestInputVariantsDiffer(t *testing.T) {
+	v1 := MustBuild("crafty", InputVariant(1), tinyOpts)
+	v2 := MustBuild("crafty", InputVariant(2), tinyOpts)
+	if len(v1.Branches) != len(v2.Branches) {
+		t.Fatal("variants changed the population size")
+	}
+	// Different variants must flip/omit different subsets.
+	differ := 0
+	for i := range v1.Branches {
+		z1 := v1.Branches[i].Weight == 0
+		z2 := v2.Branches[i].Weight == 0
+		_, inv1 := v1.Branches[i].Model.(behavior.Inverted)
+		_, inv2 := v2.Branches[i].Model.(behavior.Inverted)
+		if z1 != z2 || inv1 != inv2 {
+			differ++
+		}
+	}
+	if differ == 0 {
+		t.Fatal("profile variants are identical")
+	}
+}
+
+func TestInputVariantClamps(t *testing.T) {
+	if InputVariant(0) != InputProfile || InputVariant(-3) != InputProfile {
+		t.Fatal("InputVariant should clamp to the first profile input")
+	}
+	if InputVariant(3).String() != "profile-variant-3" {
+		t.Fatalf("variant name = %q", InputVariant(3).String())
+	}
+}
+
+func TestVariantsShareEvalPopulationShape(t *testing.T) {
+	// The same branch in every variant keeps its class and (when
+	// exercised) its weight — only direction/exercise differ.
+	ev := MustBuild("parser", InputEval, tinyOpts)
+	v2 := MustBuild("parser", InputVariant(2), tinyOpts)
+	for i := range ev.Branches {
+		if ev.Branches[i].Class != v2.Branches[i].Class {
+			t.Fatalf("branch %d class differs across inputs", i)
+		}
+	}
+}
