@@ -8,24 +8,32 @@
 //
 // Paper artifacts: table1, table2, fig2, fig3, fig4, fig5, table3, table4,
 // fig6, fig7, fig8, fig9, table5. Ablations and extensions: averaging,
-// flush, generality, replay, describe, sweep-monitor, sweep-evict,
+// flush, generality, replay, describe, chaos, sweep-monitor, sweep-evict,
 // sweep-wait, sweep-oscillation, sweep-step, sweep-threshold, sweep-task,
 // sweep-slaves.
 // "all" runs everything (≈10–15 minutes at full scale).
 //
 // Flags:
 //
-//	-scale f    workload scale relative to the calibrated default (1.0)
-//	-bench csv  comma-separated benchmark subset (default: all 12)
-//	-seed n     workload seed (default 0, the calibrated seed)
-//	-format f   "table" (default), "csv", or "svg" (figures 2/3/5/6/7/8)
+//	-scale f        workload scale relative to the calibrated default (1.0)
+//	-bench csv      comma-separated benchmark subset (default: all 12)
+//	-seed n         workload seed (default 0, the calibrated seed)
+//	-format f       "table" (default), "csv", or "svg" (figures 2/3/5/6/7/8, chaos)
+//	-timeout d      cancel the run after this duration (e.g. 2m; 0 = none)
+//	-intensities l  fault intensities for the chaos experiment (e.g. 0,0.2,0.8)
+//
+// Exit status: 0 on success, 1 when an experiment fails (or the -timeout
+// deadline cancels it), 2 on usage errors. Errors go to stderr.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"reactivespec/internal/core"
@@ -33,30 +41,54 @@ import (
 	"reactivespec/internal/workload"
 )
 
+// usageError marks errors caused by how the command was invoked (bad flags,
+// unknown experiments) as opposed to experiment failures; main translates
+// the distinction into exit codes 2 and 1.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+// exitCode maps an error to the process exit status.
+func exitCode(err error) int {
+	var u usageError
+	if errors.As(err, &u) {
+		return 2
+	}
+	return 1
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "reactivespec:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("reactivespec", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
 	scale := fs.Float64("scale", 1.0, "workload scale relative to the calibrated default")
 	bench := fs.String("bench", "", "comma-separated benchmark subset (default: all 12)")
 	seed := fs.Uint64("seed", 0, "workload seed")
 	format := fs.String("format", "table", `output format: "table", "csv", or "svg" (figures only)`)
+	timeout := fs.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
+	intensitiesFlag := fs.String("intensities", "", "comma-separated fault intensities in [0,1] for chaos (default 0,0.05,0.1,0.2,0.4,0.8)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: reactivespec [flags] <experiment>\n\nexperiments: %s\n\nflags:\n",
 			strings.Join(experimentNames(), " "))
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageError{err}
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("expected exactly one experiment, got %d args", fs.NArg())
+		return usagef("expected exactly one experiment, got %d args", fs.NArg())
 	}
 	csv := false
 	svg := false
@@ -67,9 +99,14 @@ func run(args []string, out io.Writer) error {
 	case "svg":
 		svg = true
 	default:
-		return fmt.Errorf("unknown format %q", *format)
+		return usagef("unknown format %q", *format)
 	}
 	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		cfg.Context = ctx
+	}
 	if *bench != "" {
 		for _, b := range strings.Split(*bench, ",") {
 			b = strings.TrimSpace(b)
@@ -77,15 +114,19 @@ func run(args []string, out io.Writer) error {
 				continue
 			}
 			if _, err := workload.Build(b, workload.InputEval, workload.Options{}); err != nil {
-				return err
+				return usageError{err}
 			}
 			cfg.Benchmarks = append(cfg.Benchmarks, b)
 		}
 	}
+	intensities, err := parseIntensities(*intensitiesFlag)
+	if err != nil {
+		return err
+	}
 
 	name := fs.Arg(0)
 	if svg {
-		return dispatchSVG(name, cfg, out)
+		return dispatchSVG(name, cfg, intensities, out)
 	}
 	if name == "all" {
 		for _, n := range experimentNames() {
@@ -93,18 +134,51 @@ func run(args []string, out io.Writer) error {
 				continue
 			}
 			fmt.Fprintf(out, "\n=== %s ===\n", n)
-			if err := dispatch(n, cfg, csv, out); err != nil {
+			if err := dispatch(n, cfg, csv, intensities, out); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}
 		}
 		return nil
 	}
-	return dispatch(name, cfg, csv, out)
+	return dispatch(name, cfg, csv, intensities, out)
+}
+
+// parseIntensities parses the -intensities flag; empty means the experiment
+// default.
+func parseIntensities(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, usagef("bad intensity %q: %v", part, err)
+		}
+		if v < 0 || v > 1 {
+			return nil, usagef("intensity %v outside [0, 1]", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, usagef("empty -intensities list")
+	}
+	return out, nil
 }
 
 // dispatchSVG renders the figures that have SVG forms.
-func dispatchSVG(name string, cfg experiments.Config, out io.Writer) error {
+func dispatchSVG(name string, cfg experiments.Config, intensities []float64, out io.Writer) error {
 	switch name {
+	case "chaos":
+		points, err := experiments.Chaos(cfg, intensities)
+		if err != nil {
+			return err
+		}
+		return experiments.SVGChaos(out, points)
 	case "fig2":
 		series, err := experiments.Fig2(cfg)
 		if err != nil {
@@ -142,20 +216,30 @@ func dispatchSVG(name string, cfg experiments.Config, out io.Writer) error {
 		}
 		return experiments.SVGFig8(out, rows)
 	default:
-		return fmt.Errorf("experiment %q has no SVG form (figures 2, 3, 5, 6, 7, 8 do)", name)
+		return usagef("experiment %q has no SVG form (figures 2, 3, 5, 6, 7, 8 and chaos do)", name)
 	}
 }
 
 func experimentNames() []string {
 	return []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "table3",
 		"table4", "fig6", "fig7", "fig8", "fig9", "table5",
-		"averaging", "flush", "generality", "sweep-monitor", "sweep-evict",
+		"averaging", "flush", "generality", "chaos", "sweep-monitor", "sweep-evict",
 		"sweep-wait", "sweep-oscillation", "sweep-step", "sweep-threshold",
 		"sweep-task", "sweep-slaves", "replay", "tls", "describe", "all"}
 }
 
-func dispatch(name string, cfg experiments.Config, csv bool, out io.Writer) error {
+func dispatch(name string, cfg experiments.Config, csv bool, intensities []float64, out io.Writer) error {
 	switch name {
+	case "chaos":
+		points, err := experiments.Chaos(cfg, intensities)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteChaos(out, points, csv); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		return experiments.WriteChaosSummary(out, experiments.ChaosSummary(points), csv)
 	case "table1":
 		return experiments.WriteTable1(out, cfg, csv)
 	case "table2":
@@ -280,7 +364,7 @@ func dispatch(name string, cfg experiments.Config, csv bool, out io.Writer) erro
 		}
 		return experiments.WriteSweep(out, points, csv)
 	default:
-		return fmt.Errorf("unknown experiment %q", name)
+		return usagef("unknown experiment %q", name)
 	}
 }
 

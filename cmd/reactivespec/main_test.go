@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -78,6 +80,62 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-format", "xml", "table3"}, &b); err == nil {
 		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRunChaos(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-scale", "0.05", "-bench", "gzip", "-intensities", "0,0.5", "chaos"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"reactive", "prev-profile-99", "incorrect-delta", "gzip"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chaos output missing %q:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	if err := run([]string{"-scale", "0.05", "-bench", "gzip", "-intensities", "0,0.5", "-format", "svg", "chaos"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<svg") {
+		t.Fatal("chaos SVG output malformed")
+	}
+}
+
+func TestRunTimeoutCancels(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-scale", "0.05", "-bench", "gzip", "-timeout", "1ns", "chaos"}, &b)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if exitCode(err) != 1 {
+		t.Fatalf("timeout exit code %d, want 1 (experiment failure)", exitCode(err))
+	}
+}
+
+func TestExitCodeClassification(t *testing.T) {
+	var b strings.Builder
+	usageCases := [][]string{
+		{"nonesuch"},
+		{},
+		{"-bench", "nope", "table3"},
+		{"-format", "xml", "table3"},
+		{"-intensities", "2", "chaos"},
+		{"-intensities", "x", "chaos"},
+		{"-format", "svg", "table3"},
+	}
+	for _, args := range usageCases {
+		err := run(args, &b)
+		if err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+		if exitCode(err) != 2 {
+			t.Fatalf("args %v: exit code %d, want 2 (usage): %v", args, exitCode(err), err)
+		}
+	}
+	if exitCode(errors.New("experiment blew up")) != 1 {
+		t.Fatal("plain errors must exit 1")
 	}
 }
 

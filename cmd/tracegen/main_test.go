@@ -43,6 +43,47 @@ func TestProfileVariantInput(t *testing.T) {
 	}
 }
 
+func TestCorruptTraceDiagnostics(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gzip.trace")
+	var b strings.Builder
+	if err := run([]string{"-bench", "gzip", "-scale", "0.02", "-o", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A truncated file must yield a descriptive error naming the offset,
+	// not garbage statistics.
+	trunc := filepath.Join(dir, "trunc.trace")
+	if err := os.WriteFile(trunc, data[:len(data)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	err = run([]string{"-stats", trunc}, &b)
+	if err == nil {
+		t.Fatal("truncated trace inspected without error")
+	}
+	if !strings.Contains(err.Error(), "byte offset") {
+		t.Fatalf("truncation error lacks diagnostics: %v", err)
+	}
+
+	// Bad magic is rejected up front.
+	bad := filepath.Join(dir, "bad.trace")
+	mangled := append([]byte{}, data...)
+	mangled[0] ^= 0xff
+	if err := os.WriteFile(bad, mangled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	err = run([]string{"-stats", bad}, &b)
+	if err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("bad-magic error lacks diagnostics: %v", err)
+	}
+}
+
 func TestErrors(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{}, &b); err == nil {

@@ -36,7 +36,7 @@ func ProfileAveraging(cfg Config, counts []int) ([]AveragingRow, error) {
 	if len(counts) == 0 {
 		counts = []int{1, 2, 4, 8}
 	}
-	perBench, err := runParallel(cfg.Benchmarks, func(name string) ([]AveragingRow, error) {
+	perBench, err := runParallel(cfg.ctx(), cfg.Benchmarks, func(name string) ([]AveragingRow, error) {
 		eval, err := cfg.build(name, workload.InputEval)
 		if err != nil {
 			return nil, err
@@ -108,7 +108,7 @@ type FlushRow struct {
 func FlushPolicy(cfg Config) ([]FlushRow, error) {
 	cfg = cfg.withDefaults()
 	params := cfg.Params()
-	return runParallel(cfg.Benchmarks, func(name string) (FlushRow, error) {
+	return runParallel(cfg.ctx(), cfg.Benchmarks, func(name string) (FlushRow, error) {
 		spec, err := cfg.build(name, workload.InputEval)
 		if err != nil {
 			return FlushRow{}, err
@@ -228,7 +228,7 @@ func Sweep(cfg Config, kind SweepKind) ([]SweepPoint, error) {
 	if values == nil {
 		return nil, errUnknownSweep(kind)
 	}
-	return runParallelN(len(values), func(i int) (SweepPoint, error) {
+	return runParallelN(cfg.ctx(), len(values), func(i int) (SweepPoint, error) {
 		v := values[i]
 		params := sweepApply(kind, base, v)
 		var events, correct, wrong uint64

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func chaosTestConfig(benches ...string) Config {
+	return Config{Scale: 0.05, ParamScale: 50, Benchmarks: benches}
+}
+
+func chaosPointsFor(t *testing.T, points []ChaosPoint, bench, mech string, intensity float64) ChaosPoint {
+	t.Helper()
+	for _, p := range points {
+		if p.Bench == bench && p.Mechanism == mech && p.Intensity == intensity {
+			return p
+		}
+	}
+	t.Fatalf("no point for %s/%s@%v", bench, mech, intensity)
+	return ChaosPoint{}
+}
+
+func TestChaosRunsAllMechanisms(t *testing.T) {
+	points, err := Chaos(chaosTestConfig("gzip"), []float64{0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*len(ChaosMechanisms) {
+		t.Fatalf("got %d points, want %d", len(points), 2*len(ChaosMechanisms))
+	}
+	for _, mech := range ChaosMechanisms {
+		clean := chaosPointsFor(t, points, "gzip", mech, 0)
+		if clean.CorrectPct <= 0 {
+			t.Errorf("%s: no correct speculation on the clean stream", mech)
+		}
+	}
+}
+
+func TestChaosZeroIntensityMatchesCleanRun(t *testing.T) {
+	// At intensity 0 the faulted stream is the clean stream, so the
+	// reactive point must be deterministic and match a direct re-run.
+	cfg := chaosTestConfig("mcf")
+	a, err := Chaos(cfg, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chaos(cfg, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chaos point %d nondeterministic: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestChaosReactiveDegradesMoreGracefullyThanPrevProfile(t *testing.T) {
+	// The acceptance property: as fault intensity rises, the reactive
+	// controller's misspeculation rate must degrade strictly more
+	// gracefully than the previous-run-profile baseline.
+	benches := []string{"gzip", "gcc", "mcf", "crafty"}
+	intensities := []float64{0, 0.4, 0.8}
+	points, err := Chaos(chaosTestConfig(benches...), intensities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := ChaosSummary(points)
+	get := func(mech string, in float64) ChaosSummaryRow {
+		for _, r := range rows {
+			if r.Mechanism == mech && r.Intensity == in {
+				return r
+			}
+		}
+		t.Fatalf("missing summary row %s@%v", mech, in)
+		return ChaosSummaryRow{}
+	}
+	for _, in := range intensities[1:] {
+		reactive := get("reactive", in)
+		static := get("prev-profile-99", in)
+		if reactive.WrongDelta >= static.WrongDelta {
+			t.Errorf("intensity %v: reactive degradation %+.4f not below prev-profile %+.4f",
+				in, reactive.WrongDelta, static.WrongDelta)
+		}
+		if reactive.WrongPct >= static.WrongPct {
+			t.Errorf("intensity %v: reactive misspec %.4f%% not below prev-profile %.4f%%",
+				in, reactive.WrongPct, static.WrongPct)
+		}
+	}
+	// And the static mechanisms must actually be hurt by the faults —
+	// otherwise the comparison above is vacuous.
+	if d := get("prev-profile-99", 0.8).WrongDelta; d <= 0 {
+		t.Errorf("prev-profile misspec delta %+.4f at intensity 0.8: faults had no bite", d)
+	}
+}
+
+func TestChaosRejectsBadIntensity(t *testing.T) {
+	if _, err := Chaos(chaosTestConfig("gzip"), []float64{-0.1}); err == nil {
+		t.Fatal("negative intensity accepted")
+	}
+	if _, err := Chaos(chaosTestConfig("gzip"), []float64{1.5}); err == nil {
+		t.Fatal("intensity > 1 accepted")
+	}
+}
+
+func TestChaosHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	cfg := chaosTestConfig("gzip")
+	cfg.Context = ctx
+	_, err := Chaos(cfg, []float64{0, 0.5})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestWriteChaosFormats(t *testing.T) {
+	points, err := Chaos(chaosTestConfig("gzip"), []float64{0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteChaos(&b, points, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "reactive") || !strings.Contains(b.String(), "gzip") {
+		t.Fatalf("chaos table incomplete:\n%s", b.String())
+	}
+	b.Reset()
+	if err := WriteChaosSummary(&b, ChaosSummary(points), true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "intensity,mechanism") {
+		t.Fatalf("chaos summary CSV header wrong:\n%s", b.String())
+	}
+	b.Reset()
+	if err := SVGChaos(&b, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<svg") || !strings.Contains(b.String(), "misspeculation") {
+		t.Fatal("chaos SVG malformed")
+	}
+}

@@ -4,6 +4,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"reactivespec/internal/core"
@@ -12,6 +13,10 @@ import (
 
 // Config scopes an experiment run.
 type Config struct {
+	// Context, when non-nil, bounds the run: long sweeps observe its
+	// cancelation between (and, for streaming drivers, within) benchmarks
+	// and return its error. nil means context.Background().
+	Context context.Context
 	// Scale multiplies the default workload size (1.0 = the calibrated
 	// default of 1/250 of the paper's dynamic instruction counts). Use
 	// small values (e.g. 0.02) for smoke tests.
@@ -38,6 +43,14 @@ func (c Config) withDefaults() Config {
 		c.Benchmarks = workload.Suite()
 	}
 	return c
+}
+
+// ctx returns the run's context, defaulting to context.Background().
+func (c Config) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
 }
 
 func (c Config) workloadOptions() workload.Options {

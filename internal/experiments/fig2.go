@@ -57,7 +57,7 @@ func Fig2TrainLens(paramScale uint64) []uint64 {
 func Fig2(cfg Config) ([]Fig2Series, error) {
 	cfg = cfg.withDefaults()
 	trainLens := Fig2TrainLens(cfg.ParamScale)
-	return runParallel(cfg.Benchmarks, func(name string) (Fig2Series, error) {
+	return runParallel(cfg.ctx(), cfg.Benchmarks, func(name string) (Fig2Series, error) {
 		eval, err := cfg.build(name, workload.InputEval)
 		if err != nil {
 			return Fig2Series{}, err

@@ -62,7 +62,7 @@ func fig5Params(base core.Params, name string) (core.Params, bool) {
 func Fig5(cfg Config) ([]Fig5Point, error) {
 	cfg = cfg.withDefaults()
 	base := cfg.Params()
-	perBench, err := runParallel(cfg.Benchmarks, func(name string) ([]Fig5Point, error) {
+	perBench, err := runParallel(cfg.ctx(), cfg.Benchmarks, func(name string) ([]Fig5Point, error) {
 		spec, err := cfg.build(name, workload.InputEval)
 		if err != nil {
 			return nil, err

@@ -96,7 +96,7 @@ func Fig7(cfg Config) ([]Fig7Row, error) {
 	cfg = cfg.withDefaults()
 	mcfg := mssp.DefaultConfig()
 	mcfg.RunInstrs = uint64(float64(MSSPRunInstrs) * cfg.Scale)
-	return runParallel(cfg.Benchmarks, func(name string) (Fig7Row, error) {
+	return runParallel(cfg.ctx(), cfg.Benchmarks, func(name string) (Fig7Row, error) {
 		prog, err := msspProgram(name, cfg.Seed, mcfg.RunInstrs)
 		if err != nil {
 			return Fig7Row{}, err

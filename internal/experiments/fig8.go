@@ -33,7 +33,7 @@ func Fig8(cfg Config) ([]Fig8Row, error) {
 	cfg = cfg.withDefaults()
 	mcfg := mssp.DefaultConfig()
 	mcfg.RunInstrs = uint64(float64(MSSPRunInstrs) * cfg.Scale)
-	return runParallel(cfg.Benchmarks, func(name string) (Fig8Row, error) {
+	return runParallel(cfg.ctx(), cfg.Benchmarks, func(name string) (Fig8Row, error) {
 		prog, err := msspProgram(name, cfg.Seed, mcfg.RunInstrs)
 		if err != nil {
 			return Fig8Row{}, err

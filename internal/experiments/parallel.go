@@ -1,7 +1,11 @@
 package experiments
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -9,31 +13,29 @@ import (
 // order in the result. Each benchmark's simulation is independent and
 // deterministic, so parallel execution produces byte-identical results to a
 // sequential run.
-func runParallel[T any](names []string, fn func(name string) (T, error)) ([]T, error) {
-	results := make([]T, len(names))
-	errs := make([]error, len(names))
-	sem := make(chan struct{}, maxWorkers())
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = fn(name)
-		}(i, name)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+//
+// The driver is hardened against misbehaving work units: a panic inside fn
+// is recovered and converted into an error attributed to the benchmark that
+// raised it (the process never crashes), and when several units fail, every
+// failure is reported via errors.Join rather than only the first. Work units
+// not yet started when ctx is canceled are skipped; the context error is
+// reported once.
+func runParallel[T any](ctx context.Context, names []string, fn func(name string) (T, error)) ([]T, error) {
+	return runWorkers(ctx, len(names), func(i int) string { return fmt.Sprintf("benchmark %q", names[i]) },
+		func(i int) (T, error) { return fn(names[i]) })
 }
 
 // runParallelN is runParallel over integer indices [0, n).
-func runParallelN[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+func runParallelN[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, error) {
+	return runWorkers(ctx, n, func(i int) string { return fmt.Sprintf("work unit %d", i) }, fn)
+}
+
+// runWorkers is the shared bounded-concurrency fan-out: n work units,
+// labeled for error attribution by label(i).
+func runWorkers[T any](ctx context.Context, n int, label func(i int) string, fn func(i int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]T, n)
 	errs := make([]error, n)
 	sem := make(chan struct{}, maxWorkers())
@@ -44,14 +46,37 @@ func runParallelN[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("%s: panic: %v\n%s", label(i), r, debug.Stack())
+				}
+			}()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			results[i], errs[i] = fn(i)
 		}(i)
 	}
 	wg.Wait()
+	// Aggregate every failure in input order; a canceled context produces
+	// one error per unstarted unit, collapsed to a single report.
+	var failures []error
+	ctxReported := false
 	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			if !ctxReported {
+				failures = append(failures, err)
+				ctxReported = true
+			}
+		default:
+			failures = append(failures, err)
 		}
+	}
+	if len(failures) > 0 {
+		return nil, errors.Join(failures...)
 	}
 	return results, nil
 }

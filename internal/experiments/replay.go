@@ -22,7 +22,7 @@ type ReplayRow struct {
 // Replay runs the frame engine over the benchmark-flavored programs.
 func Replay(cfg Config) ([]ReplayRow, error) {
 	cfg = cfg.withDefaults()
-	return runParallel(cfg.Benchmarks, func(name string) (ReplayRow, error) {
+	return runParallel(cfg.ctx(), cfg.Benchmarks, func(name string) (ReplayRow, error) {
 		rcfg := replay.DefaultConfig()
 		rcfg.RunInstrs = uint64(float64(rcfg.RunInstrs) * cfg.Scale)
 		prog, err := msspProgram(name, cfg.Seed, rcfg.RunInstrs)

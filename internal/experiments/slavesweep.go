@@ -24,7 +24,7 @@ var SlaveSweepCounts = []int{1, 2, 4, 8, 16}
 // counts.
 func SlaveSweep(cfg Config) ([]SlaveSweepRow, error) {
 	cfg = cfg.withDefaults()
-	perBench, err := runParallel(cfg.Benchmarks, func(name string) ([]SlaveSweepRow, error) {
+	perBench, err := runParallel(cfg.ctx(), cfg.Benchmarks, func(name string) ([]SlaveSweepRow, error) {
 		mcfg := mssp.DefaultConfig()
 		mcfg.RunInstrs = uint64(float64(MSSPRunInstrs) * cfg.Scale)
 		prog, err := msspProgram(name, cfg.Seed, mcfg.RunInstrs)

@@ -187,3 +187,35 @@ func SVGFig8(w io.Writer, rows []Fig8Row) error {
 	}
 	return p.WriteSVG(w, 760, 420)
 }
+
+// SVGChaos renders the chaos sweep: suite-mean correct and incorrect
+// speculation rates against fault intensity, one line per control mechanism.
+// The incorrect-rate panel is the robustness headline — the reactive line
+// stays near the floor while the decide-once mechanisms climb.
+func SVGChaos(w io.Writer, points []ChaosPoint) error {
+	rows := ChaosSummary(points)
+	correct := &plot.Plot{
+		Title:  "chaos: correct speculation vs fault intensity",
+		XLabel: "fault intensity",
+		YLabel: "correct (% of events, suite mean)",
+	}
+	wrong := &plot.Plot{
+		Title:  "chaos: misspeculation vs fault intensity",
+		XLabel: "fault intensity",
+		YLabel: "incorrect (% of events, suite mean)",
+	}
+	for _, mech := range ChaosMechanisms {
+		var xs, yc, yw []float64
+		for _, r := range rows {
+			if r.Mechanism != mech {
+				continue
+			}
+			xs = append(xs, r.Intensity)
+			yc = append(yc, r.CorrectPct)
+			yw = append(yw, r.WrongPct)
+		}
+		correct.Series = append(correct.Series, plot.Series{Name: mech, X: xs, Y: yc, Style: plot.Line})
+		wrong.Series = append(wrong.Series, plot.Series{Name: mech, X: append([]float64{}, xs...), Y: yw, Style: plot.Line})
+	}
+	return plot.Grid(w, []*plot.Plot{wrong, correct}, 2, 480, 340)
+}

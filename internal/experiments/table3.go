@@ -32,7 +32,7 @@ type Table3Row struct {
 // evaluation input and reports the transition data.
 func Table3(cfg Config) ([]Table3Row, error) {
 	cfg = cfg.withDefaults()
-	return runParallel(cfg.Benchmarks, func(name string) (Table3Row, error) {
+	return runParallel(cfg.ctx(), cfg.Benchmarks, func(name string) (Table3Row, error) {
 		spec, err := cfg.build(name, workload.InputEval)
 		if err != nil {
 			return Table3Row{}, err

@@ -36,7 +36,7 @@ var TaskSweepBlocks = []int{6, 12, 24, 48, 96}
 // TaskSweep runs the closed-loop MSSP machine at several task granularities.
 func TaskSweep(cfg Config) ([]TaskSweepRow, error) {
 	cfg = cfg.withDefaults()
-	perBench, err := runParallel(cfg.Benchmarks, func(name string) ([]TaskSweepRow, error) {
+	perBench, err := runParallel(cfg.ctx(), cfg.Benchmarks, func(name string) ([]TaskSweepRow, error) {
 		mcfg := mssp.DefaultConfig()
 		mcfg.RunInstrs = uint64(float64(MSSPRunInstrs) * cfg.Scale)
 		prog, err := msspProgram(name, cfg.Seed, mcfg.RunInstrs)

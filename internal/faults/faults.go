@@ -1,0 +1,421 @@
+// Package faults injects deterministic, seeded faults into branch-event
+// streams so the speculation controllers can be evaluated under hostile
+// conditions rather than only the clean, well-calibrated streams the
+// workload generators produce.
+//
+// Every injector is a stream transformer: it wraps a trace.Stream and yields
+// a perturbed stream. All randomness derives from the injector's seed, so a
+// faulted stream is exactly reproducible, and each injector implements
+// trace.ResetStream whenever the underlying stream does (replaying the
+// identical faulted sequence after Reset). Zero-intensity injectors are the
+// identity transform.
+//
+// The injectors model the failure classes the paper's robustness argument
+// is about: outcome corruption (noise in the observed outcomes), event loss
+// and duplication (imperfect monitoring), misspeculation storms (a branch's
+// bias inverting for a window — the mid-run behavior change of Section 2.3
+// turned adversarial), early stream truncation, and branch-ID scrambling
+// (dynamic instances from code the profile never saw).
+package faults
+
+import (
+	"math"
+
+	"reactivespec/internal/trace"
+)
+
+// rng is a splitmix64 sequence generator (the same generator the workload
+// package uses, duplicated here to keep the fault layer self-contained).
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// hash64 mixes x through the splitmix64 finalizer.
+func hash64(x uint64) uint64 {
+	z := x + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashFrac maps x to a uniform value in [0, 1) deterministically.
+func hashFrac(x uint64) float64 {
+	return float64(hash64(x)>>11) / float64(1<<53)
+}
+
+// satGap saturates an accumulated gap at the Event.Gap range, never below 1.
+func satGap(g uint64) uint32 {
+	if g < 1 {
+		return 1
+	}
+	if g > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(g)
+}
+
+// resetter is a fault stream's full interface: Stream plus rewind.
+type resetter interface {
+	trace.Stream
+	Reset()
+}
+
+// guard returns w itself when inner is resettable — so the fault stream
+// implements trace.ResetStream too — and a Stream-only view otherwise
+// (hiding Reset, which could not replay a single-use inner stream).
+func guard(inner trace.Stream, w resetter) trace.Stream {
+	if _, ok := inner.(trace.ResetStream); ok {
+		return w
+	}
+	return streamOnly{w}
+}
+
+type streamOnly struct{ s trace.Stream }
+
+func (o streamOnly) Next() (trace.Event, bool) { return o.s.Next() }
+
+// resetInner rewinds the wrapped stream; guard guarantees it is resettable
+// whenever a fault stream's Reset is reachable.
+func resetInner(s trace.Stream) {
+	s.(trace.ResetStream).Reset()
+}
+
+// Flip corrupts outcomes: each event's Taken bit is inverted independently
+// with probability rate. It models observation noise and predictor-state
+// corruption.
+func Flip(s trace.Stream, rate float64, seed uint64) trace.Stream {
+	f := &flipStream{s: s, rate: rate, seed: seed}
+	f.Reset0()
+	return guard(s, f)
+}
+
+type flipStream struct {
+	s    trace.Stream
+	rate float64
+	seed uint64
+	rnd  rng
+}
+
+// Reset0 resets only the injector's own state (used at construction, before
+// the inner stream has produced anything).
+func (f *flipStream) Reset0() { f.rnd = rng{state: f.seed} }
+
+func (f *flipStream) Reset() { f.Reset0(); resetInner(f.s) }
+
+func (f *flipStream) Next() (trace.Event, bool) {
+	ev, ok := f.s.Next()
+	if !ok {
+		return trace.Event{}, false
+	}
+	if f.rate > 0 && f.rnd.float64() < f.rate {
+		ev.Taken = !ev.Taken
+	}
+	return ev, true
+}
+
+// Drop removes events: each event is dropped independently with probability
+// rate. Instruction gaps of dropped events are folded into the next surviving
+// event — the same carry semantics as trace.Filter — so instruction counts
+// are conserved. If the stream ends while gap is still carried (the tail of
+// the stream was dropped), the last dropped event is emitted carrying the
+// accumulated gap, so the total gap of the stream is conserved exactly
+// (up to Gap's uint32 saturation).
+func Drop(s trace.Stream, rate float64, seed uint64) trace.Stream {
+	d := &dropStream{s: s, rate: rate, seed: seed}
+	d.Reset0()
+	return guard(s, d)
+}
+
+type dropStream struct {
+	s    trace.Stream
+	rate float64
+	seed uint64
+
+	rnd      rng
+	carry    uint64
+	last     trace.Event
+	haveLast bool
+	done     bool
+}
+
+func (d *dropStream) Reset0() {
+	d.rnd = rng{state: d.seed}
+	d.carry, d.last, d.haveLast, d.done = 0, trace.Event{}, false, false
+}
+
+func (d *dropStream) Reset() { d.Reset0(); resetInner(d.s) }
+
+func (d *dropStream) Next() (trace.Event, bool) {
+	if d.done {
+		return trace.Event{}, false
+	}
+	for {
+		ev, ok := d.s.Next()
+		if !ok {
+			d.done = true
+			if d.haveLast && d.carry > 0 {
+				ev := d.last
+				ev.Gap = satGap(d.carry)
+				return ev, true
+			}
+			return trace.Event{}, false
+		}
+		if d.rate > 0 && d.rnd.float64() < d.rate {
+			d.carry += uint64(ev.Gap)
+			d.last, d.haveLast = ev, true
+			continue
+		}
+		if d.carry > 0 {
+			ev.Gap = satGap(d.carry + uint64(ev.Gap))
+			d.carry, d.haveLast = 0, false
+		}
+		return ev, true
+	}
+}
+
+// Duplicate repeats events: each event is emitted twice with probability
+// rate, its instruction gap split between the two copies so the total gap is
+// conserved. Events with Gap 1 are never duplicated (the gap cannot be split
+// while keeping both halves at least 1).
+func Duplicate(s trace.Stream, rate float64, seed uint64) trace.Stream {
+	d := &dupStream{s: s, rate: rate, seed: seed}
+	d.Reset0()
+	return guard(s, d)
+}
+
+type dupStream struct {
+	s    trace.Stream
+	rate float64
+	seed uint64
+
+	rnd     rng
+	dup     trace.Event
+	pending bool
+}
+
+func (d *dupStream) Reset0() {
+	d.rnd = rng{state: d.seed}
+	d.pending = false
+}
+
+func (d *dupStream) Reset() { d.Reset0(); resetInner(d.s) }
+
+func (d *dupStream) Next() (trace.Event, bool) {
+	if d.pending {
+		d.pending = false
+		return d.dup, true
+	}
+	ev, ok := d.s.Next()
+	if !ok {
+		return trace.Event{}, false
+	}
+	if d.rate > 0 && ev.Gap >= 2 && d.rnd.float64() < d.rate {
+		half := ev.Gap / 2
+		d.dup = ev
+		d.dup.Gap = half
+		d.pending = true
+		ev.Gap -= half
+	}
+	return ev, true
+}
+
+// StormConfig parameterizes misspeculation storms.
+type StormConfig struct {
+	// Period is the mean number of events between storm onsets (a storm
+	// starts at each quiet event with probability 1/Period). 0 disables.
+	Period uint64
+	// Window is the storm length in events.
+	Window uint64
+	// VictimFrac is the fraction of static branches whose outcomes are
+	// inverted while a storm is active; the victim set is chosen
+	// deterministically per storm. 0 disables.
+	VictimFrac float64
+}
+
+func (c StormConfig) enabled() bool {
+	return c.Period > 0 && c.Window > 0 && c.VictimFrac > 0
+}
+
+// Storm injects misspeculation storms: windows during which a
+// deterministically-chosen subset of branches has its outcome inverted on
+// every execution. A stably-biased victim becomes stably anti-biased for the
+// window — the worst case for any controller that decided once and never
+// reconsiders.
+func Storm(s trace.Stream, cfg StormConfig, seed uint64) trace.Stream {
+	st := &stormStream{s: s, cfg: cfg, seed: seed}
+	st.Reset0()
+	return guard(s, st)
+}
+
+type stormStream struct {
+	s    trace.Stream
+	cfg  StormConfig
+	seed uint64
+
+	rnd     rng
+	stormID uint64 // 1-based id of the current/most recent storm
+	left    uint64 // events remaining in the active storm
+}
+
+func (st *stormStream) Reset0() {
+	st.rnd = rng{state: st.seed}
+	st.stormID, st.left = 0, 0
+}
+
+func (st *stormStream) Reset() { st.Reset0(); resetInner(st.s) }
+
+func (st *stormStream) Next() (trace.Event, bool) {
+	ev, ok := st.s.Next()
+	if !ok {
+		return trace.Event{}, false
+	}
+	if !st.cfg.enabled() {
+		return ev, true
+	}
+	if st.left == 0 {
+		if st.rnd.float64() < 1/float64(st.cfg.Period) {
+			st.stormID++
+			st.left = st.cfg.Window
+		}
+	}
+	if st.left > 0 {
+		st.left--
+		// Victim membership hashes (branch, storm, seed) so each storm
+		// hits a different subset, independent of event order.
+		key := uint64(ev.Branch)<<32 ^ st.stormID ^ st.seed*0x9e3779b97f4a7c15
+		if hashFrac(key) < st.cfg.VictimFrac {
+			ev.Taken = !ev.Taken
+		}
+	}
+	return ev, true
+}
+
+// Truncate ends the stream after at most n events, modeling a run cut short.
+// Unlike trace.Head it preserves resettability.
+func Truncate(s trace.Stream, n uint64) trace.Stream {
+	t := &truncStream{s: s, n: n, left: n}
+	return guard(s, t)
+}
+
+type truncStream struct {
+	s       trace.Stream
+	n, left uint64
+}
+
+func (t *truncStream) Reset() {
+	t.left = t.n
+	resetInner(t.s)
+}
+
+func (t *truncStream) Next() (trace.Event, bool) {
+	if t.left == 0 {
+		return trace.Event{}, false
+	}
+	t.left--
+	return t.s.Next()
+}
+
+// Scramble remaps a deterministically-chosen fraction of static branches to
+// IDs at or above base, modeling dynamic instances from code the profile
+// never saw (unprofiled code). The mapping is stable: a scrambled branch maps
+// to the same new ID on every execution, so the stream stays a coherent
+// branch trace — just one whose IDs a previous-run profile cannot match.
+// base should be at least the workload's static branch count so scrambled
+// IDs never collide with profiled ones.
+func Scramble(s trace.Stream, rate float64, base trace.BranchID, seed uint64) trace.Stream {
+	sc := &scrambleStream{s: s, rate: rate, base: base, seed: seed}
+	return guard(s, sc)
+}
+
+// scrambleSpread bounds how far above base scrambled IDs land, keeping
+// dense per-branch controller tables small.
+const scrambleSpread = 1 << 12
+
+type scrambleStream struct {
+	s    trace.Stream
+	rate float64
+	base trace.BranchID
+	seed uint64
+}
+
+func (sc *scrambleStream) Reset() { resetInner(sc.s) }
+
+func (sc *scrambleStream) Next() (trace.Event, bool) {
+	ev, ok := sc.s.Next()
+	if !ok {
+		return trace.Event{}, false
+	}
+	if sc.rate > 0 {
+		h := hash64(uint64(ev.Branch) ^ sc.seed*0xbf58476d1ce4e5b9)
+		if float64(h>>11)/float64(1<<53) < sc.rate {
+			ev.Branch = sc.base + trace.BranchID(hash64(h)%scrambleSpread)
+		}
+	}
+	return ev, true
+}
+
+// Mix is a composite fault configuration. Apply chains the enabled injectors
+// in a fixed order (scramble, storm, flip, drop, duplicate, truncate), each
+// drawing from an independent seed derived from Seed, so two Mixes with the
+// same fields perturb identically.
+type Mix struct {
+	// FlipRate is the per-event outcome-corruption probability.
+	FlipRate float64
+	// DropRate and DupRate are the per-event loss and duplication
+	// probabilities.
+	DropRate, DupRate float64
+	// Storm configures misspeculation storms.
+	Storm StormConfig
+	// ScrambleRate is the fraction of static branches remapped to
+	// unprofiled IDs at or above ScrambleBase.
+	ScrambleRate float64
+	ScrambleBase trace.BranchID
+	// TruncateFrac is the fraction of the run cut from the end; it needs
+	// the nominal event count passed to Apply.
+	TruncateFrac float64
+	// Seed drives all the randomness in the mix.
+	Seed uint64
+}
+
+// Zero reports whether the mix perturbs nothing (Apply is the identity).
+func (m Mix) Zero() bool {
+	return m.FlipRate <= 0 && m.DropRate <= 0 && m.DupRate <= 0 &&
+		!(m.Storm.enabled()) && m.ScrambleRate <= 0 && m.TruncateFrac <= 0
+}
+
+// Apply wraps s with the mix's enabled injectors. totalEvents is the nominal
+// length of s, used only for truncation. The result implements
+// trace.ResetStream whenever s does.
+func (m Mix) Apply(s trace.Stream, totalEvents uint64) trace.Stream {
+	if m.ScrambleRate > 0 {
+		s = Scramble(s, m.ScrambleRate, m.ScrambleBase, hash64(m.Seed+1))
+	}
+	if m.Storm.enabled() {
+		s = Storm(s, m.Storm, hash64(m.Seed+2))
+	}
+	if m.FlipRate > 0 {
+		s = Flip(s, m.FlipRate, hash64(m.Seed+3))
+	}
+	if m.DropRate > 0 {
+		s = Drop(s, m.DropRate, hash64(m.Seed+4))
+	}
+	if m.DupRate > 0 {
+		s = Duplicate(s, m.DupRate, hash64(m.Seed+5))
+	}
+	if m.TruncateFrac > 0 {
+		keep := uint64(float64(totalEvents) * (1 - m.TruncateFrac))
+		s = Truncate(s, keep)
+	}
+	return s
+}

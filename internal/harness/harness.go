@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"math"
 
 	"reactivespec/internal/core"
@@ -71,6 +72,50 @@ func Run(s trace.Stream, ctl Controller) Stats {
 		ev, ok := s.Next()
 		if !ok {
 			return st
+		}
+		instr += uint64(ev.Gap)
+		if sink != nil {
+			sink.AddInstrs(uint64(ev.Gap))
+		}
+		st.Events++
+		st.Instrs += uint64(ev.Gap)
+		switch ctl.OnBranch(ev.Branch, ev.Taken, instr) {
+		case core.Correct:
+			st.Correct++
+		case core.Misspec:
+			st.Misspec++
+		default:
+			st.NotSpec++
+		}
+	}
+}
+
+// ctxCheckEvery is how many events RunContext processes between context
+// polls: frequent enough that cancelation lands within milliseconds, rare
+// enough to stay invisible in the hot loop.
+const ctxCheckEvery = 1 << 16
+
+// RunContext is Run with cooperative cancelation: it polls ctx every
+// ctxCheckEvery events and stops early when the context is done, returning
+// the statistics accumulated so far together with the context's error. Long
+// sweeps use it so a deadline cancels mid-benchmark, not only between
+// benchmarks.
+func RunContext(ctx context.Context, s trace.Stream, ctl Controller) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var st Stats
+	sink, _ := ctl.(instrSink)
+	instr := uint64(0)
+	for {
+		if st.Events%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return st, err
+			}
+		}
+		ev, ok := s.Next()
+		if !ok {
+			return st, nil
 		}
 		instr += uint64(ev.Gap)
 		if sink != nil {

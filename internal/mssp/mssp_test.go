@@ -136,6 +136,49 @@ func TestReoptBookkeeping(t *testing.T) {
 	}
 }
 
+func TestWatchdogTripsUnderPathologicalSquashing(t *testing.T) {
+	// Heavy changers with no eviction make the open-loop controller keep
+	// every stale speculation deployed; an aggressive bound must trip the
+	// watchdog, execute fallback tasks, and still finish the run.
+	prog := synth(t, 0.5)
+	cfg := testConfig()
+	cfg.MaxConsecutiveSquashes = 1
+	res := Run(prog, core.New(testParams().WithNoEviction()), cfg)
+	if res.WatchdogTrips == 0 {
+		t.Fatal("watchdog never tripped despite squash-per-task bound of 1")
+	}
+	if res.FallbackTasks == 0 {
+		t.Fatal("watchdog tripped but no fallback tasks ran")
+	}
+	if res.OriginalInstrs < cfg.RunInstrs {
+		t.Fatalf("run did not complete: %d of %d instrs", res.OriginalInstrs, cfg.RunInstrs)
+	}
+}
+
+func TestWatchdogDisabled(t *testing.T) {
+	prog := synth(t, 0.5)
+	cfg := testConfig()
+	cfg.MaxConsecutiveSquashes = 0
+	res := Run(prog, core.New(testParams().WithNoEviction()), cfg)
+	if res.WatchdogTrips != 0 || res.FallbackTasks != 0 {
+		t.Fatalf("disabled watchdog still acted: trips=%d fallback=%d",
+			res.WatchdogTrips, res.FallbackTasks)
+	}
+}
+
+func TestWatchdogBoundsConsecutiveSquashes(t *testing.T) {
+	// With the watchdog at 1, two squashes can never be adjacent: every
+	// squash is followed by a non-speculative (unsquashable) task, so
+	// misspecs are at most half the tasks.
+	prog := synth(t, 0.5)
+	cfg := testConfig()
+	cfg.MaxConsecutiveSquashes = 1
+	res := Run(prog, core.New(testParams().WithNoEviction()), cfg)
+	if res.TaskMisspecs*2 > res.Tasks {
+		t.Fatalf("misspecs %d exceed half of %d tasks despite watchdog", res.TaskMisspecs, res.Tasks)
+	}
+}
+
 func TestDefaultConfig(t *testing.T) {
 	cfg := DefaultConfig()
 	if cfg.Slaves != 8 {

@@ -94,67 +94,137 @@ func Capture(w io.Writer, s Stream, totalEvents uint64) (uint64, error) {
 	return n, tw.Flush()
 }
 
-// Reader replays a serialized trace as a Stream.
+// Reader replays a serialized trace as a Stream. Decode errors carry the
+// byte offset and event index at which corruption was detected, so a
+// truncated or bit-flipped file yields a diagnostic instead of garbage.
 type Reader struct {
-	r      *bufio.Reader
-	left   uint64
-	prevID int64
-	err    error
+	r       *bufio.Reader
+	off     int64 // bytes consumed from the start of the trace
+	total   uint64
+	left    uint64
+	decoded uint64
+	prevID  int64
+	err     error
 }
+
+// errVarintOverflow reports a varint exceeding 64 bits (only a corrupt or
+// adversarial file can contain one; the writer never produces it).
+var errVarintOverflow = errors.New("varint overflows 64 bits")
 
 // NewReader validates the header and returns a stream over the trace.
 func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	t := &Reader{r: bufio.NewReaderSize(r, 1<<16)}
 	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	if _, err := io.ReadFull(t.r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v (file shorter than the %d-byte magic)",
+			ErrBadTrace, err, len(magic))
 	}
+	t.off = int64(len(magic))
 	if magic != traceMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic[:])
+		return nil, fmt.Errorf("%w: bad magic %q at byte offset 0 (want %q)",
+			ErrBadTrace, magic[:], traceMagic[:])
 	}
-	version, err := binary.ReadUvarint(br)
-	if err != nil || version != traceVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, version)
-	}
-	events, err := binary.ReadUvarint(br)
+	version, err := t.uvarint()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		return nil, fmt.Errorf("%w: reading version at byte offset %d: %v", ErrBadTrace, t.off, err)
 	}
-	return &Reader{r: br, left: events}, nil
+	if version != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrBadTrace, version, traceVersion)
+	}
+	events, err := t.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading event count at byte offset %d: %v", ErrBadTrace, t.off, err)
+	}
+	t.total, t.left = events, events
+	return t, nil
 }
 
 // Events returns the number of events remaining.
 func (t *Reader) Events() uint64 { return t.left }
 
+// Offset returns the number of trace bytes consumed so far.
+func (t *Reader) Offset() int64 { return t.off }
+
 // Err returns the first decode error encountered, if any (Next ends the
 // stream on error; callers that care should check Err afterwards).
 func (t *Reader) Err() error { return t.err }
+
+// uvarint decodes one unsigned varint, accounting consumed bytes and
+// detecting truncation and overflow.
+func (t *Reader) uvarint() (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := t.r.ReadByte()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		t.off++
+		if i == binary.MaxVarintLen64 || (i == binary.MaxVarintLen64-1 && b > 1) {
+			return 0, errVarintOverflow
+		}
+		if b < 0x80 {
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+}
+
+// varint decodes one zig-zag signed varint.
+func (t *Reader) varint() (int64, error) {
+	ux, err := t.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	x := int64(ux >> 1)
+	if ux&1 != 0 {
+		x = ^x
+	}
+	return x, nil
+}
+
+// fail records the first decode error, naming where decoding stopped.
+func (t *Reader) fail(field string, err error) {
+	kind := "corrupt"
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		kind = "truncated"
+	}
+	t.err = fmt.Errorf("%w: %s %s at byte offset %d (event %d of %d): %v",
+		ErrBadTrace, kind, field, t.off, t.decoded, t.total, err)
+}
 
 // Next implements Stream.
 func (t *Reader) Next() (Event, bool) {
 	if t.left == 0 || t.err != nil {
 		return Event{}, false
 	}
-	delta, err := binary.ReadVarint(t.r)
+	delta, err := t.varint()
 	if err != nil {
-		t.err = fmt.Errorf("%w: %v", ErrBadTrace, err)
+		t.fail("branch delta", err)
 		return Event{}, false
 	}
-	gapTaken, err := binary.ReadUvarint(t.r)
+	gapTaken, err := t.uvarint()
 	if err != nil {
-		t.err = fmt.Errorf("%w: %v", ErrBadTrace, err)
+		t.fail("gap/outcome", err)
 		return Event{}, false
 	}
 	t.prevID += delta
 	if t.prevID < 0 || t.prevID > int64(^uint32(0)) {
-		t.err = fmt.Errorf("%w: branch id out of range", ErrBadTrace)
+		t.err = fmt.Errorf("%w: branch id %d out of range at byte offset %d (event %d of %d)",
+			ErrBadTrace, t.prevID, t.off, t.decoded, t.total)
 		return Event{}, false
 	}
 	if gapTaken>>1 > uint64(^uint32(0)) {
-		t.err = fmt.Errorf("%w: gap out of range", ErrBadTrace)
+		t.err = fmt.Errorf("%w: gap %d out of range at byte offset %d (event %d of %d)",
+			ErrBadTrace, gapTaken>>1, t.off, t.decoded, t.total)
 		return Event{}, false
 	}
 	t.left--
+	t.decoded++
 	return Event{
 		Branch: BranchID(t.prevID),
 		Taken:  gapTaken&1 == 1,

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -82,6 +84,142 @@ func TestCodecRejectsTruncated(t *testing.T) {
 	Collect(r)
 	if r.Err() == nil {
 		t.Fatal("truncated trace decoded without error")
+	}
+}
+
+func TestCodecTruncatedErrorNamesOffset(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Capture(&buf, NewSliceStream(mkEvents(100)), 100); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Collect(r)
+	err = r.Err()
+	if err == nil {
+		t.Fatal("truncated trace decoded without error")
+	}
+	if !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("error %v does not wrap ErrBadTrace", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "truncated") || !strings.Contains(msg, "byte offset") {
+		t.Fatalf("truncation error lacks diagnostics: %v", err)
+	}
+}
+
+func TestCodecVarintOverflowNamesOffset(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Capture(&buf, NewSliceStream(mkEvents(2)), 2); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the records with an 11-byte continuation run: an overflowing
+	// varint in the first record's branch delta.
+	data := buf.Bytes()
+	// The header length equals that of an empty trace (the event-count
+	// varints 0 and 2 are both one byte).
+	var empty bytes.Buffer
+	if _, err := Capture(&empty, NewSliceStream(nil), 0); err != nil {
+		t.Fatal(err)
+	}
+	hdrLen := empty.Len()
+	corrupt := append(append([]byte{}, data[:hdrLen]...),
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff)
+	r, err := NewReader(bytes.NewReader(corrupt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Collect(r)
+	err = r.Err()
+	if err == nil {
+		t.Fatal("overflowing varint decoded without error")
+	}
+	if !errors.Is(err, ErrBadTrace) || !strings.Contains(err.Error(), "byte offset") {
+		t.Fatalf("overflow error lacks diagnostics: %v", err)
+	}
+}
+
+func TestCodecBadMagicErrorIsDescriptive(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte("NOPE1234")))
+	if err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if !errors.Is(err, ErrBadTrace) || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("bad-magic error lacks diagnostics: %v", err)
+	}
+	// A file shorter than the magic is reported as a truncated header.
+	_, err = NewReader(bytes.NewReader([]byte("RS")))
+	if err == nil || !strings.Contains(err.Error(), "truncated header") {
+		t.Fatalf("short-header error lacks diagnostics: %v", err)
+	}
+}
+
+func TestCodecUnsupportedVersion(t *testing.T) {
+	data := append(append([]byte{}, traceMagic[:]...), 99, 0)
+	_, err := NewReader(bytes.NewReader(data))
+	if err == nil || !strings.Contains(err.Error(), "unsupported version") {
+		t.Fatalf("version error lacks diagnostics: %v", err)
+	}
+}
+
+func TestCodecFlippedByteNeverPanics(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Capture(&buf, NewSliceStream(mkEvents(200)), 200); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	// Flip every byte position in turn; the reader must either decode some
+	// prefix cleanly or stop with a wrapped, descriptive error — never
+	// panic, never loop.
+	for pos := 0; pos < len(valid); pos++ {
+		data := append([]byte{}, valid...)
+		data[pos] ^= 0x40
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("flip at %d: header error %v does not wrap ErrBadTrace", pos, err)
+			}
+			continue
+		}
+		n := 0
+		for {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+			n++
+			if n > 1000 {
+				t.Fatalf("flip at %d: decoder runaway", pos)
+			}
+		}
+		if err := r.Err(); err != nil && !errors.Is(err, ErrBadTrace) {
+			t.Fatalf("flip at %d: error %v does not wrap ErrBadTrace", pos, err)
+		}
+	}
+}
+
+func TestReaderOffsetAdvances(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Capture(&buf, NewSliceStream(mkEvents(10)), 10); err != nil {
+		t.Fatal(err)
+	}
+	size := int64(buf.Len())
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := r.Offset()
+	if hdr < 6 {
+		t.Fatalf("header offset %d too small", hdr)
+	}
+	Collect(r)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if r.Offset() != size {
+		t.Fatalf("final offset %d, want file size %d", r.Offset(), size)
 	}
 }
 

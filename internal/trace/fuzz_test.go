@@ -2,8 +2,11 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
+
+func errorsIsBadTrace(err error) bool { return errors.Is(err, ErrBadTrace) }
 
 // FuzzReader feeds arbitrary bytes to the trace decoder: it must never
 // panic, and must either decode cleanly or report ErrBadTrace-wrapped
@@ -25,10 +28,20 @@ func FuzzReader(f *testing.F) {
 		corrupted[8] ^= 0xff
 	}
 	f.Add(corrupted)
+	// Header-format probes: good magic with a bad version, a huge declared
+	// event count over no records, and an overflowing record varint.
+	f.Add(append(append([]byte{}, traceMagic[:]...), 99, 0))
+	f.Add(append(append([]byte{}, traceMagic[:]...), traceVersion,
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01))
+	f.Add(append(append([]byte{}, traceMagic[:]...), traceVersion, 2,
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))
 		if err != nil {
+			if !errorsIsBadTrace(err) {
+				t.Fatalf("header error %v does not wrap ErrBadTrace", err)
+			}
 			return
 		}
 		n := 0
@@ -42,6 +55,9 @@ func FuzzReader(f *testing.F) {
 			if n > 1<<20 {
 				t.Fatal("decoder produced more events than any input this size could encode")
 			}
+		}
+		if err := r.Err(); err != nil && !errorsIsBadTrace(err) {
+			t.Fatalf("decode error %v does not wrap ErrBadTrace", err)
 		}
 	})
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate: static analysis, full build, and the test suite
+# under the race detector (race mode exercises the hardened parallel
+# experiment drivers). Run from anywhere inside the repository.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> OK"
