@@ -10,7 +10,10 @@ package reactivespec_test
 
 import (
 	"bytes"
+	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"reactivespec/internal/bpred"
@@ -21,6 +24,7 @@ import (
 	"reactivespec/internal/mssp"
 	"reactivespec/internal/program"
 	"reactivespec/internal/replay"
+	"reactivespec/internal/server"
 	"reactivespec/internal/tlspec"
 	"reactivespec/internal/trace"
 	"reactivespec/internal/values"
@@ -292,6 +296,135 @@ func BenchmarkValueController(b *testing.B) {
 		ctl.AddInstrs(5)
 		ctl.OnLoad(i&31, uint32(i&3), instr)
 	}
+}
+
+// --- Sharded controller-table benchmarks (the reactived substrate) ---
+
+// serialTable is the unsharded baseline the lock-striped table replaces: a
+// single mutex in front of a single controller map. Same decision semantics,
+// no concurrency.
+type serialTable struct {
+	mu      sync.Mutex
+	params  core.Params
+	entries map[serialKey]*core.Controller
+}
+
+type serialKey struct {
+	program string
+	branch  trace.BranchID
+}
+
+func newSerialTable(params core.Params) *serialTable {
+	return &serialTable{params: params, entries: make(map[serialKey]*core.Controller)}
+}
+
+func (t *serialTable) Apply(program string, ev trace.Event, instr uint64) core.Verdict {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := serialKey{program, ev.Branch}
+	ctl := t.entries[k]
+	if ctl == nil {
+		ctl = core.New(t.params)
+		t.entries[k] = ctl
+	}
+	ctl.AddInstrs(uint64(ev.Gap))
+	return ctl.OnBranch(0, ev.Taken, instr)
+}
+
+func (t *serialTable) Decide(program string, id trace.BranchID) core.State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ctl := t.entries[serialKey{program, id}]; ctl != nil {
+		return ctl.BranchState(0)
+	}
+	return core.Monitor
+}
+
+// benchTableEvents pre-generates a deterministic mixed stream over nbranch
+// branches so every table benchmark applies identical work.
+func benchTableEvents(n, nbranch int) []trace.Event {
+	evs := make([]trace.Event, n)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range evs {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		evs[i] = trace.Event{
+			Branch: trace.BranchID(x) % trace.BranchID(nbranch),
+			Taken:  x>>32&7 < 3,
+			Gap:    uint32(4 + x>>56&7),
+		}
+	}
+	return evs
+}
+
+// benchTableParallel drives apply/decide from GOMAXPROCS goroutines. The
+// write fraction selects the mix: 1.0 is pure ingest (write-heavy), 0.05 is
+// the lookup-dominated serving path (read-heavy).
+func benchTableParallel(b *testing.B, apply func(string, trace.Event, uint64),
+	decide func(string, trace.BranchID), writeFrac float64) {
+	const nbranch = 256
+	evs := benchTableEvents(1<<14, nbranch)
+	writeEvery := int(1 / writeFrac)
+	var worker atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		program := fmt.Sprintf("bench@%d", worker.Add(1))
+		var instr uint64
+		i := 0
+		for pb.Next() {
+			ev := evs[i&(len(evs)-1)]
+			if writeFrac >= 1 || i%writeEvery == 0 {
+				instr += uint64(ev.Gap)
+				apply(program, ev, instr)
+			} else {
+				decide(program, ev.Branch)
+			}
+			i++
+		}
+	})
+}
+
+// benchShardedTable benchmarks the lock-striped table at a given stripe
+// count; compare against BenchmarkTableBaseline* for the striping win.
+func benchShardedTable(b *testing.B, shards int, writeFrac float64) {
+	t := server.NewTable(core.DefaultParams().Scaled(10), shards)
+	benchTableParallel(b,
+		func(p string, ev trace.Event, instr uint64) { t.Apply(p, ev, instr) },
+		func(p string, id trace.BranchID) { t.Decide(p, id) },
+		writeFrac)
+}
+
+func BenchmarkTableWriteHeavy(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchShardedTable(b, shards, 1.0)
+		})
+	}
+}
+
+func BenchmarkTableReadHeavy(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchShardedTable(b, shards, 0.05)
+		})
+	}
+}
+
+func BenchmarkTableBaselineWriteHeavy(b *testing.B) {
+	t := newSerialTable(core.DefaultParams().Scaled(10))
+	benchTableParallel(b,
+		func(p string, ev trace.Event, instr uint64) { t.Apply(p, ev, instr) },
+		func(p string, id trace.BranchID) { t.Decide(p, id) },
+		1.0)
+}
+
+func BenchmarkTableBaselineReadHeavy(b *testing.B) {
+	t := newSerialTable(core.DefaultParams().Scaled(10))
+	benchTableParallel(b,
+		func(p string, ev trace.Event, instr uint64) { t.Apply(p, ev, instr) },
+		func(p string, id trace.BranchID) { t.Decide(p, id) },
+		0.05)
 }
 
 // BenchmarkTraceCodec measures trace encode+decode throughput.

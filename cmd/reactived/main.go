@@ -1,0 +1,139 @@
+// Command reactived is the networked speculation-control daemon: it hosts a
+// sharded table of reactive controllers (internal/server), ingests batches
+// of branch-outcome events over HTTP in the internal/trace frame format,
+// serves classification decisions back, snapshots table state to disk with
+// atomic rename, and restores it on start.
+//
+// Usage:
+//
+//	reactived [flags]
+//
+// Flags:
+//
+//	-addr a               listen address (default 127.0.0.1:8344; use :0 for a random port)
+//	-addr-file f          write the bound address to f once listening (for scripts)
+//	-shards n             lock-stripe count for the controller table (default 16)
+//	-param-scale k        divide the paper's Table 2 parameters by k (default 10)
+//	-snapshot-dir d       enable snapshot/restore under directory d
+//	-snapshot-interval t  periodic snapshot interval (default 30s; 0 = only on shutdown)
+//
+// Endpoints: POST /v1/ingest, GET /v1/decide, GET /healthz, GET /metrics,
+// POST /v1/snapshot. SIGINT/SIGTERM drain in-flight batches, take a final
+// snapshot (when -snapshot-dir is set), and exit 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "reactived:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("reactived", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	addr := fs.String("addr", "127.0.0.1:8344", "listen address (use :0 for a random port)")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
+	shards := fs.Int("shards", 16, "lock-stripe count for the controller table")
+	paramScale := fs.Uint64("param-scale", 10, "divide the paper's Table 2 parameters by this factor")
+	snapshotDir := fs.String("snapshot-dir", "", "enable snapshot/restore under this directory")
+	snapshotInterval := fs.Duration("snapshot-interval", 30*time.Second,
+		"periodic snapshot interval (0 = only on shutdown)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(out, "reactived: "+format+"\n", a...)
+	}
+	s := server.New(server.Config{
+		Params:      core.DefaultParams().Scaled(*paramScale),
+		Shards:      *shards,
+		SnapshotDir: *snapshotDir,
+		Logf:        logf,
+	})
+	restored, err := s.RestoreFromDisk()
+	if err != nil {
+		return fmt.Errorf("restoring snapshot: %w", err)
+	}
+	if !restored && *snapshotDir != "" {
+		logf("no snapshot under %s; starting fresh", *snapshotDir)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("writing -addr-file: %w", err)
+		}
+	}
+	logf("listening on %s (%d shards, param scale 1/%d)", bound, *shards, *paramScale)
+
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	snapTick := make(<-chan time.Time)
+	var ticker *time.Ticker
+	if *snapshotDir != "" && *snapshotInterval > 0 {
+		ticker = time.NewTicker(*snapshotInterval)
+		defer ticker.Stop()
+		snapTick = ticker.C
+	}
+
+	for {
+		select {
+		case <-snapTick:
+			if _, err := s.SnapshotNow(); err != nil {
+				logf("periodic snapshot failed: %v", err)
+			}
+		case err := <-serveErr:
+			if errors.Is(err, http.ErrServerClosed) {
+				return nil
+			}
+			return err
+		case <-ctx.Done():
+			logf("shutting down: draining in-flight batches")
+			s.BeginDrain()
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			err := hs.Shutdown(shutdownCtx)
+			cancel()
+			if err != nil {
+				logf("shutdown: %v", err)
+			}
+			if *snapshotDir != "" {
+				if _, err := s.SnapshotNow(); err != nil {
+					return fmt.Errorf("final snapshot: %w", err)
+				}
+				logf("final snapshot written")
+			}
+			return nil
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon with a random port and returns its base URL
+// plus a cancel that triggers graceful shutdown and waits for exit.
+func startDaemon(t *testing.T, extraArgs ...string) (base string, shutdown func() error) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, extraArgs...)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, args, os.Stderr) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b, err := os.ReadFile(addrFile)
+		if err == nil && len(b) > 0 {
+			base = "http://" + strings.TrimSpace(string(b))
+			break
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatal("daemon never wrote its address file")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return base, func() error {
+		cancel()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(20 * time.Second):
+			return context.DeadlineExceeded
+		}
+	}
+}
+
+func TestRunServesAndShutsDownCleanly(t *testing.T) {
+	snapDir := filepath.Join(t.TempDir(), "snaps")
+	base, shutdown := startDaemon(t, "-snapshot-dir", snapDir, "-snapshot-interval", "0")
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("run returned %v on graceful shutdown", err)
+	}
+	// Shutdown with a snapshot dir writes a final snapshot.
+	if _, err := os.Stat(filepath.Join(snapDir, "current.snap")); err != nil {
+		t.Fatalf("final snapshot missing: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-addr", "not a listen address"},
+		{"positional"},
+	} {
+		if err := run(context.Background(), args, os.Stderr); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

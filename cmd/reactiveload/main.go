@@ -1,0 +1,299 @@
+// Command reactiveload is a seeded load generator for reactived: it replays
+// the calibrated synthetic workloads (internal/workload), optionally
+// perturbed by the fault injectors (internal/faults), against a running
+// daemon at configurable concurrency and batch size, and reports throughput
+// and batch-latency quantiles as JSON for regression tracking.
+//
+// Each worker drives its own program stream ("<bench>@<worker>"), so workers
+// never contend on a program cursor and the daemon's decision sequence per
+// program is deterministic. With -verify, every worker simultaneously runs
+// an in-process reactive controller over the identical event sequence and
+// fails if any networked decision differs — the end-to-end closed-loop
+// equivalence check.
+//
+// Usage:
+//
+//	reactiveload -addr http://127.0.0.1:8344 [flags]
+//
+// Flags:
+//
+//	-addr url        daemon base URL (required)
+//	-bench name      workload model to replay (default gzip)
+//	-input id        workload input: eval or profile (default eval)
+//	-scale f         event-count scale relative to the calibrated default (default 0.05)
+//	-events n        hard cap on events per worker (0 = the scaled spec length)
+//	-concurrency n   parallel workers (default 4)
+//	-batch n         events per ingest batch (default 1024)
+//	-seed n          workload seed base; worker w uses seed+w (default 0)
+//	-intensity f     fault-injection intensity in [0,1] (default 0)
+//	-param-scale k   controller parameter scale for -verify; must match the daemon (default 10)
+//	-verify          cross-check every decision against an in-process controller
+//
+// Exit status: 0 on success, 1 on transport errors or verification failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/faults"
+	"reactivespec/internal/server"
+	"reactivespec/internal/stats"
+	"reactivespec/internal/trace"
+	"reactivespec/internal/workload"
+)
+
+// Report is the JSON result written to stdout.
+type Report struct {
+	Benchmark   string  `json:"benchmark"`
+	Input       string  `json:"input"`
+	Concurrency int     `json:"concurrency"`
+	Batch       int     `json:"batch"`
+	Intensity   float64 `json:"intensity"`
+	Verified    bool    `json:"verified"`
+
+	Events     uint64  `json:"events"`
+	Batches    uint64  `json:"batches"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	EventsPerS float64 `json:"events_per_sec"`
+
+	BatchP50Ms float64 `json:"batch_latency_p50_ms"`
+	BatchP90Ms float64 `json:"batch_latency_p90_ms"`
+	BatchP99Ms float64 `json:"batch_latency_p99_ms"`
+
+	Verdicts  map[string]uint64 `json:"verdicts"`
+	Decisions map[string]uint64 `json:"decisions"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "reactiveload:", err)
+		os.Exit(1)
+	}
+}
+
+// workerResult is one worker's contribution to the report.
+type workerResult struct {
+	events    uint64
+	batches   uint64
+	lat       *stats.LogHist
+	verdicts  [3]uint64 // indexed by core.Verdict
+	decisions [4]uint64 // indexed by core.State
+	err       error
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("reactiveload", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	addr := fs.String("addr", "", "daemon base URL (required), e.g. http://127.0.0.1:8344")
+	bench := fs.String("bench", "gzip", "workload model to replay")
+	input := fs.String("input", "eval", `workload input: "eval" or "profile"`)
+	scale := fs.Float64("scale", 0.05, "event-count scale relative to the calibrated default")
+	events := fs.Uint64("events", 0, "hard cap on events per worker (0 = the scaled spec length)")
+	concurrency := fs.Int("concurrency", 4, "parallel workers")
+	batch := fs.Int("batch", 1024, "events per ingest batch")
+	seed := fs.Uint64("seed", 0, "workload seed base; worker w uses seed+w")
+	intensity := fs.Float64("intensity", 0, "fault-injection intensity in [0,1]")
+	paramScale := fs.Uint64("param-scale", 10, "controller parameter scale for -verify (must match the daemon)")
+	verify := fs.Bool("verify", false, "cross-check every decision against an in-process controller")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *addr == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	if *concurrency < 1 || *batch < 1 {
+		return fmt.Errorf("-concurrency and -batch must be at least 1")
+	}
+	if *intensity < 0 || *intensity > 1 {
+		return fmt.Errorf("-intensity %v outside [0, 1]", *intensity)
+	}
+	var inputID workload.InputID
+	switch *input {
+	case "eval":
+		inputID = workload.InputEval
+	case "profile":
+		inputID = workload.InputProfile
+	default:
+		return fmt.Errorf("unknown -input %q (want eval or profile)", *input)
+	}
+	if _, err := workload.Build(*bench, inputID, workload.Options{}); err != nil {
+		return err
+	}
+	params := core.DefaultParams().Scaled(*paramScale)
+	client := server.NewClient(*addr, nil)
+	if _, err := client.Healthz(); err != nil {
+		return fmt.Errorf("daemon not reachable at %s: %w", *addr, err)
+	}
+
+	results := make([]workerResult, *concurrency)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = runWorker(client, workerConfig{
+				program:   fmt.Sprintf("%s@%d", *bench, w),
+				bench:     *bench,
+				input:     inputID,
+				scale:     *scale,
+				events:    *events,
+				batch:     *batch,
+				seed:      *seed + uint64(w),
+				intensity: *intensity,
+				params:    params,
+				verify:    *verify,
+			})
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{
+		Benchmark:   *bench,
+		Input:       inputID.String(),
+		Concurrency: *concurrency,
+		Batch:       *batch,
+		Intensity:   *intensity,
+		Verified:    *verify,
+		ElapsedSec:  elapsed.Seconds(),
+		Verdicts:    map[string]uint64{},
+		Decisions:   map[string]uint64{},
+	}
+	lat := stats.NewLogHist(1e-6, 60, 30)
+	for w, r := range results {
+		if r.err != nil {
+			return fmt.Errorf("worker %d: %w", w, r.err)
+		}
+		rep.Events += r.events
+		rep.Batches += r.batches
+		lat.Merge(r.lat)
+		for v, n := range r.verdicts {
+			rep.Verdicts[core.Verdict(v).String()] += n
+		}
+		for st, n := range r.decisions {
+			rep.Decisions[core.State(st).String()] += n
+		}
+	}
+	if elapsed > 0 {
+		rep.EventsPerS = float64(rep.Events) / elapsed.Seconds()
+	}
+	rep.BatchP50Ms = lat.Quantile(0.5) * 1e3
+	rep.BatchP90Ms = lat.Quantile(0.9) * 1e3
+	rep.BatchP99Ms = lat.Quantile(0.99) * 1e3
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+type workerConfig struct {
+	program   string
+	bench     string
+	input     workload.InputID
+	scale     float64
+	events    uint64
+	batch     int
+	seed      uint64
+	intensity float64
+	params    core.Params
+	verify    bool
+}
+
+// runWorker replays one seeded stream against the daemon.
+func runWorker(client *server.Client, cfg workerConfig) workerResult {
+	res := workerResult{lat: stats.NewLogHist(1e-6, 60, 30)}
+	spec, err := workload.Build(cfg.bench, cfg.input, workload.Options{
+		EventScale: workload.DefaultEventScale * cfg.scale,
+		Seed:       cfg.seed,
+	})
+	if err != nil {
+		res.err = err
+		return res
+	}
+	var stream trace.Stream = workload.NewGenerator(spec)
+	if cfg.intensity > 0 {
+		mix := faults.IntensityMix(cfg.intensity, spec.Events,
+			trace.BranchID(len(spec.Branches)), spec.Seed^0x10adc1e4)
+		stream = mix.Apply(stream, spec.Events)
+	}
+	if cfg.events > 0 {
+		stream = trace.Head(stream, cfg.events)
+	}
+
+	// The verification mirror: an in-process controller fed the identical
+	// sequence must agree with every networked decision.
+	var mirror *core.Controller
+	var mirrorInstr uint64
+	if cfg.verify {
+		mirror = core.New(cfg.params)
+	}
+
+	batch := make([]trace.Event, 0, cfg.batch)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		t0 := time.Now()
+		ds, err := client.Ingest(cfg.program, batch)
+		if err != nil {
+			return err
+		}
+		res.lat.Add(time.Since(t0).Seconds())
+		res.batches++
+		res.events += uint64(len(batch))
+		for i, d := range ds {
+			res.verdicts[d.Verdict]++
+			res.decisions[d.State]++
+			if mirror != nil {
+				ev := batch[i]
+				mirrorInstr += uint64(ev.Gap)
+				v := mirror.OnBranch(ev.Branch, ev.Taken, mirrorInstr)
+				dir, live := mirror.Speculating(ev.Branch)
+				want := server.Decision{Verdict: v, State: mirror.BranchState(ev.Branch), Dir: dir, Live: live}
+				if d != want {
+					return fmt.Errorf("decision mismatch at event %d of %s (branch %d): daemon %v, in-process %v"+
+						" (is the daemon running with -param-scale %d?)",
+						res.events-uint64(len(batch))+uint64(i), cfg.program, ev.Branch, d, want,
+						paramScaleHint(cfg.params))
+				}
+			}
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		ev, ok := stream.Next()
+		if !ok {
+			break
+		}
+		batch = append(batch, ev)
+		if len(batch) == cfg.batch {
+			if err := flush(); err != nil {
+				res.err = err
+				return res
+			}
+		}
+	}
+	res.err = flush()
+	return res
+}
+
+// paramScaleHint recovers the scale factor for the mismatch diagnostic.
+func paramScaleHint(p core.Params) uint64 {
+	d := core.DefaultParams()
+	if p.MonitorPeriod == 0 {
+		return 1
+	}
+	return d.MonitorPeriod / p.MonitorPeriod
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/server"
+)
+
+// testDaemon serves a real server.Server over httptest with the default
+// reactiveload parameter scale so -verify can mirror it.
+func testDaemon(t *testing.T) string {
+	t.Helper()
+	s := server.New(server.Config{Params: core.DefaultParams().Scaled(10), Shards: 4})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestRunVerifiedLoad(t *testing.T) {
+	base := testDaemon(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", base,
+		"-bench", "gzip",
+		"-scale", "0.01",
+		"-concurrency", "3",
+		"-batch", "512",
+		"-verify",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Events == 0 || rep.Batches == 0 {
+		t.Fatalf("empty run: %+v", rep)
+	}
+	if !rep.Verified {
+		t.Fatal("report not marked verified")
+	}
+	if rep.EventsPerS <= 0 || rep.BatchP50Ms <= 0 || rep.BatchP99Ms < rep.BatchP50Ms {
+		t.Fatalf("implausible rates: %+v", rep)
+	}
+	var verdictTotal uint64
+	for _, n := range rep.Verdicts {
+		verdictTotal += n
+	}
+	if verdictTotal != rep.Events {
+		t.Fatalf("verdict counts sum to %d, want %d", verdictTotal, rep.Events)
+	}
+}
+
+func TestRunVerifyDetectsParamMismatch(t *testing.T) {
+	base := testDaemon(t) // daemon runs at scale 10
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", base,
+		"-scale", "0.01",
+		"-concurrency", "1",
+		"-param-scale", "1", // mirror at full Table 2 parameters
+		"-verify",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "decision mismatch") {
+		t.Fatalf("err = %v, want decision mismatch", err)
+	}
+}
+
+func TestRunWithFaultsAndEventCap(t *testing.T) {
+	base := testDaemon(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", base,
+		"-events", "3000",
+		"-concurrency", "2",
+		"-batch", "256",
+		"-intensity", "0.5",
+		"-verify",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	// Faults drop and duplicate events, so the cap bounds but does not pin
+	// the count; it must still be near 2 workers x 3000.
+	if rep.Events == 0 || rep.Events > 6000 {
+		t.Fatalf("events = %d, want (0, 6000]", rep.Events)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                    // missing -addr
+		{"-addr", "http://x", "-input", "zz"}, // bad input
+		{"-addr", "http://x", "-bench", "nope"},
+		{"-addr", "http://x", "-concurrency", "0"},
+		{"-addr", "http://x", "-intensity", "1.5"},
+		{"-addr", "http://x", "positional"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunUnreachableDaemon(t *testing.T) {
+	err := run([]string{"-addr", "http://127.0.0.1:1"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "not reachable") {
+		t.Fatalf("err = %v, want not-reachable", err)
+	}
+}

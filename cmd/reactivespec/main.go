@@ -62,9 +62,20 @@ func exitCode(err error) int {
 	return 1
 }
 
+// errorMessage renders err for stderr. A -timeout expiry surfaces as
+// context.DeadlineExceeded ("context deadline exceeded"), which on its own
+// reads like an internal failure; name the cause so it is distinguishable
+// from an experiment crash.
+func errorMessage(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Sprintf("run cancelled: the -timeout deadline expired (%v)", err)
+	}
+	return err.Error()
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "reactivespec:", err)
+		fmt.Fprintln(os.Stderr, "reactivespec:", errorMessage(err))
 		os.Exit(exitCode(err))
 	}
 }

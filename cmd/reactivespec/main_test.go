@@ -112,6 +112,13 @@ func TestRunTimeoutCancels(t *testing.T) {
 	if exitCode(err) != 1 {
 		t.Fatalf("timeout exit code %d, want 1 (experiment failure)", exitCode(err))
 	}
+	msg := errorMessage(err)
+	if !strings.Contains(msg, "-timeout") || !strings.Contains(msg, "deadline") {
+		t.Fatalf("timeout message %q does not name -timeout expiry", msg)
+	}
+	if plain := errorMessage(errors.New("boom")); plain != "boom" {
+		t.Fatalf("plain errors must render verbatim, got %q", plain)
+	}
 }
 
 func TestExitCodeClassification(t *testing.T) {

@@ -53,31 +53,11 @@ type ChaosPoint struct {
 	Events uint64
 }
 
-// chaosMix maps one intensity to a composite fault configuration. Every
-// component scales linearly with intensity; the mix exercises all five fault
-// classes at once, the way a genuinely hostile run would.
+// chaosMix maps one intensity to a composite fault configuration: the
+// canonical faults.IntensityMix keyed to this spec's population and seed.
 func chaosMix(intensity float64, spec *workload.Spec) faults.Mix {
-	return faults.Mix{
-		FlipRate: 0.15 * intensity,
-		DropRate: 0.10 * intensity,
-		DupRate:  0.10 * intensity,
-		Storm: faults.StormConfig{
-			Period:     maxU64(spec.Events/16, 1_000),
-			Window:     maxU64(spec.Events/64, 250),
-			VictimFrac: 0.5 * intensity,
-		},
-		ScrambleRate: 0.25 * intensity,
-		ScrambleBase: trace.BranchID(len(spec.Branches)),
-		TruncateFrac: 0.15 * intensity,
-		Seed:         spec.Seed ^ 0xc8a05_5eed,
-	}
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
+	return faults.IntensityMix(intensity, spec.Events,
+		trace.BranchID(len(spec.Branches)), spec.Seed^0xc8a05_5eed)
 }
 
 // Chaos sweeps fault intensity across the configured benchmarks and

@@ -419,3 +419,34 @@ func (m Mix) Apply(s trace.Stream, totalEvents uint64) trace.Stream {
 	}
 	return s
 }
+
+// IntensityMix maps a single intensity knob in [0, 1] to a composite Mix
+// exercising all five fault classes at once, every component scaling
+// linearly with intensity — the canonical hostile-run configuration shared
+// by the chaos experiment (internal/experiments) and the service load
+// generator (cmd/reactiveload). totalEvents is the nominal run length (it
+// sizes the misspeculation-storm period and window), scrambleBase the first
+// branch ID outside the profiled population, and seed drives all the mix's
+// randomness.
+func IntensityMix(intensity float64, totalEvents uint64, scrambleBase trace.BranchID, seed uint64) Mix {
+	maxU64 := func(a, b uint64) uint64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	return Mix{
+		FlipRate: 0.15 * intensity,
+		DropRate: 0.10 * intensity,
+		DupRate:  0.10 * intensity,
+		Storm: StormConfig{
+			Period:     maxU64(totalEvents/16, 1_000),
+			Window:     maxU64(totalEvents/64, 250),
+			VictimFrac: 0.5 * intensity,
+		},
+		ScrambleRate: 0.25 * intensity,
+		ScrambleBase: scrambleBase,
+		TruncateFrac: 0.15 * intensity,
+		Seed:         seed,
+	}
+}

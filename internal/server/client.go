@@ -1,0 +1,211 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"reactivespec/internal/trace"
+)
+
+// Client is a Go client for the reactived HTTP API. It is safe for
+// concurrent use by multiple goroutines, but batches for the same program
+// should be sent by one goroutine at a time (the server serializes them
+// anyway; interleaving would make the decision order nondeterministic).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:8344"). A nil hc uses a dedicated client with a 60s
+// timeout.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// IngestResult is the per-frame outcome of one ingest batch.
+type IngestResult struct {
+	// Decisions holds one entry per event of an applied frame; nil for a
+	// rejected frame.
+	Decisions []Decision
+	// Err is the server's rejection diagnostic for a rejected frame.
+	Err error
+}
+
+// Ingest sends one batch of events as a single frame and returns the
+// per-event decisions. A rejected frame (corrupt on the wire) surfaces as an
+// error.
+func (c *Client) Ingest(program string, events []trace.Event) ([]Decision, error) {
+	results, err := c.IngestFrames(program, [][]trace.Event{events})
+	if err != nil {
+		return nil, err
+	}
+	if len(results) != 1 {
+		return nil, fmt.Errorf("server: %d frame results for 1 frame", len(results))
+	}
+	if results[0].Err != nil {
+		return nil, results[0].Err
+	}
+	return results[0].Decisions, nil
+}
+
+// IngestFrames sends several frames in one batch request. The returned slice
+// has one entry per frame, in order; frames the server rejected carry an Err
+// instead of decisions. The error return covers transport- and batch-level
+// failures only.
+func (c *Client) IngestFrames(program string, frames [][]trace.Event) ([]IngestResult, error) {
+	var body bytes.Buffer
+	for _, events := range frames {
+		if err := trace.WriteFrame(&body, events); err != nil {
+			return nil, fmt.Errorf("server: encoding frame: %w", err)
+		}
+	}
+	resp, err := c.hc.Post(c.base+"/v1/ingest?program="+url.QueryEscape(program),
+		"application/octet-stream", &body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("ingest", resp)
+	}
+	results, err := parseIngestResponse(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if len(results) != len(frames) {
+		return nil, fmt.Errorf("server: %d frame results for %d frames", len(results), len(frames))
+	}
+	for i, r := range results {
+		if r.Err == nil && len(r.Decisions) != len(frames[i]) {
+			return nil, fmt.Errorf("server: frame %d: %d decisions for %d events",
+				i, len(r.Decisions), len(frames[i]))
+		}
+	}
+	return results, nil
+}
+
+// parseIngestResponse decodes the binary ingest response body.
+func parseIngestResponse(body io.Reader) ([]IngestResult, error) {
+	br := bufio.NewReader(body)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("server: reading response magic: %w", err)
+	}
+	if magic != respMagic {
+		return nil, fmt.Errorf("server: bad response magic %q", magic[:])
+	}
+	frames, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("server: reading frame count: %w", err)
+	}
+	results := make([]IngestResult, 0, frames)
+	for i := uint64(0); i < frames; i++ {
+		status, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("server: reading frame %d status: %w", i, err)
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("server: reading frame %d length: %w", i, err)
+		}
+		switch status {
+		case 0:
+			decisions := make([]Decision, n)
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("server: reading frame %d decisions: %w", i, err)
+			}
+			for j, b := range buf {
+				if decisions[j], err = DecodeDecision(b); err != nil {
+					return nil, fmt.Errorf("server: frame %d event %d: %w", i, j, err)
+				}
+			}
+			results = append(results, IngestResult{Decisions: decisions})
+		case 1:
+			msg := make([]byte, n)
+			if _, err := io.ReadFull(br, msg); err != nil {
+				return nil, fmt.Errorf("server: reading frame %d error: %w", i, err)
+			}
+			results = append(results, IngestResult{Err: fmt.Errorf("server: frame rejected: %s", msg)})
+		default:
+			return nil, fmt.Errorf("server: unknown frame status %d", status)
+		}
+	}
+	return results, nil
+}
+
+// Decide queries a branch's current classification.
+func (c *Client) Decide(program string, id trace.BranchID) (DecideResponse, error) {
+	var out DecideResponse
+	u := c.base + "/v1/decide?program=" + url.QueryEscape(program) +
+		"&branch=" + strconv.FormatUint(uint64(id), 10)
+	resp, err := c.hc.Get(u)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, httpError("decide", resp)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Healthz fetches the daemon's health summary.
+func (c *Client) Healthz() (Health, error) {
+	var out Health
+	resp, err := c.hc.Get(c.base + "/healthz")
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, httpError("healthz", resp)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Snapshot asks the daemon to persist a snapshot now.
+func (c *Client) Snapshot() (SnapshotResult, error) {
+	var out SnapshotResult
+	resp, err := c.hc.Post(c.base+"/v1/snapshot", "", nil)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, httpError("snapshot", resp)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// MetricsText fetches the raw /metrics exposition.
+func (c *Client) MetricsText() (string, error) {
+	resp, err := c.hc.Get(c.base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", httpError("metrics", resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// httpError summarizes a non-200 response, including its (truncated) body.
+func httpError(op string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return fmt.Errorf("server: %s: %s: %s", op, resp.Status, bytes.TrimSpace(body))
+}

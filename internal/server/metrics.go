@@ -1,0 +1,143 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/stats"
+)
+
+// ShardMetrics are one shard's lifetime counters. Counters reset on process
+// restart (they describe this serving session, not the snapshotted
+// controller state).
+type ShardMetrics struct {
+	// Events and Instrs count the dynamic branch instances and
+	// instructions ingested into this shard.
+	Events uint64
+	Instrs uint64
+	// Correct, Misspec and NotSpec partition Events by verdict.
+	Correct uint64
+	Misspec uint64
+	NotSpec uint64
+	// Transitions counts classification transitions into each state.
+	Transitions [4]uint64
+	// Entries is the number of (program, branch) keys resident.
+	Entries uint64
+}
+
+// MisspecRate returns misspeculations as a fraction of ingested events.
+func (m ShardMetrics) MisspecRate() float64 {
+	if m.Events == 0 {
+		return 0
+	}
+	return float64(m.Misspec) / float64(m.Events)
+}
+
+// Add folds o into m (for whole-table totals).
+func (m *ShardMetrics) Add(o ShardMetrics) {
+	m.Events += o.Events
+	m.Instrs += o.Instrs
+	m.Correct += o.Correct
+	m.Misspec += o.Misspec
+	m.NotSpec += o.NotSpec
+	for i := range m.Transitions {
+		m.Transitions[i] += o.Transitions[i]
+	}
+	m.Entries += o.Entries
+}
+
+// batchLatencyQuantiles are the quantiles /metrics exposes.
+var batchLatencyQuantiles = []float64{0.5, 0.9, 0.99, 0.999}
+
+// writeMetrics renders the Prometheus text exposition: per-shard counters,
+// whole-table totals, ingest counters, and the batch-latency quantiles.
+func writeMetrics(w io.Writer, shards []ShardMetrics, ingest ingestMetrics, lat *stats.LogHist, uptimeSec float64) error {
+	var b []byte
+	appendf := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+
+	appendf("# HELP reactived_uptime_seconds Time since the daemon started.\n")
+	appendf("# TYPE reactived_uptime_seconds gauge\n")
+	appendf("reactived_uptime_seconds %g\n", uptimeSec)
+
+	perShard := func(name, help string, get func(ShardMetrics) uint64) {
+		appendf("# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for i, m := range shards {
+			appendf("%s{shard=\"%d\"} %d\n", name, i, get(m))
+		}
+	}
+	perShard("reactived_events_total", "Dynamic branch instances ingested.",
+		func(m ShardMetrics) uint64 { return m.Events })
+	perShard("reactived_instructions_total", "Dynamic instructions ingested.",
+		func(m ShardMetrics) uint64 { return m.Instrs })
+	perShard("reactived_correct_total", "Correct speculations.",
+		func(m ShardMetrics) uint64 { return m.Correct })
+	perShard("reactived_misspec_total", "Misspeculations.",
+		func(m ShardMetrics) uint64 { return m.Misspec })
+	perShard("reactived_notspec_total", "Instances not covered by live speculation.",
+		func(m ShardMetrics) uint64 { return m.NotSpec })
+
+	appendf("# HELP reactived_misspec_rate Misspeculations per ingested event.\n")
+	appendf("# TYPE reactived_misspec_rate gauge\n")
+	for i, m := range shards {
+		appendf("reactived_misspec_rate{shard=\"%d\"} %g\n", i, m.MisspecRate())
+	}
+
+	appendf("# HELP reactived_transitions_total Classification transitions into each state.\n")
+	appendf("# TYPE reactived_transitions_total counter\n")
+	for i, m := range shards {
+		for st, n := range m.Transitions {
+			appendf("reactived_transitions_total{shard=\"%d\",state=%q} %d\n",
+				i, core.State(st).String(), n)
+		}
+	}
+
+	appendf("# HELP reactived_entries Resident (program, branch) controller entries.\n")
+	appendf("# TYPE reactived_entries gauge\n")
+	for i, m := range shards {
+		appendf("reactived_entries{shard=\"%d\"} %d\n", i, m.Entries)
+	}
+
+	var total ShardMetrics
+	for _, m := range shards {
+		total.Add(m)
+	}
+	appendf("# HELP reactived_table_events_total Events ingested across all shards.\n")
+	appendf("# TYPE reactived_table_events_total counter\n")
+	appendf("reactived_table_events_total %d\n", total.Events)
+	appendf("# HELP reactived_table_misspec_rate Misspeculations per event across all shards.\n")
+	appendf("# TYPE reactived_table_misspec_rate gauge\n")
+	appendf("reactived_table_misspec_rate %g\n", total.MisspecRate())
+
+	appendf("# HELP reactived_batches_total Ingest batches processed.\n")
+	appendf("# TYPE reactived_batches_total counter\n")
+	appendf("reactived_batches_total %d\n", ingest.Batches)
+	appendf("# HELP reactived_frames_rejected_total Corrupt frames rejected per-batch.\n")
+	appendf("# TYPE reactived_frames_rejected_total counter\n")
+	appendf("reactived_frames_rejected_total %d\n", ingest.RejectedFrames)
+	appendf("# HELP reactived_snapshots_total Snapshots written.\n")
+	appendf("# TYPE reactived_snapshots_total counter\n")
+	appendf("reactived_snapshots_total %d\n", ingest.Snapshots)
+
+	appendf("# HELP reactived_batch_latency_seconds Ingest batch handling latency.\n")
+	appendf("# TYPE reactived_batch_latency_seconds summary\n")
+	qs := append([]float64(nil), batchLatencyQuantiles...)
+	sort.Float64s(qs)
+	for _, q := range qs {
+		appendf("reactived_batch_latency_seconds{quantile=\"%g\"} %g\n", q, lat.Quantile(q))
+	}
+	appendf("reactived_batch_latency_seconds_count %d\n", lat.Total())
+
+	_, err := w.Write(b)
+	return err
+}
+
+// ingestMetrics are the server-level (non-shard) ingest counters.
+type ingestMetrics struct {
+	Batches        uint64
+	RejectedFrames uint64
+	Snapshots      uint64
+}

@@ -1,0 +1,397 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/stats"
+	"reactivespec/internal/trace"
+)
+
+// HTTP API:
+//
+//	POST /v1/ingest?program=P
+//	  Body: one or more trace frames (trace.WriteFrame). Events are applied
+//	  in order; the per-program instruction cursor advances by each event's
+//	  gap. A corrupt frame is rejected and skipped — the rest of the batch
+//	  still applies (per-batch corruption handling, not per-connection).
+//	  Response (application/octet-stream):
+//	    magic  "RSPD" [4]byte
+//	    frames uvarint
+//	    per frame:
+//	      status byte      0 = applied, 1 = rejected
+//	      applied:  n uvarint, then n decision bytes (Decision.Encode)
+//	      rejected: len uvarint, then len bytes of error text
+//	  Concurrent batches for the same program serialize (the cursor defines
+//	  the program's event order); different programs proceed in parallel.
+//
+//	GET  /v1/decide?program=P&branch=N   → JSON DecideResponse
+//	GET  /healthz                        → JSON health summary
+//	GET  /metrics                        → Prometheus text exposition
+//	POST /v1/snapshot                    → force a snapshot, JSON result
+
+// respMagic introduces an ingest response.
+var respMagic = [4]byte{'R', 'S', 'P', 'D'}
+
+// Config configures a Server.
+type Config struct {
+	// Params are the reactive-controller parameters every table entry is
+	// created with.
+	Params core.Params
+	// Shards is the lock-stripe count (default 16).
+	Shards int
+	// SnapshotDir, when non-empty, enables snapshot/restore.
+	SnapshotDir string
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Server is the speculation-control service. Create with New, expose via
+// Handler, and drive shutdown with BeginDrain + (optionally) SnapshotNow.
+type Server struct {
+	cfg   Config
+	table *Table
+	start time.Time
+
+	cursorsMu sync.Mutex
+	cursors   map[string]*cursor
+
+	latMu    sync.Mutex
+	batchLat *stats.LogHist
+
+	batches        atomic.Uint64
+	rejectedFrames atomic.Uint64
+	snapshots      atomic.Uint64
+
+	draining atomic.Bool
+	snapMu   sync.Mutex // serializes snapshot writes
+}
+
+// cursor is one program's ingest position: the cumulative dynamic
+// instruction count. Holding mu across a whole batch serializes same-program
+// batches, preserving the event order the controller's latency model needs.
+type cursor struct {
+	mu    sync.Mutex
+	instr uint64
+}
+
+// New returns a server with an empty table.
+func New(cfg Config) *Server {
+	if cfg.Shards < 1 {
+		cfg.Shards = 16
+	}
+	return &Server{
+		cfg:      cfg,
+		table:    NewTable(cfg.Params, cfg.Shards),
+		start:    time.Now(),
+		cursors:  make(map[string]*cursor),
+		batchLat: stats.NewLogHist(1e-6, 60, 30), // 1µs .. 60s
+	}
+}
+
+// Table returns the underlying sharded table (tests and tooling).
+func (s *Server) Table() *Table { return s.table }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// cursorFor returns program's cursor, creating it on first sight.
+func (s *Server) cursorFor(program string) *cursor {
+	s.cursorsMu.Lock()
+	defer s.cursorsMu.Unlock()
+	c := s.cursors[program]
+	if c == nil {
+		c = &cursor{}
+		s.cursors[program] = c
+	}
+	return c
+}
+
+// BeginDrain makes subsequent ingest and snapshot requests fail with 503
+// while in-flight ones complete (http.Server.Shutdown waits for those).
+// Read-only endpoints keep working.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/decide", s.handleDecide)
+	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	program := r.URL.Query().Get("program")
+	if program == "" {
+		http.Error(w, "missing program parameter", http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+
+	type frameResult struct {
+		decisions []byte // nil when rejected
+		errMsg    string
+	}
+	var results []frameResult
+
+	fr := trace.NewFrameReader(r.Body)
+	cur := s.cursorFor(program)
+	cur.mu.Lock()
+	for {
+		events, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		var fe *trace.FrameError
+		if errors.As(err, &fe) {
+			// The frame is corrupt but the framing survived: reject
+			// this frame only and keep consuming the batch.
+			s.rejectedFrames.Add(1)
+			results = append(results, frameResult{errMsg: fe.Error()})
+			continue
+		}
+		if err != nil {
+			// Framing lost: nothing after this point can be trusted.
+			cur.mu.Unlock()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		dec := make([]byte, len(events))
+		for i, ev := range events {
+			cur.instr += uint64(ev.Gap)
+			dec[i] = s.table.Apply(program, ev, cur.instr).Encode()
+		}
+		results = append(results, frameResult{decisions: dec})
+	}
+	cur.mu.Unlock()
+
+	s.batches.Add(1)
+	s.latMu.Lock()
+	s.batchLat.Add(time.Since(start).Seconds())
+	s.latMu.Unlock()
+
+	var buf bytes.Buffer
+	buf.Write(respMagic[:])
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) { buf.Write(tmp[:binary.PutUvarint(tmp[:], v)]) }
+	putUvarint(uint64(len(results)))
+	for _, res := range results {
+		if res.decisions != nil {
+			buf.WriteByte(0)
+			putUvarint(uint64(len(res.decisions)))
+			buf.Write(res.decisions)
+		} else {
+			buf.WriteByte(1)
+			putUvarint(uint64(len(res.errMsg)))
+			buf.WriteString(res.errMsg)
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(buf.Bytes())
+}
+
+// DecideResponse is the JSON answer of /v1/decide.
+type DecideResponse struct {
+	Program   string `json:"program"`
+	Branch    uint32 `json:"branch"`
+	State     string `json:"state"`
+	Direction string `json:"direction"` // "taken" or "not-taken"
+	Live      bool   `json:"live"`
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	program := r.URL.Query().Get("program")
+	if program == "" {
+		http.Error(w, "missing program parameter", http.StatusBadRequest)
+		return
+	}
+	branch, err := strconv.ParseUint(r.URL.Query().Get("branch"), 10, 32)
+	if err != nil {
+		http.Error(w, "bad branch parameter: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	d := s.table.Decide(program, trace.BranchID(branch))
+	dir := "not-taken"
+	if d.Dir {
+		dir = "taken"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(DecideResponse{
+		Program:   program,
+		Branch:    uint32(branch),
+		State:     d.State.String(),
+		Direction: dir,
+		Live:      d.Live,
+	})
+}
+
+// Health is the JSON answer of /healthz.
+type Health struct {
+	Status    string  `json:"status"`
+	UptimeSec float64 `json:"uptime_sec"`
+	Shards    int     `json:"shards"`
+	Programs  int     `json:"programs"`
+	Events    uint64  `json:"events"`
+	Draining  bool    `json:"draining"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var total ShardMetrics
+	for _, m := range s.table.Metrics() {
+		total.Add(m)
+	}
+	s.cursorsMu.Lock()
+	programs := len(s.cursors)
+	s.cursorsMu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(Health{
+		Status:    "ok",
+		UptimeSec: time.Since(s.start).Seconds(),
+		Shards:    s.table.Shards(),
+		Programs:  programs,
+		Events:    total.Events,
+		Draining:  s.draining.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.latMu.Lock()
+	lat := s.batchLat.Snapshot()
+	s.latMu.Unlock()
+	ing := ingestMetrics{
+		Batches:        s.batches.Load(),
+		RejectedFrames: s.rejectedFrames.Load(),
+		Snapshots:      s.snapshots.Load(),
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	writeMetrics(w, s.table.Metrics(), ing, lat, time.Since(s.start).Seconds())
+}
+
+// SnapshotResult is the JSON answer of /v1/snapshot.
+type SnapshotResult struct {
+	Entries  int    `json:"entries"`
+	Programs int    `json:"programs"`
+	Path     string `json:"path"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	res, err := s.SnapshotNow()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
+// SnapshotNow persists the full service state to the configured snapshot
+// directory. Concurrent calls serialize; concurrent ingest yields per-entry
+// consistency (see Table.SnapshotEntries).
+func (s *Server) SnapshotNow() (SnapshotResult, error) {
+	if s.cfg.SnapshotDir == "" {
+		return SnapshotResult{}, fmt.Errorf("server: no snapshot directory configured")
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	snap := &Snapshot{
+		Version: snapshotVersion,
+		Params:  s.cfg.Params,
+		Cursors: s.exportCursors(),
+		Entries: s.table.SnapshotEntries(),
+	}
+	if err := WriteSnapshot(s.cfg.SnapshotDir, snap); err != nil {
+		return SnapshotResult{}, err
+	}
+	s.snapshots.Add(1)
+	s.logf("snapshot: %d entries, %d programs -> %s",
+		len(snap.Entries), len(snap.Cursors), snapshotPath(s.cfg.SnapshotDir))
+	return SnapshotResult{
+		Entries:  len(snap.Entries),
+		Programs: len(snap.Cursors),
+		Path:     snapshotPath(s.cfg.SnapshotDir),
+	}, nil
+}
+
+// exportCursors copies every program's instruction cursor, sorted by name.
+func (s *Server) exportCursors() []CursorSnapshot {
+	s.cursorsMu.Lock()
+	defer s.cursorsMu.Unlock()
+	out := make([]CursorSnapshot, 0, len(s.cursors))
+	for name, c := range s.cursors {
+		c.mu.Lock()
+		out = append(out, CursorSnapshot{Program: name, Instr: c.instr})
+		c.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Program < out[j].Program })
+	return out
+}
+
+// RestoreFromDisk loads the configured snapshot directory's current
+// snapshot, if any, and imports it. It returns whether a snapshot was
+// restored. Restoring a snapshot whose controller parameters differ from the
+// server's fails with ErrSnapshotMismatch (decisions would diverge
+// mid-stream otherwise).
+func (s *Server) RestoreFromDisk() (bool, error) {
+	if s.cfg.SnapshotDir == "" {
+		return false, nil
+	}
+	snap, err := LoadSnapshot(s.cfg.SnapshotDir)
+	if err != nil {
+		return false, err
+	}
+	if snap == nil {
+		return false, nil
+	}
+	if snap.Params != s.cfg.Params {
+		return false, fmt.Errorf("%w: snapshot %+v vs configured %+v",
+			ErrSnapshotMismatch, snap.Params, s.cfg.Params)
+	}
+	s.table.RestoreEntries(snap.Entries)
+	s.cursorsMu.Lock()
+	for _, cs := range snap.Cursors {
+		s.cursors[cs.Program] = &cursor{instr: cs.Instr}
+	}
+	s.cursorsMu.Unlock()
+	s.logf("restored snapshot: %d entries, %d programs", len(snap.Entries), len(snap.Cursors))
+	return true, nil
+}

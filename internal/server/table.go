@@ -1,0 +1,202 @@
+package server
+
+import (
+	"sort"
+	"sync"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/trace"
+)
+
+// Table is a sharded, lock-striped table of reactive controllers keyed by
+// (program, branch ID). Each key owns an independent single-branch
+// core.Controller, so per-branch decisions are bit-for-bit identical to an
+// in-process controller observing the same (outcome, instruction-count)
+// sequence — the striping changes only who may update concurrently, never
+// what any branch decides.
+//
+// Lock discipline: every key maps to exactly one shard (by hash), and all
+// access to a shard's entries happens under that shard's mutex. Events for
+// *different* keys proceed in parallel up to the shard count; events for the
+// same key serialize, which is exactly the ordering the controller needs.
+type Table struct {
+	params core.Params
+	shards []tableShard
+}
+
+type tableShard struct {
+	mu      sync.Mutex
+	entries map[tableKey]*tableEntry
+	metrics ShardMetrics
+	_       [64]byte // pad shards onto separate cache lines
+}
+
+type tableKey struct {
+	program string
+	branch  trace.BranchID
+}
+
+type tableEntry struct {
+	ctl *core.Controller
+}
+
+// NewTable returns a table with the given controller parameters and shard
+// count (clamped to at least 1).
+func NewTable(params core.Params, shards int) *Table {
+	if shards < 1 {
+		shards = 1
+	}
+	t := &Table{params: params, shards: make([]tableShard, shards)}
+	for i := range t.shards {
+		t.shards[i].entries = make(map[tableKey]*tableEntry)
+	}
+	return t
+}
+
+// Params returns the controller parameters every entry is created with.
+func (t *Table) Params() core.Params { return t.params }
+
+// Shards returns the shard count.
+func (t *Table) Shards() int { return len(t.shards) }
+
+// shardFor hashes (program, branch) onto a shard with FNV-1a.
+func (t *Table) shardFor(program string, id trace.BranchID) *tableShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(program); i++ {
+		h ^= uint64(program[i])
+		h *= prime64
+	}
+	for s := 0; s < 32; s += 8 {
+		h ^= uint64(id>>s) & 0xff
+		h *= prime64
+	}
+	return &t.shards[h%uint64(len(t.shards))]
+}
+
+// getLocked returns the entry for key, creating it on first sight. The
+// caller holds sh.mu.
+func (sh *tableShard) getLocked(key tableKey, params core.Params) *tableEntry {
+	e := sh.entries[key]
+	if e == nil {
+		e = &tableEntry{ctl: core.New(params)}
+		// Count classification transitions into the shard's metrics.
+		// OnBranch only runs under sh.mu, so the hook does too.
+		e.ctl.OnTransition = func(tr core.Transition) {
+			sh.metrics.Transitions[tr.To]++
+		}
+		sh.entries[key] = e
+	}
+	return e
+}
+
+// Apply observes one dynamic branch instance for program at global
+// instruction count instr (monotonically non-decreasing per program) and
+// returns the resulting decision.
+func (t *Table) Apply(program string, ev trace.Event, instr uint64) Decision {
+	sh := t.shardFor(program, ev.Branch)
+	sh.mu.Lock()
+	e := sh.getLocked(tableKey{program, ev.Branch}, t.params)
+	e.ctl.AddInstrs(uint64(ev.Gap))
+	v := e.ctl.OnBranch(0, ev.Taken, instr)
+	st := e.ctl.BranchState(0)
+	dir, live := e.ctl.Speculating(0)
+	m := &sh.metrics
+	m.Events++
+	m.Instrs += uint64(ev.Gap)
+	switch v {
+	case core.Correct:
+		m.Correct++
+	case core.Misspec:
+		m.Misspec++
+	default:
+		m.NotSpec++
+	}
+	sh.mu.Unlock()
+	return Decision{Verdict: v, State: st, Dir: dir, Live: live}
+}
+
+// Decide returns the branch's current classification without observing an
+// event. Unknown keys report the Monitor default (and are not created).
+func (t *Table) Decide(program string, id trace.BranchID) Decision {
+	sh := t.shardFor(program, id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.entries[tableKey{program, id}]
+	if e == nil {
+		return Decision{State: core.Monitor}
+	}
+	dir, live := e.ctl.Speculating(0)
+	return Decision{State: e.ctl.BranchState(0), Dir: dir, Live: live}
+}
+
+// Metrics returns a copy of every shard's counters, indexed by shard.
+func (t *Table) Metrics() []ShardMetrics {
+	out := make([]ShardMetrics, len(t.shards))
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		out[i] = sh.metrics
+		out[i].Entries = uint64(len(sh.entries))
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// EntrySnapshot is the serialized state of one (program, branch) entry.
+type EntrySnapshot struct {
+	Program string
+	Branch  trace.BranchID
+	State   core.BranchState
+	Stats   core.Stats
+}
+
+// SnapshotEntries exports every touched entry, sorted by (program, branch)
+// so snapshots are deterministic. Each shard is captured atomically under
+// its lock; concurrent ingest interleaving between shards yields per-entry
+// (not cross-entry) consistency, which is sufficient because entries never
+// observe each other. The daemon's shutdown snapshot runs after the drain,
+// so it is fully consistent.
+func (t *Table) SnapshotEntries() []EntrySnapshot {
+	var out []EntrySnapshot
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for key, e := range sh.entries {
+			st, ok := e.ctl.ExportBranch(0)
+			if !ok {
+				continue
+			}
+			out = append(out, EntrySnapshot{
+				Program: key.program,
+				Branch:  key.branch,
+				State:   st,
+				Stats:   e.ctl.Stats(),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Program != out[j].Program {
+			return out[i].Program < out[j].Program
+		}
+		return out[i].Branch < out[j].Branch
+	})
+	return out
+}
+
+// RestoreEntries imports previously exported entries, overwriting any
+// existing state for the same keys.
+func (t *Table) RestoreEntries(entries []EntrySnapshot) {
+	for _, es := range entries {
+		sh := t.shardFor(es.Program, es.Branch)
+		sh.mu.Lock()
+		e := sh.getLocked(tableKey{es.Program, es.Branch}, t.params)
+		e.ctl.ImportBranch(0, es.State)
+		e.ctl.SetStats(es.Stats)
+		sh.mu.Unlock()
+	}
+}

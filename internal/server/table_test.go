@@ -1,0 +1,177 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/trace"
+)
+
+func testParams() core.Params { return core.DefaultParams().Scaled(200) }
+
+// synthEvents builds a deterministic mixed stream exercising selections,
+// evictions, revisits, and retirals.
+func synthEvents(n int, seed uint64) []trace.Event {
+	evs := make([]trace.Event, 0, n)
+	state := seed
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := 0; i < n; i++ {
+		r := next()
+		id := trace.BranchID(r % 24)
+		var taken bool
+		switch {
+		case id < 8:
+			taken = next()%500 != 0
+		case id < 16:
+			taken = (i/700)%2 == 0
+		default:
+			taken = next()%2 == 0
+		}
+		evs = append(evs, trace.Event{Branch: id, Taken: taken, Gap: uint32(1 + r%9)})
+	}
+	return evs
+}
+
+// applyAll drives events through the table for one program, returning the
+// encoded decision sequence.
+func applyAll(t *Table, program string, evs []trace.Event, instr *uint64) []byte {
+	out := make([]byte, 0, len(evs))
+	for _, ev := range evs {
+		*instr += uint64(ev.Gap)
+		out = append(out, t.Apply(program, ev, *instr).Encode())
+	}
+	return out
+}
+
+// TestTableMatchesInProcessController checks the central equivalence claim:
+// the table's per-event decisions are bitwise-identical to a single
+// in-process core.Controller observing the same stream.
+func TestTableMatchesInProcessController(t *testing.T) {
+	params := testParams()
+	evs := synthEvents(60_000, 7)
+
+	tab := NewTable(params, 16)
+	var instr uint64
+	got := applyAll(tab, "prog", evs, &instr)
+
+	ctl := core.New(params)
+	instr = 0
+	for i, ev := range evs {
+		instr += uint64(ev.Gap)
+		v := ctl.OnBranch(ev.Branch, ev.Taken, instr)
+		dir, live := ctl.Speculating(ev.Branch)
+		want := Decision{Verdict: v, State: ctl.BranchState(ev.Branch), Dir: dir, Live: live}
+		if got[i] != want.Encode() {
+			gd, _ := DecodeDecision(got[i])
+			t.Fatalf("event %d (branch %d): table %v, in-process %v", i, ev.Branch, gd, want)
+		}
+	}
+
+	// The aggregate shard counters must add up to the controller's stats.
+	var total ShardMetrics
+	for _, m := range tab.Metrics() {
+		total.Add(m)
+	}
+	st := ctl.Stats()
+	if total.Events != st.Events || total.Correct != st.Correct ||
+		total.Misspec != st.Misspec || total.NotSpec != st.NotSpec {
+		t.Fatalf("table totals %+v, controller stats %+v", total, st)
+	}
+	if total.Entries == 0 || total.Transitions[core.Biased] == 0 {
+		t.Fatalf("expected resident entries and biased transitions, got %+v", total)
+	}
+}
+
+// TestTableProgramsAreIndependent checks that the same branch ID under two
+// programs is tracked separately.
+func TestTableProgramsAreIndependent(t *testing.T) {
+	tab := NewTable(testParams(), 4)
+	var instrA, instrB uint64
+	// Program A sees branch 0 always-taken; program B sees it never-taken.
+	for i := 0; i < 5000; i++ {
+		instrA += 3
+		tab.Apply("a", trace.Event{Branch: 0, Taken: true, Gap: 3}, instrA)
+		instrB += 3
+		tab.Apply("b", trace.Event{Branch: 0, Taken: false, Gap: 3}, instrB)
+	}
+	da := tab.Decide("a", 0)
+	db := tab.Decide("b", 0)
+	if da.State != core.Biased || db.State != core.Biased {
+		t.Fatalf("states %v / %v, want biased / biased", da.State, db.State)
+	}
+	if !da.Dir || db.Dir {
+		t.Fatalf("directions %v / %v, want taken / not-taken", da.Dir, db.Dir)
+	}
+	if d := tab.Decide("c", 0); d.State != core.Monitor || d.Live {
+		t.Fatalf("unknown program decision %v, want monitor/idle", d)
+	}
+}
+
+// TestTableConcurrentApply hammers the table from many goroutines (the race
+// detector validates the striping; the totals validate no event is lost).
+func TestTableConcurrentApply(t *testing.T) {
+	tab := NewTable(testParams(), 8)
+	const (
+		workers = 16
+		perW    = 20_000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			program := string(rune('a' + w%4))
+			evs := synthEvents(perW, uint64(w)*977)
+			var instr uint64
+			for _, ev := range evs {
+				instr += uint64(ev.Gap)
+				tab.Apply(program, ev, instr)
+				// Interleave reads to exercise Decide under contention.
+				if instr%4096 == 0 {
+					tab.Decide(program, ev.Branch)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total ShardMetrics
+	for _, m := range tab.Metrics() {
+		total.Add(m)
+	}
+	if want := uint64(workers * perW); total.Events != want {
+		t.Fatalf("total events %d, want %d", total.Events, want)
+	}
+}
+
+// TestDecisionEncodeDecode round-trips every representable decision byte.
+func TestDecisionEncodeDecode(t *testing.T) {
+	for v := core.Verdict(0); v <= core.Misspec; v++ {
+		for st := core.Monitor; st <= core.Retired; st++ {
+			for _, dir := range []bool{false, true} {
+				for _, live := range []bool{false, true} {
+					d := Decision{Verdict: v, State: st, Dir: dir, Live: live}
+					got, err := DecodeDecision(d.Encode())
+					if err != nil {
+						t.Fatalf("%v: %v", d, err)
+					}
+					if got != d {
+						t.Fatalf("round trip %v -> %v", d, got)
+					}
+				}
+			}
+		}
+	}
+	if _, err := DecodeDecision(0xff); err == nil {
+		t.Fatal("invalid decision byte accepted")
+	}
+	if _, err := DecodeDecision(0x03); err == nil {
+		t.Fatal("invalid verdict accepted")
+	}
+}

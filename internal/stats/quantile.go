@@ -1,0 +1,127 @@
+package stats
+
+import "math"
+
+// LogHist is a logarithmically-bucketed histogram for positive values (most
+// usefully latencies), supporting approximate quantiles with bounded
+// relative error. Values are mapped to buckets whose widths grow
+// geometrically between Lo and Hi; with b buckets per decade the relative
+// quantile error is at most 10^(1/b)−1 (≈8% at b=30). Values below Lo or
+// above Hi clamp to the first/last bucket.
+//
+// The zero value is not usable; construct with NewLogHist. LogHist is not
+// safe for concurrent use; callers guard it (internal/server keeps one per
+// metrics region under that region's lock).
+type LogHist struct {
+	lo, hi  float64
+	logLo   float64
+	scale   float64 // buckets per unit log10
+	buckets []uint64
+	total   uint64
+}
+
+// NewLogHist returns a histogram over [lo, hi] with perDecade buckets per
+// factor of ten. lo and hi must be positive with lo < hi.
+func NewLogHist(lo, hi float64, perDecade int) *LogHist {
+	if !(lo > 0) || !(hi > lo) {
+		panic("stats: NewLogHist needs 0 < lo < hi")
+	}
+	if perDecade < 1 {
+		perDecade = 1
+	}
+	decades := math.Log10(hi / lo)
+	n := int(math.Ceil(decades*float64(perDecade))) + 1
+	return &LogHist{
+		lo:      lo,
+		hi:      hi,
+		logLo:   math.Log10(lo),
+		scale:   float64(perDecade),
+		buckets: make([]uint64, n),
+	}
+}
+
+// Add observes one value.
+func (h *LogHist) Add(x float64) {
+	h.buckets[h.bucket(x)]++
+	h.total++
+}
+
+func (h *LogHist) bucket(x float64) int {
+	if !(x > h.lo) || math.IsNaN(x) {
+		return 0
+	}
+	i := int((math.Log10(x) - h.logLo) * h.scale)
+	if i < 0 {
+		return 0
+	}
+	if i >= len(h.buckets) {
+		return len(h.buckets) - 1
+	}
+	return i
+}
+
+// Total returns the number of observations.
+func (h *LogHist) Total() uint64 { return h.total }
+
+// Quantile returns an estimate of the p-quantile (p in [0, 1]): the upper
+// edge of the bucket containing the p-th observation. With no observations
+// it returns 0.
+func (h *LogHist) Quantile(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	// Rank of the target observation, 1-based.
+	rank := uint64(math.Ceil(p * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			return h.upperEdge(i)
+		}
+	}
+	return h.hi
+}
+
+// upperEdge returns the value at the top of bucket i, clamped to [lo, hi].
+func (h *LogHist) upperEdge(i int) float64 {
+	v := math.Pow(10, h.logLo+float64(i+1)/h.scale)
+	if v > h.hi {
+		v = h.hi
+	}
+	if v < h.lo {
+		v = h.lo
+	}
+	return v
+}
+
+// Merge folds o's observations into h. The two histograms must have been
+// built with identical parameters.
+func (h *LogHist) Merge(o *LogHist) {
+	if o == nil {
+		return
+	}
+	if len(h.buckets) != len(o.buckets) || h.lo != o.lo || h.hi != o.hi {
+		panic("stats: merging LogHists with different shapes")
+	}
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	h.total += o.total
+}
+
+// Snapshot returns an independent copy (for lock-free readers that want a
+// consistent view rendered outside the writer's critical section).
+func (h *LogHist) Snapshot() *LogHist {
+	cp := *h
+	cp.buckets = append([]uint64(nil), h.buckets...)
+	return &cp
+}

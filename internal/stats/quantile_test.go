@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogHistQuantiles(t *testing.T) {
+	h := NewLogHist(1e-6, 10, 30) // 1µs .. 10s, ~8% relative error
+	// 10,000 samples uniform in log-space between 100µs and 1s.
+	n := 10_000
+	for i := 0; i < n; i++ {
+		f := float64(i) / float64(n-1)
+		h.Add(math.Pow(10, -4+4*f)) // 1e-4 .. 1e0
+	}
+	if h.Total() != uint64(n) {
+		t.Fatalf("Total = %d, want %d", h.Total(), n)
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{0.5, math.Pow(10, -2)},  // log-uniform median
+		{0.9, math.Pow(10, -.4)}, // 90th
+		{0.99, math.Pow(10, -.04)},
+	} {
+		got := h.Quantile(tc.p)
+		if rel := math.Abs(got-tc.want) / tc.want; rel > 0.12 {
+			t.Errorf("Quantile(%v) = %v, want ~%v (rel err %.3f)", tc.p, got, tc.want, rel)
+		}
+	}
+	if q := h.Quantile(0); q <= 0 {
+		t.Errorf("Quantile(0) = %v, want > 0", q)
+	}
+	if q := h.Quantile(1); q < h.Quantile(0.999) {
+		t.Errorf("Quantile(1) = %v below Quantile(0.999) = %v", q, h.Quantile(0.999))
+	}
+}
+
+func TestLogHistEmptyAndClamping(t *testing.T) {
+	h := NewLogHist(1e-3, 1, 10)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must return 0")
+	}
+	h.Add(-5)   // below range (and negative)
+	h.Add(1e-9) // below range
+	h.Add(50)   // above range
+	if h.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", h.Total())
+	}
+	if q := h.Quantile(1); q > 1 {
+		t.Fatalf("Quantile(1) = %v, want clamped to hi", q)
+	}
+	if q := h.Quantile(0.01); q < 1e-3 {
+		t.Fatalf("Quantile(0.01) = %v, want clamped to lo", q)
+	}
+}
+
+func TestLogHistMergeAndSnapshot(t *testing.T) {
+	a := NewLogHist(1e-6, 10, 20)
+	b := NewLogHist(1e-6, 10, 20)
+	for i := 0; i < 1000; i++ {
+		a.Add(1e-3)
+		b.Add(1e-1)
+	}
+	snap := a.Snapshot()
+	a.Merge(b)
+	if a.Total() != 2000 {
+		t.Fatalf("merged Total = %d, want 2000", a.Total())
+	}
+	if snap.Total() != 1000 {
+		t.Fatalf("snapshot mutated by merge: Total = %d", snap.Total())
+	}
+	med := a.Quantile(0.5)
+	if med < 5e-4 || med > 5e-3 {
+		t.Fatalf("merged median %v, want ≈1e-3", med)
+	}
+	hi := a.Quantile(0.99)
+	if hi < 5e-2 || hi > 5e-1 {
+		t.Fatalf("merged p99 %v, want ≈1e-1", hi)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched shapes must panic")
+		}
+	}()
+	a.Merge(NewLogHist(1e-6, 10, 5))
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Streaming frames wrap the trace codec for transport: each frame is a
+// length-prefixed, self-delimiting batch of events, so a long-lived
+// connection (or an HTTP request body) can carry many independent batches
+// and a corrupt batch can be rejected without abandoning the stream — the
+// length prefix tells the reader where the next frame starts regardless of
+// what the payload contains.
+//
+//	frame:
+//	  length  uvarint  (payload bytes)
+//	  payload          (a complete trace blob: magic, version, count, records)
+
+// MaxFramePayload caps a single frame's payload size. A length prefix above
+// the cap is treated as a framing error (the stream cannot be trusted past
+// it), since a corrupted length would otherwise make the reader swallow the
+// rest of the stream as one giant bogus frame.
+const MaxFramePayload = 1 << 26
+
+// ErrBadFrame reports an unrecoverable framing error: the frame boundary
+// itself (length prefix or payload byte count) is damaged.
+var ErrBadFrame = errors.New("trace: malformed frame")
+
+// FrameError reports a frame whose payload failed to decode. The framing is
+// intact — the reader has already consumed the frame's bytes and remains
+// positioned at the next frame — so callers may reject the frame and keep
+// reading.
+type FrameError struct {
+	// Index is the zero-based frame position in the stream.
+	Index int
+	// Err is the payload decode failure (wraps ErrBadTrace).
+	Err error
+}
+
+func (e *FrameError) Error() string {
+	return fmt.Sprintf("trace: frame %d rejected: %v", e.Index, e.Err)
+}
+
+func (e *FrameError) Unwrap() error { return e.Err }
+
+// EncodeFrame serializes events as one frame payload (without the length
+// prefix): a complete trace blob.
+func EncodeFrame(events []Event) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := Capture(&buf, NewSliceStream(events), uint64(len(events))); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFrame decodes one frame payload produced by EncodeFrame. Every
+// payload byte must be consumed: trailing garbage, truncation, and record
+// corruption all fail with an error wrapping ErrBadTrace.
+func DecodeFrame(payload []byte) ([]Event, error) {
+	r, err := NewReader(bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	events := make([]Event, 0, r.Events())
+	for {
+		ev, ok := r.Next()
+		if !ok {
+			break
+		}
+		events = append(events, ev)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if r.Offset() != int64(len(payload)) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after event %d",
+			ErrBadTrace, int64(len(payload))-r.Offset(), len(events))
+	}
+	return events, nil
+}
+
+// WriteFrame writes one length-prefixed frame carrying events.
+func WriteFrame(w io.Writer, events []Event) error {
+	payload, err := EncodeFrame(events)
+	if err != nil {
+		return err
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// FrameReader reads a sequence of length-prefixed frames.
+type FrameReader struct {
+	r     *bufio.Reader
+	index int
+	err   error // sticky fatal error
+}
+
+// NewFrameReader returns a reader over a stream of frames.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next returns the next frame's events.
+//
+//   - io.EOF signals a clean end of the stream (at a frame boundary).
+//   - A *FrameError reports a frame whose payload was corrupt; the reader
+//     has skipped it and the following call resumes at the next frame.
+//   - Any other error is fatal and sticky: the frame boundaries themselves
+//     are lost.
+func (fr *FrameReader) Next() ([]Event, error) {
+	if fr.err != nil {
+		return nil, fr.err
+	}
+	length, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		if err == io.EOF {
+			fr.err = io.EOF
+		} else {
+			fr.err = fmt.Errorf("%w: reading length of frame %d: %v", ErrBadFrame, fr.index, err)
+		}
+		return nil, fr.err
+	}
+	if length > MaxFramePayload {
+		fr.err = fmt.Errorf("%w: frame %d length %d exceeds the %d-byte cap",
+			ErrBadFrame, fr.index, length, MaxFramePayload)
+		return nil, fr.err
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		fr.err = fmt.Errorf("%w: frame %d truncated (%d-byte payload): %v",
+			ErrBadFrame, fr.index, length, err)
+		return nil, fr.err
+	}
+	index := fr.index
+	fr.index++
+	events, err := DecodeFrame(payload)
+	if err != nil {
+		return nil, &FrameError{Index: index, Err: err}
+	}
+	return events, nil
+}
+
+// Frames returns how many frames have been consumed (including rejected
+// ones).
+func (fr *FrameReader) Frames() int { return fr.index }

@@ -297,6 +297,23 @@ func (g *Generator) Next() (trace.Event, bool) {
 	return trace.Event{Branch: trace.BranchID(id), Taken: taken, Gap: gap}, true
 }
 
+// NextBatch fills buf with up to len(buf) events and returns how many were
+// produced; it is exactly equivalent to repeated Next calls but amortizes
+// the per-call overhead for batch consumers (the serving-layer load
+// generator ships events to reactived in NextBatch-sized frames).
+func (g *Generator) NextBatch(buf []trace.Event) int {
+	n := 0
+	for n < len(buf) {
+		ev, ok := g.Next()
+		if !ok {
+			break
+		}
+		buf[n] = ev
+		n++
+	}
+	return n
+}
+
 // Emitted returns how many events the generator has produced since the last
 // reset.
 func (g *Generator) Emitted() uint64 { return g.emitted }

@@ -396,3 +396,33 @@ func TestVariantsShareEvalPopulationShape(t *testing.T) {
 		}
 	}
 }
+
+func TestNextBatchMatchesNext(t *testing.T) {
+	spec := MustBuild("gzip", InputEval, Options{EventScale: DefaultEventScale * 0.001})
+	a := NewGenerator(spec)
+	b := NewGenerator(spec)
+	buf := make([]trace.Event, 137)
+	var total int
+	for {
+		n := a.NextBatch(buf)
+		for i := 0; i < n; i++ {
+			want, ok := b.Next()
+			if !ok {
+				t.Fatalf("batch produced event %d beyond Next's end", total+i)
+			}
+			if buf[i] != want {
+				t.Fatalf("event %d: batch %+v, Next %+v", total+i, buf[i], want)
+			}
+		}
+		total += n
+		if n < len(buf) {
+			break
+		}
+	}
+	if _, ok := b.Next(); ok {
+		t.Fatal("NextBatch ended before Next")
+	}
+	if uint64(total) != spec.Events {
+		t.Fatalf("batched total %d, want %d", total, spec.Events)
+	}
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
-# Tier-1 verification gate: static analysis, full build, and the test suite
+# Tier-1 verification gate: static analysis, full build, the test suite
 # under the race detector (race mode exercises the hardened parallel
-# experiment drivers). Run from anywhere inside the repository.
+# experiment drivers), and an end-to-end smoke run of the serving mode
+# (reactiveload driving an ephemeral reactived over localhost with decision
+# verification on). Run from anywhere inside the repository.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,5 +16,62 @@ go build ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> serving-mode smoke (reactiveload vs ephemeral reactived)"
+SMOKE_DIR=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill "$DAEMON_PID" 2>/dev/null || true
+        wait "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$SMOKE_DIR/reactived" ./cmd/reactived
+go build -o "$SMOKE_DIR/reactiveload" ./cmd/reactiveload
+
+# Random port; the daemon publishes the bound address through -addr-file.
+"$SMOKE_DIR/reactived" \
+    -addr 127.0.0.1:0 \
+    -addr-file "$SMOKE_DIR/addr" \
+    -snapshot-dir "$SMOKE_DIR/snaps" \
+    -snapshot-interval 0 >"$SMOKE_DIR/reactived.log" 2>&1 &
+DAEMON_PID=$!
+
+i=0
+while [ ! -s "$SMOKE_DIR/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "reactived never published its address" >&2
+        cat "$SMOKE_DIR/reactived.log" >&2
+        exit 1
+    fi
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "reactived exited early" >&2
+        cat "$SMOKE_DIR/reactived.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+ADDR=$(cat "$SMOKE_DIR/addr")
+
+"$SMOKE_DIR/reactiveload" \
+    -addr "http://$ADDR" \
+    -bench gzip \
+    -scale 0.02 \
+    -concurrency 2 \
+    -batch 512 \
+    -verify
+
+# Graceful shutdown must drain and leave a final snapshot behind.
+kill "$DAEMON_PID"
+wait "$DAEMON_PID"
+DAEMON_PID=""
+if [ ! -f "$SMOKE_DIR/snaps/current.snap" ]; then
+    echo "reactived shutdown left no snapshot" >&2
+    exit 1
+fi
 
 echo "==> OK"
