@@ -16,22 +16,31 @@
 //	-param-scale k        divide the paper's Table 2 parameters by k (default 10)
 //	-snapshot-dir d       enable snapshot/restore under directory d
 //	-snapshot-interval t  periodic snapshot interval (default 30s; 0 = only on shutdown)
+//	-debug-addr a         serve net/http/pprof and expvar on a separate listener
+//	-debug-addr-file f    write the bound debug address to f once listening
 //
 // Endpoints: POST /v1/ingest, GET /v1/decide, GET /healthz, GET /metrics,
-// POST /v1/snapshot. SIGINT/SIGTERM drain in-flight batches, take a final
-// snapshot (when -snapshot-dir is set), and exit 0.
+// POST /v1/snapshot. With -debug-addr, a second listener serves the runtime
+// profiling surface — GET /debug/pprof/ (CPU, heap, goroutine, block
+// profiles) and GET /debug/vars (expvar, including a "reactived" variable
+// summarizing table totals) — kept off the serving address so profiling
+// traffic can be firewalled separately. SIGINT/SIGTERM drain in-flight
+// batches, take a final snapshot (when -snapshot-dir is set), and exit 0.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -48,6 +57,37 @@ func main() {
 	}
 }
 
+// expvarServer points /debug/vars at the daemon currently running in this
+// process. expvar.Publish is once-per-name for the process lifetime, while
+// tests call run repeatedly, so the published Func dereferences this pointer
+// instead of capturing one server.
+var expvarServer atomic.Pointer[server.Server]
+
+// publishExpvars registers the "reactived" expvar once per process.
+func publishExpvars() {
+	if expvar.Get("reactived") != nil {
+		return
+	}
+	expvar.Publish("reactived", expvar.Func(func() any {
+		s := expvarServer.Load()
+		if s == nil {
+			return nil
+		}
+		var total server.ShardMetrics
+		for _, m := range s.Table().Metrics() {
+			total.Add(m)
+		}
+		return map[string]any{
+			"events":       total.Events,
+			"instructions": total.Instrs,
+			"misspec_rate": total.MisspecRate(),
+			"entries":      total.Entries,
+			"shards":       s.Table().Shards(),
+			"draining":     s.Draining(),
+		}
+	}))
+}
+
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("reactived", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
@@ -58,6 +98,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	snapshotDir := fs.String("snapshot-dir", "", "enable snapshot/restore under this directory")
 	snapshotInterval := fs.Duration("snapshot-interval", 30*time.Second,
 		"periodic snapshot interval (0 = only on shutdown)")
+	debugAddr := fs.String("debug-addr", "",
+		"serve net/http/pprof and expvar on this separate listener (use :0 for a random port)")
+	debugAddrFile := fs.String("debug-addr-file", "",
+		"write the bound debug address to this file once listening")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,6 +142,31 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	hs := &http.Server{Handler: s.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
+
+	// The runtime profiling surface: pprof and expvar register themselves
+	// on the default mux, which we serve on a separate listener so debug
+	// traffic never shares a port with ingest.
+	if *debugAddr != "" {
+		expvarServer.Store(s)
+		publishExpvars()
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("listening on -debug-addr: %w", err)
+		}
+		defer dln.Close()
+		if *debugAddrFile != "" {
+			if err := os.WriteFile(*debugAddrFile, []byte(dln.Addr().String()), 0o644); err != nil {
+				return fmt.Errorf("writing -debug-addr-file: %w", err)
+			}
+		}
+		logf("debug listener on %s (/debug/pprof/, /debug/vars)", dln.Addr())
+		go func() {
+			// http.DefaultServeMux carries the pprof and expvar
+			// handlers; the error is expected at shutdown when the
+			// deferred Close tears the listener down.
+			http.Serve(dln, nil)
+		}()
+	}
 
 	snapTick := make(<-chan time.Time)
 	var ticker *time.Ticker

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -63,6 +64,48 @@ func TestRunServesAndShutsDownCleanly(t *testing.T) {
 	// Shutdown with a snapshot dir writes a final snapshot.
 	if _, err := os.Stat(filepath.Join(snapDir, "current.snap")); err != nil {
 		t.Fatalf("final snapshot missing: %v", err)
+	}
+}
+
+func TestRunDebugListener(t *testing.T) {
+	debugAddrFile := filepath.Join(t.TempDir(), "debug-addr")
+	_, shutdown := startDaemon(t,
+		"-debug-addr", "127.0.0.1:0",
+		"-debug-addr-file", debugAddrFile)
+
+	deadline := time.Now().Add(10 * time.Second)
+	var debugBase string
+	for {
+		b, err := os.ReadFile(debugAddrFile)
+		if err == nil && len(b) > 0 {
+			debugBase = "http://" + strings.TrimSpace(string(b))
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never wrote its debug address file")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The profiling surface: the pprof index and expvar must answer on
+	// the debug listener.
+	for _, path := range []string{"/debug/pprof/", "/debug/vars"} {
+		resp, err := http.Get(debugBase + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s status %d", path, resp.StatusCode)
+		}
+		if path == "/debug/vars" && !strings.Contains(string(body), `"reactived"`) {
+			t.Fatalf("/debug/vars missing the reactived variable:\n%s", body)
+		}
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("run returned %v on graceful shutdown", err)
 	}
 }
 

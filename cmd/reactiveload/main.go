@@ -28,6 +28,12 @@
 //	-intensity f     fault-injection intensity in [0,1] (default 0)
 //	-param-scale k   controller parameter scale for -verify; must match the daemon (default 10)
 //	-verify          cross-check every decision against an in-process controller
+//	-dump-metrics    write the load generator's own metrics registry (Prometheus text) to stderr
+//
+// All latency accounting flows through one internal/obs registry: the JSON
+// report's batch quantiles and its per-phase encode / network / decode
+// breakdown are read back from the registry's histograms, and -dump-metrics
+// exposes the registry itself.
 //
 // Exit status: 0 on success, 1 on transport errors or verification failure.
 package main
@@ -43,8 +49,8 @@ import (
 
 	"reactivespec/internal/core"
 	"reactivespec/internal/faults"
+	"reactivespec/internal/obs"
 	"reactivespec/internal/server"
-	"reactivespec/internal/stats"
 	"reactivespec/internal/trace"
 	"reactivespec/internal/workload"
 )
@@ -67,8 +73,56 @@ type Report struct {
 	BatchP90Ms float64 `json:"batch_latency_p90_ms"`
 	BatchP99Ms float64 `json:"batch_latency_p99_ms"`
 
+	// Phases breaks batch latency into client-side phases ("encode",
+	// "network", "decode"), sourced from the obs registry histograms.
+	Phases map[string]PhaseLatency `json:"phase_latency_ms"`
+
 	Verdicts  map[string]uint64 `json:"verdicts"`
 	Decisions map[string]uint64 `json:"decisions"`
+}
+
+// PhaseLatency is one phase's latency quantiles in milliseconds.
+type PhaseLatency struct {
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// instruments is the load generator's metrics registry: the batch-latency
+// summary plus one histogram per ingest phase, shared by all workers.
+type instruments struct {
+	reg     *obs.Registry
+	events  *obs.Counter
+	batches *obs.Counter
+	batch   *obs.Histogram
+	encode  *obs.Histogram
+	network *obs.Histogram
+	decode  *obs.Histogram
+}
+
+func newInstruments() *instruments {
+	reg := obs.NewRegistry()
+	lat := func(name, help string) *obs.Histogram {
+		return reg.NewHistogram(name, help, 1e-6, 60, 30, 0.5, 0.9, 0.99)
+	}
+	return &instruments{
+		reg:     reg,
+		events:  reg.NewCounter("reactiveload_events_total", "Events sent to the daemon."),
+		batches: reg.NewCounter("reactiveload_batches_total", "Ingest batches sent."),
+		batch:   lat("reactiveload_batch_seconds", "Ingest batch round-trip latency."),
+		encode:  lat("reactiveload_encode_seconds", "Client time encoding trace frames."),
+		network: lat("reactiveload_network_seconds", "HTTP round trip, including reading the response body."),
+		decode:  lat("reactiveload_decode_seconds", "Client time decoding decision bytes."),
+	}
+}
+
+// phase reads one histogram back as millisecond quantiles.
+func phase(h *obs.Histogram) PhaseLatency {
+	return PhaseLatency{
+		P50Ms: h.Quantile(0.5) * 1e3,
+		P90Ms: h.Quantile(0.9) * 1e3,
+		P99Ms: h.Quantile(0.99) * 1e3,
+	}
 }
 
 func main() {
@@ -82,7 +136,6 @@ func main() {
 type workerResult struct {
 	events    uint64
 	batches   uint64
-	lat       *stats.LogHist
 	verdicts  [3]uint64 // indexed by core.Verdict
 	decisions [4]uint64 // indexed by core.State
 	err       error
@@ -102,6 +155,8 @@ func run(args []string, out io.Writer) error {
 	intensity := fs.Float64("intensity", 0, "fault-injection intensity in [0,1]")
 	paramScale := fs.Uint64("param-scale", 10, "controller parameter scale for -verify (must match the daemon)")
 	verify := fs.Bool("verify", false, "cross-check every decision against an in-process controller")
+	dumpMetrics := fs.Bool("dump-metrics", false,
+		"write the load generator's own metrics registry (Prometheus text) to stderr after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -135,6 +190,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("daemon not reachable at %s: %w", *addr, err)
 	}
 
+	ins := newInstruments()
 	results := make([]workerResult, *concurrency)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -142,7 +198,7 @@ func run(args []string, out io.Writer) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w] = runWorker(client, workerConfig{
+			results[w] = runWorker(client, ins, workerConfig{
 				program:   fmt.Sprintf("%s@%d", *bench, w),
 				bench:     *bench,
 				input:     inputID,
@@ -170,14 +226,12 @@ func run(args []string, out io.Writer) error {
 		Verdicts:    map[string]uint64{},
 		Decisions:   map[string]uint64{},
 	}
-	lat := stats.NewLogHist(1e-6, 60, 30)
 	for w, r := range results {
 		if r.err != nil {
 			return fmt.Errorf("worker %d: %w", w, r.err)
 		}
 		rep.Events += r.events
 		rep.Batches += r.batches
-		lat.Merge(r.lat)
 		for v, n := range r.verdicts {
 			rep.Verdicts[core.Verdict(v).String()] += n
 		}
@@ -188,13 +242,24 @@ func run(args []string, out io.Writer) error {
 	if elapsed > 0 {
 		rep.EventsPerS = float64(rep.Events) / elapsed.Seconds()
 	}
-	rep.BatchP50Ms = lat.Quantile(0.5) * 1e3
-	rep.BatchP90Ms = lat.Quantile(0.9) * 1e3
-	rep.BatchP99Ms = lat.Quantile(0.99) * 1e3
+	rep.BatchP50Ms = ins.batch.Quantile(0.5) * 1e3
+	rep.BatchP90Ms = ins.batch.Quantile(0.9) * 1e3
+	rep.BatchP99Ms = ins.batch.Quantile(0.99) * 1e3
+	rep.Phases = map[string]PhaseLatency{
+		"encode":  phase(ins.encode),
+		"network": phase(ins.network),
+		"decode":  phase(ins.decode),
+	}
 
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if *dumpMetrics {
+		return ins.reg.WritePrometheus(os.Stderr)
+	}
+	return nil
 }
 
 type workerConfig struct {
@@ -211,8 +276,8 @@ type workerConfig struct {
 }
 
 // runWorker replays one seeded stream against the daemon.
-func runWorker(client *server.Client, cfg workerConfig) workerResult {
-	res := workerResult{lat: stats.NewLogHist(1e-6, 60, 30)}
+func runWorker(client *server.Client, ins *instruments, cfg workerConfig) workerResult {
+	var res workerResult
 	spec, err := workload.Build(cfg.bench, cfg.input, workload.Options{
 		EventScale: workload.DefaultEventScale * cfg.scale,
 		Seed:       cfg.seed,
@@ -245,11 +310,16 @@ func runWorker(client *server.Client, cfg workerConfig) workerResult {
 			return nil
 		}
 		t0 := time.Now()
-		ds, err := client.Ingest(cfg.program, batch)
+		ds, tm, err := client.IngestTimed(cfg.program, batch)
 		if err != nil {
 			return err
 		}
-		res.lat.Add(time.Since(t0).Seconds())
+		ins.batch.Observe(time.Since(t0).Seconds())
+		ins.encode.Observe(tm.Encode.Seconds())
+		ins.network.Observe(tm.Network.Seconds())
+		ins.decode.Observe(tm.Decode.Seconds())
+		ins.batches.Inc()
+		ins.events.Add(uint64(len(batch)))
 		res.batches++
 		res.events += uint64(len(batch))
 		for i, d := range ds {

@@ -55,6 +55,43 @@ func TestRunVerifiedLoad(t *testing.T) {
 	if verdictTotal != rep.Events {
 		t.Fatalf("verdict counts sum to %d, want %d", verdictTotal, rep.Events)
 	}
+	// The per-phase breakdown must cover all three client phases with
+	// plausible (positive, ordered) quantiles.
+	for _, name := range []string{"encode", "network", "decode"} {
+		p, ok := rep.Phases[name]
+		if !ok {
+			t.Fatalf("phase %q missing from report: %+v", name, rep.Phases)
+		}
+		if p.P50Ms <= 0 || p.P99Ms < p.P50Ms {
+			t.Fatalf("phase %q has implausible quantiles: %+v", name, p)
+		}
+	}
+	// The network phase contains the server round trip, so it dominates
+	// the pure-CPU encode phase.
+	if rep.Phases["network"].P50Ms < rep.Phases["encode"].P50Ms {
+		t.Fatalf("network p50 %v < encode p50 %v", rep.Phases["network"].P50Ms, rep.Phases["encode"].P50Ms)
+	}
+}
+
+func TestRunDumpMetrics(t *testing.T) {
+	base := testDaemon(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", base,
+		"-events", "2000",
+		"-concurrency", "1",
+		"-batch", "500",
+		"-dump-metrics",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// -dump-metrics goes to stderr (not capturable here without process
+	// plumbing); the JSON report on out must still be intact.
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output not JSON with -dump-metrics: %v", err)
+	}
 }
 
 func TestRunVerifyDetectsParamMismatch(t *testing.T) {

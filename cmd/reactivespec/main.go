@@ -8,17 +8,22 @@
 //
 // Paper artifacts: table1, table2, fig2, fig3, fig4, fig5, table3, table4,
 // fig6, fig7, fig8, fig9, table5. Ablations and extensions: averaging,
-// flush, generality, replay, describe, chaos, sweep-monitor, sweep-evict,
-// sweep-wait, sweep-oscillation, sweep-step, sweep-threshold, sweep-task,
-// sweep-slaves.
+// flush, generality, replay, describe, timeline, chaos, sweep-monitor,
+// sweep-evict, sweep-wait, sweep-oscillation, sweep-step, sweep-threshold,
+// sweep-task, sweep-slaves.
 // "all" runs everything (≈10–15 minutes at full scale).
+//
+// The timeline experiment runs one benchmark (default gcc; narrow with
+// -bench) with the controller lifecycle trace sink attached and emits the
+// per-branch state-transition timeline — as a summary table, as raw
+// per-segment CSV spans, or as an SVG Gantt chart with -format svg.
 //
 // Flags:
 //
 //	-scale f        workload scale relative to the calibrated default (1.0)
 //	-bench csv      comma-separated benchmark subset (default: all 12)
 //	-seed n         workload seed (default 0, the calibrated seed)
-//	-format f       "table" (default), "csv", or "svg" (figures 2/3/5/6/7/8, chaos)
+//	-format f       "table" (default), "csv", or "svg" (figures 2/3/5/6/7/8, chaos, timeline)
 //	-timeout d      cancel the run after this duration (e.g. 2m; 0 = none)
 //	-intensities l  fault intensities for the chaos experiment (e.g. 0,0.2,0.8)
 //
@@ -226,9 +231,25 @@ func dispatchSVG(name string, cfg experiments.Config, intensities []float64, out
 			return err
 		}
 		return experiments.SVGFig8(out, rows)
+	case "timeline":
+		res, err := experiments.Timeline(cfg, singleBench(cfg), workload.InputEval)
+		if err != nil {
+			return err
+		}
+		return experiments.SVGTimeline(out, res)
 	default:
-		return usagef("experiment %q has no SVG form (figures 2, 3, 5, 6, 7, 8 and chaos do)", name)
+		return usagef("experiment %q has no SVG form (figures 2, 3, 5, 6, 7, 8, chaos and timeline do)", name)
 	}
+}
+
+// singleBench picks the benchmark for the experiments that run exactly one
+// (describe, timeline): the -bench selection when it names a single
+// benchmark, gcc otherwise.
+func singleBench(cfg experiments.Config) string {
+	if len(cfg.Benchmarks) == 1 {
+		return cfg.Benchmarks[0]
+	}
+	return "gcc"
 }
 
 func experimentNames() []string {
@@ -236,7 +257,7 @@ func experimentNames() []string {
 		"table4", "fig6", "fig7", "fig8", "fig9", "table5",
 		"averaging", "flush", "generality", "chaos", "sweep-monitor", "sweep-evict",
 		"sweep-wait", "sweep-oscillation", "sweep-step", "sweep-threshold",
-		"sweep-task", "sweep-slaves", "replay", "tls", "describe", "all"}
+		"sweep-task", "sweep-slaves", "replay", "tls", "describe", "timeline", "all"}
 }
 
 func dispatch(name string, cfg experiments.Config, csv bool, intensities []float64, out io.Writer) error {
@@ -338,16 +359,17 @@ func dispatch(name string, cfg experiments.Config, csv bool, intensities []float
 		}
 		return experiments.WriteTLS(out, rows, csv)
 	case "describe":
-		// Describe needs a single benchmark; default to gcc.
-		bench := "gcc"
-		if len(cfg.Benchmarks) == 1 {
-			bench = cfg.Benchmarks[0]
-		}
-		rows, spec, err := experiments.Describe(cfg, bench, workload.InputEval)
+		rows, spec, err := experiments.Describe(cfg, singleBench(cfg), workload.InputEval)
 		if err != nil {
 			return err
 		}
 		return experiments.WriteDescribe(out, spec, rows, csv)
+	case "timeline":
+		res, err := experiments.Timeline(cfg, singleBench(cfg), workload.InputEval)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteTimeline(out, res, csv)
 	case "sweep-slaves":
 		rows, err := experiments.SlaveSweep(cfg)
 		if err != nil {

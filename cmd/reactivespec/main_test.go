@@ -103,6 +103,33 @@ func TestRunChaos(t *testing.T) {
 	}
 }
 
+func TestRunTimeline(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-scale", "0.02", "-bench", "gzip", "timeline"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"gzip", "transitions", "trajectory"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline output missing %q:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	if err := run([]string{"-scale", "0.02", "-bench", "gzip", "-format", "csv", "timeline"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "branch,state,from_instr,to_instr") {
+		t.Fatalf("timeline csv output wrong:\n%s", b.String())
+	}
+	b.Reset()
+	if err := run([]string{"-scale", "0.02", "-bench", "gzip", "-format", "svg", "timeline"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<svg") || !strings.Contains(b.String(), "</svg>") {
+		t.Fatal("timeline SVG output malformed")
+	}
+}
+
 func TestRunTimeoutCancels(t *testing.T) {
 	var b strings.Builder
 	err := run([]string{"-scale", "0.05", "-bench", "gzip", "-timeout", "1ns", "chaos"}, &b)

@@ -67,12 +67,16 @@ func (v Verdict) String() string {
 
 // Transition describes one classification change, delivered to the optional
 // transition hook. Instr is the global dynamic instruction count and Exec the
-// branch's execution index at the transition.
+// branch's execution index at the transition. Counter is the branch's
+// saturating eviction counter at the instant of the transition: the eviction
+// threshold on a squash-triggered demotion (biased→monitor), and typically
+// zero elsewhere.
 type Transition struct {
 	Branch   trace.BranchID
 	From, To State
 	Instr    uint64
 	Exec     uint64
+	Counter  uint32
 }
 
 // deployment tracks the lifecycle of the speculative code generated for one
@@ -386,7 +390,7 @@ func (c *Controller) transition(id trace.BranchID, b *branch, to State, instr ui
 	from := b.state
 	b.state = to
 	if c.OnTransition != nil {
-		c.OnTransition(Transition{Branch: id, From: from, To: to, Instr: instr, Exec: b.execs})
+		c.OnTransition(Transition{Branch: id, From: from, To: to, Instr: instr, Exec: b.execs, Counter: b.counter})
 	}
 }
 

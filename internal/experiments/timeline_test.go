@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/harness"
+	"reactivespec/internal/obs"
+	"reactivespec/internal/workload"
+)
+
+func smokeTimeline(t *testing.T) *TimelineResult {
+	t.Helper()
+	res, err := Timeline(Config{Scale: 0.02}, "gzip", workload.InputEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTimelineNonEmpty(t *testing.T) {
+	res := smokeTimeline(t)
+	if res.Stats.Events == 0 {
+		t.Fatal("timeline run processed no events")
+	}
+	if res.Transitions == 0 || len(res.Branches) == 0 {
+		t.Fatalf("empty timeline: %d transitions, %d branches", res.Transitions, len(res.Branches))
+	}
+	for _, tl := range res.Branches {
+		if len(tl.Segments) == 0 {
+			t.Fatalf("branch %d has no segments", tl.Branch)
+		}
+		last := tl.Segments[len(tl.Segments)-1]
+		if last.State != tl.Final {
+			t.Fatalf("branch %d final %v but last segment %v", tl.Branch, tl.Final, last.State)
+		}
+	}
+}
+
+// TestTimelineMatchesUntracedRun pins the acceptance criterion: the traced
+// run's decisions are bitwise identical to an untraced run of the same
+// configuration.
+func TestTimelineMatchesUntracedRun(t *testing.T) {
+	cfg := Config{Scale: 0.02}.withDefaults()
+	res := smokeTimeline(t)
+
+	spec, err := cfg.build("gzip", workload.InputEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := harness.Run(workload.NewGenerator(spec), core.New(cfg.Params()))
+	if res.Stats != plain {
+		t.Fatalf("traced stats %+v differ from untraced %+v", res.Stats, plain)
+	}
+}
+
+func TestTimelineDeterministic(t *testing.T) {
+	a, b := smokeTimeline(t), smokeTimeline(t)
+	var wa, wb bytes.Buffer
+	if err := WriteTimeline(&wa, a, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTimeline(&wb, b, true); err != nil {
+		t.Fatal(err)
+	}
+	if wa.Len() == 0 || !bytes.Equal(wa.Bytes(), wb.Bytes()) {
+		t.Fatal("timeline CSV not byte-identical across identical runs")
+	}
+}
+
+func TestWriteTimelineTable(t *testing.T) {
+	res := smokeTimeline(t)
+	var w bytes.Buffer
+	if err := WriteTimeline(&w, res, false); err != nil {
+		t.Fatal(err)
+	}
+	out := w.String()
+	for _, want := range []string{"gzip", "transitions", "trajectory", "monitor"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSVGTimeline(t *testing.T) {
+	res := smokeTimeline(t)
+	var w bytes.Buffer
+	if err := SVGTimeline(&w, res); err != nil {
+		t.Fatal(err)
+	}
+	out := w.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// The Gantt rows are Segments strokes; at least one span must render.
+	if !strings.Contains(out, "<line") {
+		t.Fatal("SVG timeline has no segment strokes")
+	}
+	for _, state := range []string{"monitor", "biased"} {
+		if !strings.Contains(out, ">"+state+"<") {
+			t.Fatalf("SVG legend missing state %q", state)
+		}
+	}
+}
+
+func TestTrajectoryTruncation(t *testing.T) {
+	segs := []obs.Segment{
+		{State: core.Monitor}, {State: core.Biased}, {State: core.Monitor}, {State: core.Biased},
+	}
+	if got := trajectory(segs, 8); got != "monitor→biased→monitor→biased" {
+		t.Fatalf("trajectory = %q", got)
+	}
+	if got := trajectory(segs, 2); got != "monitor→biased…(+2)" {
+		t.Fatalf("truncated trajectory = %q", got)
+	}
+}

@@ -1,0 +1,325 @@
+// Package obs is the unified observability layer: a metrics registry with
+// cheap atomic hot paths and a Prometheus text exposition writer, and a
+// ring-buffer lifecycle trace sink for the reactive controller
+// (internal/core). Server, harness, and CLI metrics all flow through one
+// Registry so every binary exposes the same metric grammar, and the trace
+// sink makes a live controller's monitor/biased/unbiased trajectory — the
+// paper's Figures 3, 6 and 9 — observable on demand.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"reactivespec/internal/stats"
+)
+
+// Counter is a monotonically increasing metric. The hot path is a single
+// atomic add; Counters are safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. Safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a log-bucketed latency/size histogram (stats.LogHist) exposed
+// as a Prometheus summary: one sample per configured quantile plus _sum and
+// _count. Safe for concurrent use (observations serialize on a mutex; keep
+// one Histogram per hot region, not per event source, if that matters).
+type Histogram struct {
+	mu        sync.Mutex
+	h         *stats.LogHist
+	sum       float64
+	quantiles []float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.h.Add(v)
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Quantile returns the estimated p-quantile of the observations so far.
+func (h *Histogram) Quantile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Quantile(p)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Total()
+}
+
+// CounterVec is a family of Counters distinguished by label values.
+type CounterVec struct {
+	labels []string
+
+	mu       sync.RWMutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the given label values (created on
+// first use), which the caller should cache on hot paths. The number of
+// values must match the vec's label names.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: CounterVec wants %d label values, got %d", len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	v.mu.RLock()
+	c := v.children[key]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.children[key]; c == nil {
+		c = &Counter{}
+		v.children[key] = c
+	}
+	return c
+}
+
+// metric is one registered exposition unit: a direct instrument (one family)
+// or a collector (any number of computed families).
+type metric struct {
+	name   string
+	expose func(e *Emitter)
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Register everything at startup; registration panics on
+// an invalid or duplicate name (programmer error), exposition never does.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]struct{}
+	metrics []metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]struct{})}
+}
+
+func (r *Registry) register(name string, expose func(e *Emitter)) {
+	mustValidName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic("obs: duplicate metric " + name)
+	}
+	r.byName[name] = struct{}{}
+	r.metrics = append(r.metrics, metric{name: name, expose: expose})
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, func(e *Emitter) {
+		e.Family(name, "counter", help)
+		e.SampleUint(c.Value())
+	})
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, func(e *Emitter) {
+		e.Family(name, "gauge", help)
+		e.Sample(g.Value())
+	})
+	return g
+}
+
+// NewGaugeFunc registers a gauge computed at exposition time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(name, func(e *Emitter) {
+		e.Family(name, "gauge", help)
+		e.Sample(fn())
+	})
+}
+
+// NewCounterVec registers and returns a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	for _, l := range labels {
+		mustValidName(l)
+	}
+	v := &CounterVec{labels: labels, children: make(map[string]*Counter)}
+	r.register(name, func(e *Emitter) {
+		e.Family(name, "counter", help)
+		v.mu.RLock()
+		keys := make([]string, 0, len(v.children))
+		for k := range v.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			kv := make([]string, 0, 2*len(labels))
+			for i, val := range strings.Split(k, "\xff") {
+				kv = append(kv, labels[i], val)
+			}
+			e.SampleUint(v.children[k].Value(), kv...)
+		}
+		v.mu.RUnlock()
+	})
+	return v
+}
+
+// NewHistogram registers and returns a histogram over [lo, hi] with
+// perDecade log buckets, exposed as a summary with the given quantiles.
+func (r *Registry) NewHistogram(name, help string, lo, hi float64, perDecade int, quantiles ...float64) *Histogram {
+	if len(quantiles) == 0 {
+		quantiles = []float64{0.5, 0.9, 0.99}
+	}
+	qs := append([]float64(nil), quantiles...)
+	sort.Float64s(qs)
+	h := &Histogram{h: stats.NewLogHist(lo, hi, perDecade), quantiles: qs}
+	r.register(name, func(e *Emitter) {
+		e.Family(name, "summary", help)
+		h.mu.Lock()
+		snap := h.h.Snapshot()
+		sum := h.sum
+		h.mu.Unlock()
+		for _, q := range qs {
+			e.Sample(snap.Quantile(q), "quantile", strconv.FormatFloat(q, 'g', -1, 64))
+		}
+		e.appendf("%s_sum %s\n", name, formatFloat(sum))
+		e.appendf("%s_count %d\n", name, snap.Total())
+	})
+	return h
+}
+
+// RegisterCollector registers a computed metric source: fn runs at every
+// exposition and may emit any number of families through the Emitter. The
+// name orders the collector among the registry's metrics (exposition is
+// sorted by registration name) and must be unique; by convention it is a
+// prefix of the families the collector emits.
+func (r *Registry) RegisterCollector(name string, fn func(e *Emitter)) {
+	r.register(name, fn)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format, sorted by registration name so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	e := &Emitter{}
+	for _, m := range ms {
+		m.expose(e)
+	}
+	_, err := w.Write(e.b)
+	return err
+}
+
+// Emitter accumulates exposition text. Collectors receive one to emit
+// computed families; direct instruments use it internally.
+type Emitter struct {
+	b       []byte
+	curName string
+}
+
+func (e *Emitter) appendf(format string, args ...any) {
+	e.b = append(e.b, fmt.Sprintf(format, args...)...)
+}
+
+// Family starts a metric family: its # HELP and # TYPE header lines.
+// Subsequent Sample calls emit samples of this family.
+func (e *Emitter) Family(name, typ, help string) {
+	e.curName = name
+	e.appendf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Sample emits one sample of the current family with optional labels given
+// as alternating name, value pairs.
+func (e *Emitter) Sample(v float64, kv ...string) {
+	e.sample(formatFloat(v), kv)
+}
+
+// SampleUint is Sample for integer-valued counters (full 64-bit precision).
+func (e *Emitter) SampleUint(v uint64, kv ...string) {
+	e.sample(strconv.FormatUint(v, 10), kv)
+}
+
+func (e *Emitter) sample(val string, kv []string) {
+	e.b = append(e.b, e.curName...)
+	if len(kv) > 0 {
+		e.b = append(e.b, '{')
+		for i := 0; i+1 < len(kv); i += 2 {
+			if i > 0 {
+				e.b = append(e.b, ',')
+			}
+			// %q escapes exactly what the exposition format requires
+			// in label values: backslash, quote, and newline.
+			e.appendf("%s=%q", kv[i], kv[i+1])
+		}
+		e.b = append(e.b, '}')
+	}
+	e.b = append(e.b, ' ')
+	e.b = append(e.b, val...)
+	e.b = append(e.b, '\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	return strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(s)
+}
+
+func mustValidName(name string) {
+	if !validName(name) {
+		panic("obs: invalid metric or label name " + strconv.Quote(name))
+	}
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_ops_total", "Operations performed.")
+	c.Add(41)
+	c.Inc()
+	g := r.NewGauge("test_depth", "Current depth.")
+	g.Set(2.5)
+	r.NewGaugeFunc("test_uptime_seconds", "Uptime.", func() float64 { return 7 })
+	v := r.NewCounterVec("test_shard_events_total", "Events per shard.", "shard")
+	v.With("1").Add(10)
+	v.With("0").Add(5)
+	h := r.NewHistogram("test_latency_seconds", "Latency.", 1e-6, 60, 30, 0.5, 0.99)
+	h.Observe(0.01)
+	h.Observe(0.02)
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_ops_total Operations performed.",
+		"# TYPE test_ops_total counter",
+		"test_ops_total 42",
+		"test_depth 2.5",
+		"test_uptime_seconds 7",
+		`test_shard_events_total{shard="0"} 5`,
+		`test_shard_events_total{shard="1"} 10`,
+		"# TYPE test_latency_seconds summary",
+		`test_latency_seconds{quantile="0.5"}`,
+		`test_latency_seconds{quantile="0.99"}`,
+		"test_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Families are sorted by name, so depth precedes latency precedes ops.
+	if strings.Index(out, "test_depth") > strings.Index(out, "test_ops_total") {
+		t.Errorf("exposition not sorted by family name:\n%s", out)
+	}
+}
+
+func TestRegistryExpositionDeterministic(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		r.NewCounter("b_total", "b").Add(3)
+		r.NewCounter("a_total", "a").Add(1)
+		v := r.NewCounterVec("c_total", "c", "k")
+		v.With("y").Inc()
+		v.With("x").Inc()
+		var b bytes.Buffer
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRegistryCollector(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCollector("test_computed", func(e *Emitter) {
+		e.Family("test_computed_total", "counter", "Computed.")
+		e.SampleUint(9, "kind", "x")
+		e.Family("test_computed_rate", "gauge", "Rate.")
+		e.Sample(0.25)
+	})
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_computed_total{kind="x"} 9`,
+		"test_computed_rate 0.25",
+		"# TYPE test_computed_rate gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryDuplicateAndInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "x")
+	for name, fn := range map[string]func(){
+		"duplicate":     func() { r.NewCounter("dup_total", "x") },
+		"invalid":       func() { r.NewCounter("bad-name", "x") },
+		"empty":         func() { r.NewCounter("", "x") },
+		"leading digit": func() { r.NewCounter("0bad", "x") },
+		"bad label":     func() { r.NewCounterVec("ok_total", "x", "bad-label") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s registration did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCounterVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("cc_total", "x", "w")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				v.With("a").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.With("a").Value(); got != 8000 {
+		t.Fatalf("concurrent vec count = %d, want 8000", got)
+	}
+}
+
+func TestHistogramQuantileAccessors(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("hq_seconds", "x", 1e-6, 60, 30)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	q := h.Quantile(0.5)
+	// Log-bucketed: the estimate is the bucket's upper edge, within ~8%.
+	if q < 0.001 || q > 0.0012 {
+		t.Fatalf("p50 = %v, want ≈0.001", q)
+	}
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/harness"
+	"reactivespec/internal/trace"
+	"reactivespec/internal/workload"
+)
+
+// tracedRun drives the gzip workload through a reactive controller with a
+// sink attached and returns the sink plus the per-event verdict sequence.
+func tracedRun(t *testing.T, capacity int) (*Sink, []core.Verdict, uint64) {
+	t.Helper()
+	spec, err := workload.Build("gzip", workload.InputEval, workload.Options{
+		EventScale: workload.DefaultEventScale * 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := core.New(core.DefaultParams().Scaled(50))
+	sink := NewSink(capacity)
+	sink.Attach(ctl)
+	var verdicts []core.Verdict
+	var lastInstr uint64
+	harness.RunObserved(workload.NewGenerator(spec), ctl,
+		func(ev trace.Event, instr uint64, v core.Verdict) {
+			verdicts = append(verdicts, v)
+			lastInstr = instr
+		})
+	return sink, verdicts, lastInstr
+}
+
+func TestSinkRecordsTransitions(t *testing.T) {
+	sink, _, _ := tracedRun(t, 0)
+	recs := sink.Records()
+	if len(recs) == 0 {
+		t.Fatal("no transitions recorded")
+	}
+	if sink.Dropped() != 0 {
+		t.Fatalf("default capacity dropped %d records", sink.Dropped())
+	}
+	sawSelection, sawEviction := false, false
+	for i, r := range recs {
+		if r.Seq != uint64(i) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+		if r.From == r.To {
+			t.Fatalf("record %d is a self-transition: %+v", i, r)
+		}
+		if r.From == core.Monitor && r.To == core.Biased {
+			sawSelection = true
+		}
+		if r.From == core.Biased && r.To == core.Monitor {
+			sawEviction = true
+			if r.Counter == 0 {
+				t.Fatalf("eviction record %d has zero saturating counter: %+v", i, r)
+			}
+		}
+	}
+	if !sawSelection || !sawEviction {
+		t.Fatalf("expected selections and evictions in gzip trace (selection=%v eviction=%v)",
+			sawSelection, sawEviction)
+	}
+}
+
+// TestSinkDoesNotChangeDecisions pins the observability contract: attaching
+// a sink must not change a single controller decision.
+func TestSinkDoesNotChangeDecisions(t *testing.T) {
+	spec, err := workload.Build("gzip", workload.InputEval, workload.Options{
+		EventScale: workload.DefaultEventScale * 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.DefaultParams().Scaled(50)
+
+	plain := core.New(params)
+	var plainVerdicts []core.Verdict
+	harness.RunObserved(workload.NewGenerator(spec), plain,
+		func(_ trace.Event, _ uint64, v core.Verdict) { plainVerdicts = append(plainVerdicts, v) })
+
+	_, tracedVerdicts, _ := tracedRun(t, 0)
+
+	if len(plainVerdicts) != len(tracedVerdicts) {
+		t.Fatalf("event counts differ: %d vs %d", len(plainVerdicts), len(tracedVerdicts))
+	}
+	for i := range plainVerdicts {
+		if plainVerdicts[i] != tracedVerdicts[i] {
+			t.Fatalf("verdict %d differs with sink attached: %v vs %v",
+				i, plainVerdicts[i], tracedVerdicts[i])
+		}
+	}
+}
+
+// TestSinkJSONLDeterministic pins byte-identical JSONL for identical seed
+// and parameters.
+func TestSinkJSONLDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	s1, _, _ := tracedRun(t, 0)
+	if err := s1.WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	s2, _, _ := tracedRun(t, 0)
+	if err := s2.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 {
+		t.Fatal("empty JSONL export")
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("JSONL export not byte-identical across identical runs")
+	}
+}
+
+func TestSinkRingWrap(t *testing.T) {
+	sink := NewSink(4)
+	for i := 0; i < 10; i++ {
+		sink.Record(core.Transition{Branch: trace.BranchID(i), Instr: uint64(i)})
+	}
+	if sink.Len() != 4 || sink.Total() != 10 || sink.Dropped() != 6 {
+		t.Fatalf("len=%d total=%d dropped=%d, want 4/10/6",
+			sink.Len(), sink.Total(), sink.Dropped())
+	}
+	recs := sink.Records()
+	for i, r := range recs {
+		if want := uint64(6 + i); r.Seq != want {
+			t.Fatalf("record %d seq %d, want %d (oldest-first after wrap)", i, r.Seq, want)
+		}
+	}
+}
+
+func TestBuildTimeline(t *testing.T) {
+	recs := []Record{
+		{Seq: 0, Branch: 3, From: core.Monitor, To: core.Biased, Instr: 100},
+		{Seq: 1, Branch: 1, From: core.Monitor, To: core.Unbiased, Instr: 150},
+		{Seq: 2, Branch: 3, From: core.Biased, To: core.Monitor, Instr: 400},
+		{Seq: 3, Branch: 3, From: core.Monitor, To: core.Biased, Instr: 600},
+	}
+	tls := BuildTimeline(recs, 1000)
+	if len(tls) != 2 {
+		t.Fatalf("got %d branch timelines, want 2", len(tls))
+	}
+	if tls[0].Branch != 1 || tls[1].Branch != 3 {
+		t.Fatalf("timelines not sorted by branch: %+v", tls)
+	}
+	b3 := tls[1]
+	if b3.Transitions != 3 || b3.Evictions != 1 || b3.Final != core.Biased {
+		t.Fatalf("branch 3 summary wrong: %+v", b3)
+	}
+	want := []Segment{
+		{State: core.Monitor, FromInstr: 0, ToInstr: 100},
+		{State: core.Biased, FromInstr: 100, ToInstr: 400},
+		{State: core.Monitor, FromInstr: 400, ToInstr: 600},
+		{State: core.Biased, FromInstr: 600, ToInstr: 1000},
+	}
+	if len(b3.Segments) != len(want) {
+		t.Fatalf("branch 3 has %d segments, want %d: %+v", len(b3.Segments), len(want), b3.Segments)
+	}
+	for i, s := range b3.Segments {
+		if s != want[i] {
+			t.Fatalf("segment %d = %+v, want %+v", i, s, want[i])
+		}
+	}
+}
+
+func BenchmarkSinkRecord(b *testing.B) {
+	sink := NewSink(DefaultSinkCapacity)
+	tr := core.Transition{Branch: 7, From: core.Monitor, To: core.Biased, Instr: 123, Exec: 45}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink.Record(tr)
+	}
+}

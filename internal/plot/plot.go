@@ -21,6 +21,10 @@ const (
 	Line
 	// Bars draws one vertical bar per point (x is the bar center).
 	Bars
+	// Segments draws the points pairwise as independent strokes: points
+	// (0,1), (2,3), … each become one line segment. Timeline charts use
+	// it for constant-state spans (reactivespec timeline).
+	Segments
 )
 
 // Series is one named data series.
@@ -147,6 +151,11 @@ func (p *Plot) render(b *strings.Builder, ox, oy, w, h float64) {
 			}
 			fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
 				strings.Join(pts, " "), color)
+		case Segments:
+			for i := 0; i+1 < len(s.X); i += 2 {
+				fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="4" stroke-opacity="0.85"/>`+"\n",
+					tx(s.X[i]), ty(s.Y[i]), tx(s.X[i+1]), ty(s.Y[i+1]), color)
+			}
 		case Bars:
 			barW := plotW / float64(len(s.X)+1) * 0.7
 			for i := range s.X {

@@ -43,21 +43,39 @@ type IngestResult struct {
 	Err error
 }
 
+// IngestTiming partitions one ingest round trip into client-side phases,
+// for callers (cmd/reactiveload) that report where batch latency goes.
+type IngestTiming struct {
+	// Encode is the time spent building the frame bytes.
+	Encode time.Duration
+	// Network is the HTTP round trip, including reading the full response
+	// body (so it covers the server's decode/apply/respond work too).
+	Network time.Duration
+	// Decode is the time spent parsing decisions out of the response.
+	Decode time.Duration
+}
+
 // Ingest sends one batch of events as a single frame and returns the
 // per-event decisions. A rejected frame (corrupt on the wire) surfaces as an
 // error.
 func (c *Client) Ingest(program string, events []trace.Event) ([]Decision, error) {
-	results, err := c.IngestFrames(program, [][]trace.Event{events})
+	ds, _, err := c.IngestTimed(program, events)
+	return ds, err
+}
+
+// IngestTimed is Ingest with a per-phase latency breakdown.
+func (c *Client) IngestTimed(program string, events []trace.Event) ([]Decision, IngestTiming, error) {
+	results, tm, err := c.IngestFramesTimed(program, [][]trace.Event{events})
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
 	if len(results) != 1 {
-		return nil, fmt.Errorf("server: %d frame results for 1 frame", len(results))
+		return nil, tm, fmt.Errorf("server: %d frame results for 1 frame", len(results))
 	}
 	if results[0].Err != nil {
-		return nil, results[0].Err
+		return nil, tm, results[0].Err
 	}
-	return results[0].Decisions, nil
+	return results[0].Decisions, tm, nil
 }
 
 // IngestFrames sends several frames in one batch request. The returned slice
@@ -65,35 +83,55 @@ func (c *Client) Ingest(program string, events []trace.Event) ([]Decision, error
 // instead of decisions. The error return covers transport- and batch-level
 // failures only.
 func (c *Client) IngestFrames(program string, frames [][]trace.Event) ([]IngestResult, error) {
+	results, _, err := c.IngestFramesTimed(program, frames)
+	return results, err
+}
+
+// IngestFramesTimed is IngestFrames with a per-phase latency breakdown.
+func (c *Client) IngestFramesTimed(program string, frames [][]trace.Event) ([]IngestResult, IngestTiming, error) {
+	var tm IngestTiming
+	encodeStart := time.Now()
 	var body bytes.Buffer
 	for _, events := range frames {
 		if err := trace.WriteFrame(&body, events); err != nil {
-			return nil, fmt.Errorf("server: encoding frame: %w", err)
+			return nil, tm, fmt.Errorf("server: encoding frame: %w", err)
 		}
 	}
+	tm.Encode = time.Since(encodeStart)
+
+	netStart := time.Now()
 	resp, err := c.hc.Post(c.base+"/v1/ingest?program="+url.QueryEscape(program),
 		"application/octet-stream", &body)
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, httpError("ingest", resp)
+		tm.Network = time.Since(netStart)
+		return nil, tm, httpError("ingest", resp)
 	}
-	results, err := parseIngestResponse(resp.Body)
+	raw, err := io.ReadAll(resp.Body)
+	tm.Network = time.Since(netStart)
 	if err != nil {
-		return nil, err
+		return nil, tm, fmt.Errorf("server: reading ingest response: %w", err)
+	}
+
+	decodeStart := time.Now()
+	results, err := parseIngestResponse(bytes.NewReader(raw))
+	tm.Decode = time.Since(decodeStart)
+	if err != nil {
+		return nil, tm, err
 	}
 	if len(results) != len(frames) {
-		return nil, fmt.Errorf("server: %d frame results for %d frames", len(results), len(frames))
+		return nil, tm, fmt.Errorf("server: %d frame results for %d frames", len(results), len(frames))
 	}
 	for i, r := range results {
 		if r.Err == nil && len(r.Decisions) != len(frames[i]) {
-			return nil, fmt.Errorf("server: frame %d: %d decisions for %d events",
+			return nil, tm, fmt.Errorf("server: frame %d: %d decisions for %d events",
 				i, len(r.Decisions), len(frames[i]))
 		}
 	}
-	return results, nil
+	return results, tm, nil
 }
 
 // parseIngestResponse decodes the binary ingest response body.

@@ -1,12 +1,10 @@
 package server
 
 import (
-	"fmt"
-	"io"
-	"sort"
+	"strconv"
 
 	"reactivespec/internal/core"
-	"reactivespec/internal/stats"
+	"reactivespec/internal/obs"
 )
 
 // ShardMetrics are one shard's lifetime counters. Counters reset on process
@@ -48,96 +46,96 @@ func (m *ShardMetrics) Add(o ShardMetrics) {
 	m.Entries += o.Entries
 }
 
-// batchLatencyQuantiles are the quantiles /metrics exposes.
+// batchLatencyQuantiles are the quantiles /metrics exposes for every
+// latency summary.
 var batchLatencyQuantiles = []float64{0.5, 0.9, 0.99, 0.999}
 
-// writeMetrics renders the Prometheus text exposition: per-shard counters,
-// whole-table totals, ingest counters, and the batch-latency quantiles.
-func writeMetrics(w io.Writer, shards []ShardMetrics, ingest ingestMetrics, lat *stats.LogHist, uptimeSec float64) error {
-	var b []byte
-	appendf := func(format string, args ...any) {
-		b = append(b, fmt.Sprintf(format, args...)...)
-	}
+// serverInstruments are the server's direct registry instruments: cheap
+// atomic counters on the ingest path plus the latency and batch-size
+// summaries. The per-shard counters live under the shard locks instead and
+// are exported through a collector (registerTableCollector) so the ingest
+// hot path pays no extra synchronization for them.
+type serverInstruments struct {
+	batches        *obs.Counter
+	rejectedFrames *obs.Counter
+	snapshots      *obs.Counter
 
-	appendf("# HELP reactived_uptime_seconds Time since the daemon started.\n")
-	appendf("# TYPE reactived_uptime_seconds gauge\n")
-	appendf("reactived_uptime_seconds %g\n", uptimeSec)
-
-	perShard := func(name, help string, get func(ShardMetrics) uint64) {
-		appendf("# HELP %s %s\n# TYPE %s counter\n", name, help, name)
-		for i, m := range shards {
-			appendf("%s{shard=\"%d\"} %d\n", name, i, get(m))
-		}
-	}
-	perShard("reactived_events_total", "Dynamic branch instances ingested.",
-		func(m ShardMetrics) uint64 { return m.Events })
-	perShard("reactived_instructions_total", "Dynamic instructions ingested.",
-		func(m ShardMetrics) uint64 { return m.Instrs })
-	perShard("reactived_correct_total", "Correct speculations.",
-		func(m ShardMetrics) uint64 { return m.Correct })
-	perShard("reactived_misspec_total", "Misspeculations.",
-		func(m ShardMetrics) uint64 { return m.Misspec })
-	perShard("reactived_notspec_total", "Instances not covered by live speculation.",
-		func(m ShardMetrics) uint64 { return m.NotSpec })
-
-	appendf("# HELP reactived_misspec_rate Misspeculations per ingested event.\n")
-	appendf("# TYPE reactived_misspec_rate gauge\n")
-	for i, m := range shards {
-		appendf("reactived_misspec_rate{shard=\"%d\"} %g\n", i, m.MisspecRate())
-	}
-
-	appendf("# HELP reactived_transitions_total Classification transitions into each state.\n")
-	appendf("# TYPE reactived_transitions_total counter\n")
-	for i, m := range shards {
-		for st, n := range m.Transitions {
-			appendf("reactived_transitions_total{shard=\"%d\",state=%q} %d\n",
-				i, core.State(st).String(), n)
-		}
-	}
-
-	appendf("# HELP reactived_entries Resident (program, branch) controller entries.\n")
-	appendf("# TYPE reactived_entries gauge\n")
-	for i, m := range shards {
-		appendf("reactived_entries{shard=\"%d\"} %d\n", i, m.Entries)
-	}
-
-	var total ShardMetrics
-	for _, m := range shards {
-		total.Add(m)
-	}
-	appendf("# HELP reactived_table_events_total Events ingested across all shards.\n")
-	appendf("# TYPE reactived_table_events_total counter\n")
-	appendf("reactived_table_events_total %d\n", total.Events)
-	appendf("# HELP reactived_table_misspec_rate Misspeculations per event across all shards.\n")
-	appendf("# TYPE reactived_table_misspec_rate gauge\n")
-	appendf("reactived_table_misspec_rate %g\n", total.MisspecRate())
-
-	appendf("# HELP reactived_batches_total Ingest batches processed.\n")
-	appendf("# TYPE reactived_batches_total counter\n")
-	appendf("reactived_batches_total %d\n", ingest.Batches)
-	appendf("# HELP reactived_frames_rejected_total Corrupt frames rejected per-batch.\n")
-	appendf("# TYPE reactived_frames_rejected_total counter\n")
-	appendf("reactived_frames_rejected_total %d\n", ingest.RejectedFrames)
-	appendf("# HELP reactived_snapshots_total Snapshots written.\n")
-	appendf("# TYPE reactived_snapshots_total counter\n")
-	appendf("reactived_snapshots_total %d\n", ingest.Snapshots)
-
-	appendf("# HELP reactived_batch_latency_seconds Ingest batch handling latency.\n")
-	appendf("# TYPE reactived_batch_latency_seconds summary\n")
-	qs := append([]float64(nil), batchLatencyQuantiles...)
-	sort.Float64s(qs)
-	for _, q := range qs {
-		appendf("reactived_batch_latency_seconds{quantile=\"%g\"} %g\n", q, lat.Quantile(q))
-	}
-	appendf("reactived_batch_latency_seconds_count %d\n", lat.Total())
-
-	_, err := w.Write(b)
-	return err
+	batchLat    *obs.Histogram
+	decodeLat   *obs.Histogram
+	applyLat    *obs.Histogram
+	respondLat  *obs.Histogram
+	batchEvents *obs.Histogram
 }
 
-// ingestMetrics are the server-level (non-shard) ingest counters.
-type ingestMetrics struct {
-	Batches        uint64
-	RejectedFrames uint64
-	Snapshots      uint64
+// newServerInstruments registers the server's direct metrics, all under the
+// uniform reactived_ prefix with # HELP/# TYPE metadata supplied by the
+// registry's exposition writer.
+func newServerInstruments(reg *obs.Registry) serverInstruments {
+	lat := func(name, help string) *obs.Histogram {
+		return reg.NewHistogram(name, help, 1e-6, 60, 30, batchLatencyQuantiles...)
+	}
+	return serverInstruments{
+		batches:        reg.NewCounter("reactived_batches_total", "Ingest batches processed."),
+		rejectedFrames: reg.NewCounter("reactived_frames_rejected_total", "Corrupt frames rejected per-batch."),
+		snapshots:      reg.NewCounter("reactived_snapshots_total", "Snapshots written."),
+		batchLat:       lat("reactived_batch_latency_seconds", "Ingest batch handling latency."),
+		decodeLat:      lat("reactived_ingest_decode_seconds", "Per-batch time decoding trace frames."),
+		applyLat:       lat("reactived_ingest_apply_seconds", "Per-batch time applying events to the controller table."),
+		respondLat:     lat("reactived_ingest_respond_seconds", "Per-batch time encoding and writing the decision response."),
+		batchEvents: reg.NewHistogram("reactived_ingest_batch_events",
+			"Events per ingest batch.", 1, 1e8, 10, batchLatencyQuantiles...),
+	}
+}
+
+// registerTableCollector exposes the sharded table's counters — which live
+// under the shard locks, not in registry instruments — as computed families:
+// per-shard events/instructions/verdicts/transitions/entries plus
+// whole-table totals.
+func registerTableCollector(reg *obs.Registry, t *Table) {
+	reg.RegisterCollector("reactived_table", func(e *obs.Emitter) {
+		shards := t.Metrics()
+
+		perShard := func(name, help string, get func(ShardMetrics) uint64) {
+			e.Family(name, "counter", help)
+			for i, m := range shards {
+				e.SampleUint(get(m), "shard", strconv.Itoa(i))
+			}
+		}
+		perShard("reactived_events_total", "Dynamic branch instances ingested.",
+			func(m ShardMetrics) uint64 { return m.Events })
+		perShard("reactived_instructions_total", "Dynamic instructions ingested.",
+			func(m ShardMetrics) uint64 { return m.Instrs })
+		perShard("reactived_correct_total", "Correct speculations.",
+			func(m ShardMetrics) uint64 { return m.Correct })
+		perShard("reactived_misspec_total", "Misspeculations.",
+			func(m ShardMetrics) uint64 { return m.Misspec })
+		perShard("reactived_notspec_total", "Instances not covered by live speculation.",
+			func(m ShardMetrics) uint64 { return m.NotSpec })
+
+		e.Family("reactived_misspec_rate", "gauge", "Misspeculations per ingested event.")
+		for i, m := range shards {
+			e.Sample(m.MisspecRate(), "shard", strconv.Itoa(i))
+		}
+
+		e.Family("reactived_transitions_total", "counter", "Classification transitions into each state.")
+		for i, m := range shards {
+			for st, n := range m.Transitions {
+				e.SampleUint(n, "shard", strconv.Itoa(i), "state", core.State(st).String())
+			}
+		}
+
+		e.Family("reactived_entries", "gauge", "Resident (program, branch) controller entries.")
+		for i, m := range shards {
+			e.SampleUint(m.Entries, "shard", strconv.Itoa(i))
+		}
+
+		var total ShardMetrics
+		for _, m := range shards {
+			total.Add(m)
+		}
+		e.Family("reactived_table_events_total", "counter", "Events ingested across all shards.")
+		e.SampleUint(total.Events)
+		e.Family("reactived_table_misspec_rate", "gauge", "Misspeculations per event across all shards.")
+		e.Sample(total.MisspecRate())
+	})
 }

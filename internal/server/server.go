@@ -15,7 +15,7 @@ import (
 	"time"
 
 	"reactivespec/internal/core"
-	"reactivespec/internal/stats"
+	"reactivespec/internal/obs"
 	"reactivespec/internal/trace"
 )
 
@@ -67,12 +67,8 @@ type Server struct {
 	cursorsMu sync.Mutex
 	cursors   map[string]*cursor
 
-	latMu    sync.Mutex
-	batchLat *stats.LogHist
-
-	batches        atomic.Uint64
-	rejectedFrames atomic.Uint64
-	snapshots      atomic.Uint64
+	reg *obs.Registry
+	ins serverInstruments
 
 	draining atomic.Bool
 	snapMu   sync.Mutex // serializes snapshot writes
@@ -91,17 +87,33 @@ func New(cfg Config) *Server {
 	if cfg.Shards < 1 {
 		cfg.Shards = 16
 	}
-	return &Server{
-		cfg:      cfg,
-		table:    NewTable(cfg.Params, cfg.Shards),
-		start:    time.Now(),
-		cursors:  make(map[string]*cursor),
-		batchLat: stats.NewLogHist(1e-6, 60, 30), // 1µs .. 60s
+	s := &Server{
+		cfg:     cfg,
+		table:   NewTable(cfg.Params, cfg.Shards),
+		start:   time.Now(),
+		cursors: make(map[string]*cursor),
+		reg:     obs.NewRegistry(),
 	}
+	s.ins = newServerInstruments(s.reg)
+	registerTableCollector(s.reg, s.table)
+	s.reg.NewGaugeFunc("reactived_uptime_seconds", "Time since the daemon started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.reg.NewGaugeFunc("reactived_draining", "1 while the daemon is draining for shutdown.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	return s
 }
 
 // Table returns the underlying sharded table (tests and tooling).
 func (s *Server) Table() *Table { return s.table }
+
+// Registry returns the server's metrics registry so the embedding binary can
+// register daemon-level metrics into the same /metrics exposition.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -161,12 +173,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		errMsg    string
 	}
 	var results []frameResult
+	// Phase accounting: decode (frame parsing), apply (controller table
+	// updates), respond (response encoding + write). Two clock reads per
+	// frame, not per event, so the accounting stays invisible next to the
+	// per-event work.
+	var decodeDur, applyDur time.Duration
+	var batchEvents int
 
 	fr := trace.NewFrameReader(r.Body)
 	cur := s.cursorFor(program)
 	cur.mu.Lock()
 	for {
+		t0 := time.Now()
 		events, err := fr.Next()
+		decodeDur += time.Since(t0)
 		if err == io.EOF {
 			break
 		}
@@ -174,7 +194,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &fe) {
 			// The frame is corrupt but the framing survived: reject
 			// this frame only and keep consuming the batch.
-			s.rejectedFrames.Add(1)
+			s.ins.rejectedFrames.Inc()
 			results = append(results, frameResult{errMsg: fe.Error()})
 			continue
 		}
@@ -184,20 +204,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		t1 := time.Now()
 		dec := make([]byte, len(events))
 		for i, ev := range events {
 			cur.instr += uint64(ev.Gap)
 			dec[i] = s.table.Apply(program, ev, cur.instr).Encode()
 		}
+		applyDur += time.Since(t1)
+		batchEvents += len(events)
 		results = append(results, frameResult{decisions: dec})
 	}
 	cur.mu.Unlock()
 
-	s.batches.Add(1)
-	s.latMu.Lock()
-	s.batchLat.Add(time.Since(start).Seconds())
-	s.latMu.Unlock()
-
+	respondStart := time.Now()
 	var buf bytes.Buffer
 	buf.Write(respMagic[:])
 	var tmp [binary.MaxVarintLen64]byte
@@ -216,6 +235,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(buf.Bytes())
+
+	s.ins.batches.Inc()
+	s.ins.batchLat.Observe(time.Since(start).Seconds())
+	s.ins.decodeLat.Observe(decodeDur.Seconds())
+	s.ins.applyLat.Observe(applyDur.Seconds())
+	s.ins.respondLat.Observe(time.Since(respondStart).Seconds())
+	s.ins.batchEvents.Observe(float64(batchEvents))
 }
 
 // DecideResponse is the JSON answer of /v1/decide.
@@ -287,16 +313,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.latMu.Lock()
-	lat := s.batchLat.Snapshot()
-	s.latMu.Unlock()
-	ing := ingestMetrics{
-		Batches:        s.batches.Load(),
-		RejectedFrames: s.rejectedFrames.Load(),
-		Snapshots:      s.snapshots.Load(),
-	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	writeMetrics(w, s.table.Metrics(), ing, lat, time.Since(s.start).Seconds())
+	s.reg.WritePrometheus(w)
 }
 
 // SnapshotResult is the JSON answer of /v1/snapshot.
@@ -342,7 +360,7 @@ func (s *Server) SnapshotNow() (SnapshotResult, error) {
 	if err := WriteSnapshot(s.cfg.SnapshotDir, snap); err != nil {
 		return SnapshotResult{}, err
 	}
-	s.snapshots.Add(1)
+	s.ins.snapshots.Inc()
 	s.logf("snapshot: %d entries, %d programs -> %s",
 		len(snap.Entries), len(snap.Cursors), snapshotPath(s.cfg.SnapshotDir))
 	return SnapshotResult{

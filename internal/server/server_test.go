@@ -81,9 +81,40 @@ func TestIngestAndDecide(t *testing.T) {
 		"reactived_batch_latency_seconds{quantile=\"0.99\"}",
 		"reactived_batches_total 5",
 		"reactived_table_events_total 30000",
+		"reactived_ingest_decode_seconds{quantile=\"0.99\"}",
+		"reactived_ingest_apply_seconds_count 5",
+		"reactived_ingest_respond_seconds_count 5",
+		"reactived_ingest_batch_events{quantile=\"0.5\"}",
+		"reactived_uptime_seconds",
+		"reactived_draining 0",
 	} {
 		if !strings.Contains(m, want) {
 			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// Every sample line belongs to a family that declared # HELP/# TYPE
+	// metadata under the uniform reactived_ prefix (the registry's
+	// exposition writer guarantees this; pin it end to end).
+	typed := map[string]bool{}
+	for _, line := range strings.Split(m, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			typed[strings.Fields(line)[2]] = true
+		}
+	}
+	for _, line := range strings.Split(m, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if !strings.HasPrefix(name, "reactived_") {
+			t.Errorf("metric %q lacks the reactived_ prefix", name)
+		}
+		family := strings.TrimSuffix(strings.TrimSuffix(name, "_count"), "_sum")
+		if !typed[name] && !typed[family] {
+			t.Errorf("sample %q has no # TYPE metadata", name)
 		}
 	}
 }

@@ -17,6 +17,12 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# The observability layer and the server share lock-striped and atomic hot
+# paths; run them twice under the race detector so scheduling-order races
+# get a second chance to surface.
+echo "==> go test -race -count=2 ./internal/obs ./internal/server"
+go test -race -count=2 ./internal/obs ./internal/server
+
 echo "==> serving-mode smoke (reactiveload vs ephemeral reactived)"
 SMOKE_DIR=$(mktemp -d)
 DAEMON_PID=""
