@@ -1,0 +1,119 @@
+// Benchmarks for the batched ingest hot path: per-event Apply vs the
+// batch-grouped ApplyBatch on the same event stream, and the full HTTP
+// ingest handler (decode + apply + respond) with allocation accounting.
+// scripts/bench.sh runs these and records the numbers in BENCH_ingest.json.
+package reactivespec_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/server"
+	"reactivespec/internal/trace"
+)
+
+// benchBurstyEvents generates the loop-dominated stream real traces look
+// like: bursts of one branch (geometric, mean ~meanBurst) over a small
+// working set, so consecutive events usually hit the same shard and often
+// the same branch — the case batch grouping and the last-entry cache
+// amortize.
+func benchBurstyEvents(n, nbranch, meanBurst int) []trace.Event {
+	evs := make([]trace.Event, 0, n)
+	x := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	for len(evs) < n {
+		r := next()
+		branch := trace.BranchID(r) % trace.BranchID(nbranch)
+		burst := 1 + int(r>>40)%(2*meanBurst)
+		for j := 0; j < burst && len(evs) < n; j++ {
+			r = next()
+			evs = append(evs, trace.Event{
+				Branch: branch,
+				Taken:  r&7 < 5,
+				Gap:    uint32(4 + r>>56&7),
+			})
+		}
+	}
+	return evs
+}
+
+const (
+	benchIngestEvents = 1 << 15
+	benchIngestShards = 4
+)
+
+// BenchmarkTableApply is the per-event baseline: one shard lock acquisition
+// and one map lookup per event.
+func BenchmarkTableApply(b *testing.B) {
+	evs := benchBurstyEvents(benchIngestEvents, 64, 24)
+	t := server.NewTable(core.DefaultParams().Scaled(10), benchIngestShards)
+	var instr uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ev := range evs {
+			instr += uint64(ev.Gap)
+			t.Apply("bench", ev, instr)
+		}
+	}
+	b.ReportMetric(float64(len(evs)), "events/op")
+}
+
+// BenchmarkTableApplyBatch is the batch-grouped path over the identical
+// stream: one lock acquisition per same-shard run, map lookups skipped for
+// repeated branches.
+func BenchmarkTableApplyBatch(b *testing.B) {
+	evs := benchBurstyEvents(benchIngestEvents, 64, 24)
+	t := server.NewTable(core.DefaultParams().Scaled(10), benchIngestShards)
+	var instr uint64
+	dst := make([]byte, 0, len(evs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, instr = t.ApplyBatch("bench", evs, instr, dst[:0])
+		if len(dst) != len(evs) {
+			b.Fatalf("%d decisions for %d events", len(dst), len(evs))
+		}
+	}
+	b.ReportMetric(float64(len(evs)), "events/op")
+}
+
+// discardResponseWriter is an http.ResponseWriter that throws the response
+// away, so the handler benchmark measures the handler, not a recorder.
+type discardResponseWriter struct{ h http.Header }
+
+func (w *discardResponseWriter) Header() http.Header         { return w.h }
+func (w *discardResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *discardResponseWriter) WriteHeader(int)             {}
+
+// BenchmarkIngestHandler measures the whole POST /v1/ingest path — frame
+// decode, batched apply, response encode — on one pre-encoded batch per op.
+// Allocations per op are the tracked number: the pooled scratch should hold
+// them near-constant in batch size.
+func BenchmarkIngestHandler(b *testing.B) {
+	s := server.New(server.Config{Params: core.DefaultParams().Scaled(10), Shards: benchIngestShards})
+	h := s.Handler()
+	evs := benchBurstyEvents(benchIngestEvents, 64, 24)
+	body := trace.AppendFrame(nil, evs)
+
+	req := httptest.NewRequest(http.MethodPost,
+		fmt.Sprintf("/v1/ingest?program=bench"), bytes.NewReader(body))
+	w := &discardResponseWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.Body = io.NopCloser(bytes.NewReader(body))
+		h.ServeHTTP(w, req)
+	}
+	b.ReportMetric(float64(len(evs)), "events/op")
+}

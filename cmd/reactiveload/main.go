@@ -24,6 +24,7 @@
 //	-events n        hard cap on events per worker (0 = the scaled spec length)
 //	-concurrency n   parallel workers (default 4)
 //	-batch n         events per ingest batch (default 1024)
+//	-frames n        trace frames per batch; events split contiguously (default 1)
 //	-seed n          workload seed base; worker w uses seed+w (default 0)
 //	-intensity f     fault-injection intensity in [0,1] (default 0)
 //	-param-scale k   controller parameter scale for -verify; must match the daemon (default 10)
@@ -61,6 +62,7 @@ type Report struct {
 	Input       string  `json:"input"`
 	Concurrency int     `json:"concurrency"`
 	Batch       int     `json:"batch"`
+	Frames      int     `json:"frames_per_batch"`
 	Intensity   float64 `json:"intensity"`
 	Verified    bool    `json:"verified"`
 
@@ -151,6 +153,7 @@ func run(args []string, out io.Writer) error {
 	events := fs.Uint64("events", 0, "hard cap on events per worker (0 = the scaled spec length)")
 	concurrency := fs.Int("concurrency", 4, "parallel workers")
 	batch := fs.Int("batch", 1024, "events per ingest batch")
+	frames := fs.Int("frames", 1, "trace frames per batch; events split contiguously")
 	seed := fs.Uint64("seed", 0, "workload seed base; worker w uses seed+w")
 	intensity := fs.Float64("intensity", 0, "fault-injection intensity in [0,1]")
 	paramScale := fs.Uint64("param-scale", 10, "controller parameter scale for -verify (must match the daemon)")
@@ -166,8 +169,8 @@ func run(args []string, out io.Writer) error {
 	if *addr == "" {
 		return fmt.Errorf("-addr is required")
 	}
-	if *concurrency < 1 || *batch < 1 {
-		return fmt.Errorf("-concurrency and -batch must be at least 1")
+	if *concurrency < 1 || *batch < 1 || *frames < 1 {
+		return fmt.Errorf("-concurrency, -batch and -frames must be at least 1")
 	}
 	if *intensity < 0 || *intensity > 1 {
 		return fmt.Errorf("-intensity %v outside [0, 1]", *intensity)
@@ -205,6 +208,7 @@ func run(args []string, out io.Writer) error {
 				scale:     *scale,
 				events:    *events,
 				batch:     *batch,
+				frames:    *frames,
 				seed:      *seed + uint64(w),
 				intensity: *intensity,
 				params:    params,
@@ -220,6 +224,7 @@ func run(args []string, out io.Writer) error {
 		Input:       inputID.String(),
 		Concurrency: *concurrency,
 		Batch:       *batch,
+		Frames:      *frames,
 		Intensity:   *intensity,
 		Verified:    *verify,
 		ElapsedSec:  elapsed.Seconds(),
@@ -269,6 +274,7 @@ type workerConfig struct {
 	scale     float64
 	events    uint64
 	batch     int
+	frames    int
 	seed      uint64
 	intensity float64
 	params    core.Params
@@ -305,12 +311,43 @@ func runWorker(client *server.Client, ins *instruments, cfg workerConfig) worker
 	}
 
 	batch := make([]trace.Event, 0, cfg.batch)
+	frameBuf := make([][]trace.Event, 0, cfg.frames)
+	// send posts the batch as cfg.frames contiguous frames and returns the
+	// concatenated per-event decisions. A *server.BatchTruncatedError or a
+	// per-frame rejection propagates as-is, so the operator sees the
+	// "applied N of M frames" diagnostic rather than a silent drop.
+	send := func() ([]server.Decision, server.IngestTiming, error) {
+		if cfg.frames <= 1 {
+			return client.IngestTimed(cfg.program, batch)
+		}
+		frameBuf = frameBuf[:0]
+		per := (len(batch) + cfg.frames - 1) / cfg.frames
+		for off := 0; off < len(batch); off += per {
+			end := off + per
+			if end > len(batch) {
+				end = len(batch)
+			}
+			frameBuf = append(frameBuf, batch[off:end])
+		}
+		results, tm, err := client.IngestFramesTimed(cfg.program, frameBuf)
+		if err != nil {
+			return nil, tm, err
+		}
+		ds := make([]server.Decision, 0, len(batch))
+		for i, r := range results {
+			if r.Err != nil {
+				return nil, tm, fmt.Errorf("frame %d of %d: %w", i, len(results), r.Err)
+			}
+			ds = append(ds, r.Decisions...)
+		}
+		return ds, tm, nil
+	}
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
 		}
 		t0 := time.Now()
-		ds, tm, err := client.IngestTimed(cfg.program, batch)
+		ds, tm, err := send()
 		if err != nil {
 			return err
 		}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
 	"reactivespec/internal/trace"
@@ -42,6 +43,30 @@ type IngestResult struct {
 	// Err is the server's rejection diagnostic for a rejected frame.
 	Err error
 }
+
+// BatchTruncatedError reports a batch whose framing the server lost
+// mid-body: the first Applied of Sent frames were applied to the table and
+// their results are returned alongside this error; the remainder of the
+// batch was discarded. The per-program cursor has advanced past the applied
+// frames, so a client that re-sends the whole batch would double-apply the
+// prefix — resume from frame Applied instead.
+type BatchTruncatedError struct {
+	// Applied counts the frame results the server returned (applied or
+	// individually rejected) before the framing was lost.
+	Applied int
+	// Sent counts the frames the client put in the request.
+	Sent int
+	// Msg is the server's framing diagnostic.
+	Msg string
+}
+
+func (e *BatchTruncatedError) Error() string {
+	return fmt.Sprintf("server: batch truncated: applied %d of %d frames: %s", e.Applied, e.Sent, e.Msg)
+}
+
+// encodeBufPool recycles request-body buffers across Ingest calls so the
+// steady-state encode path does not allocate per batch.
+var encodeBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // IngestTiming partitions one ingest round trip into client-side phases,
 // for callers (cmd/reactiveload) that report where batch latency goes.
@@ -81,7 +106,9 @@ func (c *Client) IngestTimed(program string, events []trace.Event) ([]Decision, 
 // IngestFrames sends several frames in one batch request. The returned slice
 // has one entry per frame, in order; frames the server rejected carry an Err
 // instead of decisions. The error return covers transport- and batch-level
-// failures only.
+// failures, with one partial-success case: a *BatchTruncatedError is
+// returned alongside the results for the frames the server did apply before
+// its framing was lost ("applied N of M frames").
 func (c *Client) IngestFrames(program string, frames [][]trace.Event) ([]IngestResult, error) {
 	results, _, err := c.IngestFramesTimed(program, frames)
 	return results, err
@@ -91,17 +118,18 @@ func (c *Client) IngestFrames(program string, frames [][]trace.Event) ([]IngestR
 func (c *Client) IngestFramesTimed(program string, frames [][]trace.Event) ([]IngestResult, IngestTiming, error) {
 	var tm IngestTiming
 	encodeStart := time.Now()
-	var body bytes.Buffer
+	bufp := encodeBufPool.Get().(*[]byte)
+	defer func() { encodeBufPool.Put(bufp) }()
+	body := (*bufp)[:0]
 	for _, events := range frames {
-		if err := trace.WriteFrame(&body, events); err != nil {
-			return nil, tm, fmt.Errorf("server: encoding frame: %w", err)
-		}
+		body = trace.AppendFrame(body, events)
 	}
+	*bufp = body
 	tm.Encode = time.Since(encodeStart)
 
 	netStart := time.Now()
 	resp, err := c.hc.Post(c.base+"/v1/ingest?program="+url.QueryEscape(program),
-		"application/octet-stream", &body)
+		"application/octet-stream", bytes.NewReader(body))
 	if err != nil {
 		return nil, tm, err
 	}
@@ -117,12 +145,15 @@ func (c *Client) IngestFramesTimed(program string, frames [][]trace.Event) ([]In
 	}
 
 	decodeStart := time.Now()
-	results, err := parseIngestResponse(bytes.NewReader(raw))
+	results, truncMsg, err := parseIngestResponse(bytes.NewReader(raw))
 	tm.Decode = time.Since(decodeStart)
 	if err != nil {
 		return nil, tm, err
 	}
-	if len(results) != len(frames) {
+	if truncMsg == "" && len(results) != len(frames) {
+		return nil, tm, fmt.Errorf("server: %d frame results for %d frames", len(results), len(frames))
+	}
+	if len(results) > len(frames) {
 		return nil, tm, fmt.Errorf("server: %d frame results for %d frames", len(results), len(frames))
 	}
 	for i, r := range results {
@@ -131,57 +162,81 @@ func (c *Client) IngestFramesTimed(program string, frames [][]trace.Event) ([]In
 				i, len(r.Decisions), len(frames[i]))
 		}
 	}
+	if truncMsg != "" {
+		return results, tm, &BatchTruncatedError{Applied: len(results), Sent: len(frames), Msg: truncMsg}
+	}
 	return results, tm, nil
 }
 
-// parseIngestResponse decodes the binary ingest response body.
-func parseIngestResponse(body io.Reader) ([]IngestResult, error) {
+// parseIngestResponse decodes the binary ingest response body. A trailing
+// truncation record (status 2) is returned as a non-empty truncated message
+// alongside the frame results that preceded it.
+func parseIngestResponse(body io.Reader) (results []IngestResult, truncated string, err error) {
 	br := bufio.NewReader(body)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("server: reading response magic: %w", err)
+		return nil, "", fmt.Errorf("server: reading response magic: %w", err)
 	}
 	if magic != respMagic {
-		return nil, fmt.Errorf("server: bad response magic %q", magic[:])
+		return nil, "", fmt.Errorf("server: bad response magic %q", magic[:])
 	}
 	frames, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("server: reading frame count: %w", err)
+		return nil, "", fmt.Errorf("server: reading frame count: %w", err)
 	}
-	results := make([]IngestResult, 0, frames)
+	results = make([]IngestResult, 0, frames)
 	for i := uint64(0); i < frames; i++ {
 		status, err := br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("server: reading frame %d status: %w", i, err)
+			return nil, "", fmt.Errorf("server: reading frame %d status: %w", i, err)
 		}
 		n, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("server: reading frame %d length: %w", i, err)
+			return nil, "", fmt.Errorf("server: reading frame %d length: %w", i, err)
 		}
 		switch status {
-		case 0:
+		case ingestApplied:
 			decisions := make([]Decision, n)
 			buf := make([]byte, n)
 			if _, err := io.ReadFull(br, buf); err != nil {
-				return nil, fmt.Errorf("server: reading frame %d decisions: %w", i, err)
+				return nil, "", fmt.Errorf("server: reading frame %d decisions: %w", i, err)
 			}
 			for j, b := range buf {
 				if decisions[j], err = DecodeDecision(b); err != nil {
-					return nil, fmt.Errorf("server: frame %d event %d: %w", i, j, err)
+					return nil, "", fmt.Errorf("server: frame %d event %d: %w", i, j, err)
 				}
 			}
 			results = append(results, IngestResult{Decisions: decisions})
-		case 1:
+		case ingestRejected:
 			msg := make([]byte, n)
 			if _, err := io.ReadFull(br, msg); err != nil {
-				return nil, fmt.Errorf("server: reading frame %d error: %w", i, err)
+				return nil, "", fmt.Errorf("server: reading frame %d error: %w", i, err)
 			}
 			results = append(results, IngestResult{Err: fmt.Errorf("server: frame rejected: %s", msg)})
 		default:
-			return nil, fmt.Errorf("server: unknown frame status %d", status)
+			return nil, "", fmt.Errorf("server: unknown frame status %d", status)
 		}
 	}
-	return results, nil
+	// A truncation record may follow the per-frame results.
+	status, err := br.ReadByte()
+	if err == io.EOF {
+		return results, "", nil
+	}
+	if err != nil {
+		return nil, "", fmt.Errorf("server: reading truncation record: %w", err)
+	}
+	if status != ingestTruncated {
+		return nil, "", fmt.Errorf("server: unexpected trailing status %d", status)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, "", fmt.Errorf("server: reading truncation length: %w", err)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(br, msg); err != nil {
+		return nil, "", fmt.Errorf("server: reading truncation message: %w", err)
+	}
+	return results, string(msg), nil
 }
 
 // Decide queries a branch's current classification.

@@ -56,9 +56,11 @@ var batchLatencyQuantiles = []float64{0.5, 0.9, 0.99, 0.999}
 // are exported through a collector (registerTableCollector) so the ingest
 // hot path pays no extra synchronization for them.
 type serverInstruments struct {
-	batches        *obs.Counter
-	rejectedFrames *obs.Counter
-	snapshots      *obs.Counter
+	batches          *obs.Counter
+	rejectedFrames   *obs.Counter
+	truncatedBatches *obs.Counter
+	responseErrors   *obs.Counter
+	snapshots        *obs.Counter
 
 	batchLat    *obs.Histogram
 	decodeLat   *obs.Histogram
@@ -77,11 +79,15 @@ func newServerInstruments(reg *obs.Registry) serverInstruments {
 	return serverInstruments{
 		batches:        reg.NewCounter("reactived_batches_total", "Ingest batches processed."),
 		rejectedFrames: reg.NewCounter("reactived_frames_rejected_total", "Corrupt frames rejected per-batch."),
-		snapshots:      reg.NewCounter("reactived_snapshots_total", "Snapshots written."),
-		batchLat:       lat("reactived_batch_latency_seconds", "Ingest batch handling latency."),
-		decodeLat:      lat("reactived_ingest_decode_seconds", "Per-batch time decoding trace frames."),
-		applyLat:       lat("reactived_ingest_apply_seconds", "Per-batch time applying events to the controller table."),
-		respondLat:     lat("reactived_ingest_respond_seconds", "Per-batch time encoding and writing the decision response."),
+		truncatedBatches: reg.NewCounter("reactived_batches_truncated_total",
+			"Ingest batches whose framing was lost mid-body (decoded prefix applied)."),
+		responseErrors: reg.NewCounter("reactived_ingest_response_errors_total",
+			"Ingest responses that failed to write back to the client."),
+		snapshots:  reg.NewCounter("reactived_snapshots_total", "Snapshots written."),
+		batchLat:   lat("reactived_batch_latency_seconds", "Ingest batch handling latency."),
+		decodeLat:  lat("reactived_ingest_decode_seconds", "Per-batch time decoding trace frames."),
+		applyLat:   lat("reactived_ingest_apply_seconds", "Per-batch time applying events to the controller table."),
+		respondLat: lat("reactived_ingest_respond_seconds", "Per-batch time encoding and writing the decision response."),
 		batchEvents: reg.NewHistogram("reactived_ingest_batch_events",
 			"Events per ingest batch.", 1, 1e8, 10, batchLatencyQuantiles...),
 	}

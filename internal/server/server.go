@@ -1,7 +1,6 @@
 package server
 
 import (
-	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -26,20 +25,39 @@ import (
 //	  in order; the per-program instruction cursor advances by each event's
 //	  gap. A corrupt frame is rejected and skipped — the rest of the batch
 //	  still applies (per-batch corruption handling, not per-connection).
-//	  Response (application/octet-stream):
+//	  Response (application/octet-stream, Content-Length always set):
 //	    magic  "RSPD" [4]byte
 //	    frames uvarint
 //	    per frame:
 //	      status byte      0 = applied, 1 = rejected
 //	      applied:  n uvarint, then n decision bytes (Decision.Encode)
 //	      rejected: len uvarint, then len bytes of error text
+//	    optionally, after the last frame record:
+//	      status byte 2    = batch truncated: len uvarint, then len bytes
+//	                         of error text
+//	  Partial-apply contract: when the framing itself is damaged mid-body
+//	  (a corrupt length prefix, a truncated payload), every frame decoded
+//	  before that point has already been applied to the table and is
+//	  answered normally; the response then carries a trailing truncation
+//	  record (status 2) instead of discarding the applied prefix, and the
+//	  rest of the body is ignored. Clients see "applied N of M frames" plus
+//	  the framing diagnostic (server.BatchTruncatedError).
 //	  Concurrent batches for the same program serialize (the cursor defines
 //	  the program's event order); different programs proceed in parallel.
+//	  The body is fully read and decoded *before* the program cursor is
+//	  taken, so a slow client cannot stall other ingesters for its program.
 //
 //	GET  /v1/decide?program=P&branch=N   → JSON DecideResponse
 //	GET  /healthz                        → JSON health summary
 //	GET  /metrics                        → Prometheus text exposition
 //	POST /v1/snapshot                    → force a snapshot, JSON result
+
+// Ingest response per-frame status bytes.
+const (
+	ingestApplied   = 0 // frame applied; decision bytes follow
+	ingestRejected  = 1 // frame payload corrupt; error text follows
+	ingestTruncated = 2 // batch framing lost after the preceding frames
+)
 
 // respMagic introduces an ingest response.
 var respMagic = [4]byte{'R', 'S', 'P', 'D'}
@@ -152,6 +170,29 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// frameSpan locates one frame of a batch inside the shared event and
+// decision buffers: applied frames own [start, end) of both; rejected frames
+// are empty spans carrying the rejection diagnostic.
+type frameSpan struct {
+	start, end int
+	errMsg     string
+}
+
+// ingestScratch is the pooled per-request working set of the ingest hot
+// path: the decoded events of every applied frame (one shared buffer, frames
+// as spans over it), the per-event decision bytes (parallel to events), and
+// the encoded response. Pooling these — plus the FrameReader's internal
+// payload buffer — makes the steady-state handler allocation-free.
+type ingestScratch struct {
+	events    []trace.Event
+	frames    []frameSpan
+	decisions []byte
+	resp      []byte
+	fr        *trace.FrameReader
+}
+
+var ingestScratchPool = sync.Pool{New: func() any { return new(ingestScratch) }}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -168,25 +209,30 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 
-	type frameResult struct {
-		decisions []byte // nil when rejected
-		errMsg    string
-	}
-	var results []frameResult
-	// Phase accounting: decode (frame parsing), apply (controller table
-	// updates), respond (response encoding + write). Two clock reads per
-	// frame, not per event, so the accounting stays invisible next to the
-	// per-event work.
-	var decodeDur, applyDur time.Duration
-	var batchEvents int
+	sc := ingestScratchPool.Get().(*ingestScratch)
+	defer func() {
+		sc.events = sc.events[:0]
+		sc.frames = sc.frames[:0]
+		sc.decisions = sc.decisions[:0]
+		sc.resp = sc.resp[:0]
+		ingestScratchPool.Put(sc)
+	}()
 
-	fr := trace.NewFrameReader(r.Body)
-	cur := s.cursorFor(program)
-	cur.mu.Lock()
+	// Stage 1 — read + decode, no locks held. The whole body is consumed
+	// into pooled buffers before the program cursor is taken, so a client
+	// trickling bytes over a slow socket cannot stall other ingesters for
+	// the same program the way the old decode-under-lock loop could.
+	decodeStart := time.Now()
+	var truncated error
+	if sc.fr == nil {
+		sc.fr = trace.NewFrameReader(r.Body)
+	} else {
+		sc.fr.Reset(r.Body)
+	}
+	fr := sc.fr
 	for {
-		t0 := time.Now()
-		events, err := fr.Next()
-		decodeDur += time.Since(t0)
+		n0 := len(sc.events)
+		events, err := fr.NextAppend(sc.events)
 		if err == io.EOF {
 			break
 		}
@@ -195,53 +241,79 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			// The frame is corrupt but the framing survived: reject
 			// this frame only and keep consuming the batch.
 			s.ins.rejectedFrames.Inc()
-			results = append(results, frameResult{errMsg: fe.Error()})
+			sc.frames = append(sc.frames, frameSpan{start: n0, end: n0, errMsg: fe.Error()})
 			continue
 		}
 		if err != nil {
 			// Framing lost: nothing after this point can be trusted.
-			cur.mu.Unlock()
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+			// The frames decoded so far still apply (partial-apply
+			// contract); the response ends with a truncation record.
+			truncated = err
+			break
 		}
-		t1 := time.Now()
-		dec := make([]byte, len(events))
-		for i, ev := range events {
-			cur.instr += uint64(ev.Gap)
-			dec[i] = s.table.Apply(program, ev, cur.instr).Encode()
+		sc.events = events
+		sc.frames = append(sc.frames, frameSpan{start: n0, end: len(events)})
+	}
+	decodeDur := time.Since(decodeStart)
+
+	// Stage 2 — ordered apply. Only the controller updates run under the
+	// cursor lock, batched per frame so the table can amortize hashing and
+	// shard locking across each frame's events.
+	applyStart := time.Now()
+	cur := s.cursorFor(program)
+	cur.mu.Lock()
+	for _, f := range sc.frames {
+		if f.errMsg != "" {
+			continue
 		}
-		applyDur += time.Since(t1)
-		batchEvents += len(events)
-		results = append(results, frameResult{decisions: dec})
+		sc.decisions, cur.instr = s.table.ApplyBatch(program, sc.events[f.start:f.end], cur.instr, sc.decisions)
 	}
 	cur.mu.Unlock()
+	applyDur := time.Since(applyStart)
 
+	// Stage 3 — encode and write the response from a pooled buffer.
+	// Rejected frames contributed no events, so the decision buffer's
+	// indices line up with the event buffer's and each applied frame's
+	// decisions are exactly sc.decisions[f.start:f.end].
 	respondStart := time.Now()
-	var buf bytes.Buffer
-	buf.Write(respMagic[:])
+	resp := sc.resp[:0]
+	resp = append(resp, respMagic[:]...)
 	var tmp [binary.MaxVarintLen64]byte
-	putUvarint := func(v uint64) { buf.Write(tmp[:binary.PutUvarint(tmp[:], v)]) }
-	putUvarint(uint64(len(results)))
-	for _, res := range results {
-		if res.decisions != nil {
-			buf.WriteByte(0)
-			putUvarint(uint64(len(res.decisions)))
-			buf.Write(res.decisions)
+	putUvarint := func(v uint64) { resp = append(resp, tmp[:binary.PutUvarint(tmp[:], v)]...) }
+	putUvarint(uint64(len(sc.frames)))
+	for _, f := range sc.frames {
+		if f.errMsg == "" {
+			resp = append(resp, ingestApplied)
+			putUvarint(uint64(f.end - f.start))
+			resp = append(resp, sc.decisions[f.start:f.end]...)
 		} else {
-			buf.WriteByte(1)
-			putUvarint(uint64(len(res.errMsg)))
-			buf.WriteString(res.errMsg)
+			resp = append(resp, ingestRejected)
+			putUvarint(uint64(len(f.errMsg)))
+			resp = append(resp, f.errMsg...)
 		}
 	}
+	if truncated != nil {
+		s.ins.truncatedBatches.Inc()
+		msg := truncated.Error()
+		resp = append(resp, ingestTruncated)
+		putUvarint(uint64(len(msg)))
+		resp = append(resp, msg...)
+	}
+	sc.resp = resp
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Write(buf.Bytes())
+	w.Header().Set("Content-Length", strconv.Itoa(len(resp)))
+	if _, err := w.Write(resp); err != nil {
+		// The response is lost (client gone, connection reset): the events
+		// are already applied, so all we can do is count it.
+		s.ins.responseErrors.Inc()
+	}
 
 	s.ins.batches.Inc()
 	s.ins.batchLat.Observe(time.Since(start).Seconds())
 	s.ins.decodeLat.Observe(decodeDur.Seconds())
 	s.ins.applyLat.Observe(applyDur.Seconds())
 	s.ins.respondLat.Observe(time.Since(respondStart).Seconds())
-	s.ins.batchEvents.Observe(float64(batchEvents))
+	s.ins.batchEvents.Observe(float64(len(sc.events)))
 }
 
 // DecideResponse is the JSON answer of /v1/decide.

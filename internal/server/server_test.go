@@ -155,9 +155,12 @@ func TestIngestRejectsBadFramePerBatch(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %s, want 200 (per-batch rejection, not per-connection)", resp.Status)
 	}
-	results, err := parseIngestResponse(resp.Body)
+	results, truncated, err := parseIngestResponse(resp.Body)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if truncated != "" {
+		t.Fatalf("unexpected truncation record: %q", truncated)
 	}
 	if len(results) != 3 {
 		t.Fatalf("%d frame results, want 3", len(results))

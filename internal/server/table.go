@@ -25,7 +25,7 @@ type Table struct {
 }
 
 type tableShard struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	entries map[tableKey]*tableEntry
 	metrics ShardMetrics
 	_       [64]byte // pad shards onto separate cache lines
@@ -59,22 +59,37 @@ func (t *Table) Params() core.Params { return t.params }
 // Shards returns the shard count.
 func (t *Table) Shards() int { return len(t.shards) }
 
-// shardFor hashes (program, branch) onto a shard with FNV-1a.
-func (t *Table) shardFor(program string, id trace.BranchID) *tableShard {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// programHash is the FNV-1a hash of the program name: the shared prefix of
+// every (program, branch) shard hash. Apply recomputes it per event;
+// ApplyBatch computes it once per batch.
+func programHash(program string) uint64 {
+	h := uint64(fnvOffset64)
 	for i := 0; i < len(program); i++ {
 		h ^= uint64(program[i])
-		h *= prime64
+		h *= fnvPrime64
 	}
+	return h
+}
+
+// shardIndex finishes the FNV-1a hash with the branch ID bytes and maps it
+// onto a shard.
+func (t *Table) shardIndex(ph uint64, id trace.BranchID) int {
+	h := ph
 	for s := 0; s < 32; s += 8 {
 		h ^= uint64(id>>s) & 0xff
-		h *= prime64
+		h *= fnvPrime64
 	}
-	return &t.shards[h%uint64(len(t.shards))]
+	return int(h % uint64(len(t.shards)))
+}
+
+// shardFor hashes (program, branch) onto a shard with FNV-1a.
+func (t *Table) shardFor(program string, id trace.BranchID) *tableShard {
+	return &t.shards[t.shardIndex(programHash(program), id)]
 }
 
 // getLocked returns the entry for key, creating it on first sight. The
@@ -119,12 +134,79 @@ func (t *Table) Apply(program string, ev trace.Event, instr uint64) Decision {
 	return Decision{Verdict: v, State: st, Dir: dir, Live: live}
 }
 
+// ApplyBatch observes a run of dynamic branch instances for program, in
+// order, starting at global instruction count startInstr, appending one
+// encoded decision byte per event to dst. It returns the extended slice and
+// the instruction count after the last event.
+//
+// The decisions are bit-for-bit the ones len(events) successive Apply calls
+// would produce, and the shard counters advance identically
+// (TestApplyBatchMatchesApply pins both); only the constant-factor work
+// changes. Three costs are amortized across the batch instead of being paid
+// per event: the program-name hash is computed once, each run of consecutive
+// same-shard events takes the shard lock once, and a run of instances of one
+// branch (a tight loop) resolves the map entry once and reuses it.
+//
+// Events for the same program must not be applied concurrently (the caller's
+// cursor lock already guarantees this on the ingest path); batches for
+// different programs may run in parallel exactly like Apply.
+func (t *Table) ApplyBatch(program string, events []trace.Event, startInstr uint64, dst []byte) ([]byte, uint64) {
+	instr := startInstr
+	if len(events) == 0 {
+		return dst, instr
+	}
+	ph := programHash(program)
+	for i := 0; i < len(events); {
+		si := t.shardIndex(ph, events[i].Branch)
+		j := i + 1
+		for j < len(events) && t.shardIndex(ph, events[j].Branch) == si {
+			j++
+		}
+		sh := &t.shards[si]
+		sh.mu.Lock()
+		var (
+			lastBranch trace.BranchID
+			lastEntry  *tableEntry
+		)
+		m := &sh.metrics
+		for _, ev := range events[i:j] {
+			e := lastEntry
+			if e == nil || ev.Branch != lastBranch {
+				e = sh.getLocked(tableKey{program, ev.Branch}, t.params)
+				lastBranch, lastEntry = ev.Branch, e
+			}
+			gap := uint64(ev.Gap)
+			instr += gap
+			e.ctl.AddInstrs(gap)
+			v := e.ctl.OnBranch(0, ev.Taken, instr)
+			st := e.ctl.BranchState(0)
+			dir, live := e.ctl.Speculating(0)
+			m.Events++
+			m.Instrs += gap
+			switch v {
+			case core.Correct:
+				m.Correct++
+			case core.Misspec:
+				m.Misspec++
+			default:
+				m.NotSpec++
+			}
+			dst = append(dst, Decision{Verdict: v, State: st, Dir: dir, Live: live}.Encode())
+		}
+		sh.mu.Unlock()
+		i = j
+	}
+	return dst, instr
+}
+
 // Decide returns the branch's current classification without observing an
 // event. Unknown keys report the Monitor default (and are not created).
+// It takes only the shard's read lock, so concurrent deciders never
+// serialize against each other — only against writers on the same shard.
 func (t *Table) Decide(program string, id trace.BranchID) Decision {
 	sh := t.shardFor(program, id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	e := sh.entries[tableKey{program, id}]
 	if e == nil {
 		return Decision{State: core.Monitor}
@@ -133,15 +215,17 @@ func (t *Table) Decide(program string, id trace.BranchID) Decision {
 	return Decision{State: e.ctl.BranchState(0), Dir: dir, Live: live}
 }
 
-// Metrics returns a copy of every shard's counters, indexed by shard.
+// Metrics returns a copy of every shard's counters, indexed by shard. Like
+// Decide it is a pure read-lock path: metric scrapes never stall ingest
+// writers behind each other.
 func (t *Table) Metrics() []ShardMetrics {
 	out := make([]ShardMetrics, len(t.shards))
 	for i := range t.shards {
 		sh := &t.shards[i]
-		sh.mu.Lock()
+		sh.mu.RLock()
 		out[i] = sh.metrics
 		out[i].Entries = uint64(len(sh.entries))
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 	}
 	return out
 }

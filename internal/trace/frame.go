@@ -50,11 +50,48 @@ func (e *FrameError) Unwrap() error { return e.Err }
 // EncodeFrame serializes events as one frame payload (without the length
 // prefix): a complete trace blob.
 func EncodeFrame(events []Event) ([]byte, error) {
-	var buf bytes.Buffer
-	if _, err := Capture(&buf, NewSliceStream(events), uint64(len(events))); err != nil {
-		return nil, err
+	return EncodeFrameAppend(nil, events), nil
+}
+
+// EncodeFrameAppend appends the frame payload for events to dst and returns
+// the extended slice. It produces exactly the bytes EncodeFrame produces but
+// never allocates beyond growing dst, so hot senders can reuse one buffer
+// across frames.
+func EncodeFrameAppend(dst []byte, events []Event) []byte {
+	dst = append(dst, traceMagic[:]...)
+	var tmp [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], traceVersion)
+	n += binary.PutUvarint(tmp[n:], uint64(len(events)))
+	dst = append(dst, tmp[:n]...)
+	prevID := int64(0)
+	for _, ev := range events {
+		delta := int64(ev.Branch) - prevID
+		prevID = int64(ev.Branch)
+		n := binary.PutVarint(tmp[:], delta)
+		gapTaken := uint64(ev.Gap) << 1
+		if ev.Taken {
+			gapTaken |= 1
+		}
+		n += binary.PutUvarint(tmp[n:], gapTaken)
+		dst = append(dst, tmp[:n]...)
 	}
-	return buf.Bytes(), nil
+	return dst
+}
+
+// AppendFrame appends one length-prefixed frame carrying events to dst and
+// returns the extended slice: the allocation-free equivalent of WriteFrame.
+func AppendFrame(dst []byte, events []Event) []byte {
+	start := len(dst)
+	dst = EncodeFrameAppend(dst, events)
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(dst)-start))
+	// The length prefix precedes the payload; shift the payload right to
+	// make room (payloads are small enough that the move is cheap next to
+	// the encode itself).
+	dst = append(dst, hdr[:n]...)
+	copy(dst[start+n:], dst[start:len(dst)-n])
+	copy(dst[start:], hdr[:n])
+	return dst
 }
 
 // DecodeFrame decodes one frame payload produced by EncodeFrame. Every
@@ -65,7 +102,15 @@ func DecodeFrame(payload []byte) ([]Event, error) {
 	if err != nil {
 		return nil, err
 	}
-	events := make([]Event, 0, r.Events())
+	// Size the result by the declared count, but never beyond what the
+	// payload can physically hold (every record is at least two bytes): a
+	// corrupt header must not force a giant allocation before the decode
+	// loop detects the truncation.
+	capHint := r.Events()
+	if max := uint64(len(payload)) / 2; capHint > max {
+		capHint = max
+	}
+	events := make([]Event, 0, capHint)
 	for {
 		ev, ok := r.Next()
 		if !ok {
@@ -81,6 +126,120 @@ func DecodeFrame(payload []byte) ([]Event, error) {
 			ErrBadTrace, int64(len(payload))-r.Offset(), len(events))
 	}
 	return events, nil
+}
+
+// DecodeFrameAppend decodes one frame payload produced by EncodeFrame,
+// appending the events to dst and returning the extended slice. It accepts
+// exactly the payloads DecodeFrame accepts and rejects exactly the ones it
+// rejects (FuzzDecodeFrameAppend pins the equivalence), but parses the byte
+// slice in place instead of layering a buffered reader over it, so the only
+// allocation is growing dst. On error dst is returned unchanged (events
+// appended before the corruption was detected are dropped).
+func DecodeFrameAppend(payload []byte, dst []Event) ([]Event, error) {
+	base := len(dst)
+	d := frameDecoder{buf: payload}
+	if len(payload) < len(traceMagic) {
+		return dst[:base], fmt.Errorf("%w: truncated header: %d bytes (file shorter than the %d-byte magic)",
+			ErrBadTrace, len(payload), len(traceMagic))
+	}
+	if *(*[4]byte)(payload) != traceMagic {
+		return dst[:base], fmt.Errorf("%w: bad magic %q at byte offset 0 (want %q)",
+			ErrBadTrace, payload[:4], traceMagic[:])
+	}
+	d.off = len(traceMagic)
+	version, err := d.uvarint()
+	if err != nil {
+		return dst[:base], fmt.Errorf("%w: reading version at byte offset %d: %v", ErrBadTrace, d.off, err)
+	}
+	if version != traceVersion {
+		return dst[:base], fmt.Errorf("%w: unsupported version %d (want %d)", ErrBadTrace, version, traceVersion)
+	}
+	total, err := d.uvarint()
+	if err != nil {
+		return dst[:base], fmt.Errorf("%w: reading event count at byte offset %d: %v", ErrBadTrace, d.off, err)
+	}
+	var prevID int64
+	for i := uint64(0); i < total; i++ {
+		delta, err := d.varint()
+		if err != nil {
+			return dst[:base], d.fail("branch delta", i, total, err)
+		}
+		gapTaken, err := d.uvarint()
+		if err != nil {
+			return dst[:base], d.fail("gap/outcome", i, total, err)
+		}
+		prevID += delta
+		if prevID < 0 || prevID > int64(^uint32(0)) {
+			return dst[:base], fmt.Errorf("%w: branch id %d out of range at byte offset %d (event %d of %d)",
+				ErrBadTrace, prevID, d.off, i, total)
+		}
+		if gapTaken>>1 > uint64(^uint32(0)) {
+			return dst[:base], fmt.Errorf("%w: gap %d out of range at byte offset %d (event %d of %d)",
+				ErrBadTrace, gapTaken>>1, d.off, i, total)
+		}
+		dst = append(dst, Event{
+			Branch: BranchID(prevID),
+			Taken:  gapTaken&1 == 1,
+			Gap:    uint32(gapTaken >> 1),
+		})
+	}
+	if d.off != len(payload) {
+		return dst[:base], fmt.Errorf("%w: %d trailing bytes after event %d",
+			ErrBadTrace, len(payload)-d.off, total)
+	}
+	return dst, nil
+}
+
+// frameDecoder walks one frame payload in place, mirroring Reader's varint
+// handling (truncation and overflow detection) without its buffering.
+type frameDecoder struct {
+	buf []byte
+	off int
+}
+
+func (d *frameDecoder) uvarint() (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		if d.off >= len(d.buf) {
+			if i > 0 {
+				return 0, io.ErrUnexpectedEOF
+			}
+			return 0, io.EOF
+		}
+		b := d.buf[d.off]
+		d.off++
+		if i == binary.MaxVarintLen64 || (i == binary.MaxVarintLen64-1 && b > 1) {
+			return 0, errVarintOverflow
+		}
+		if b < 0x80 {
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+}
+
+func (d *frameDecoder) varint() (int64, error) {
+	ux, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	x := int64(ux >> 1)
+	if ux&1 != 0 {
+		x = ^x
+	}
+	return x, nil
+}
+
+// fail mirrors Reader.fail's diagnostic shape for in-place payload decoding.
+func (d *frameDecoder) fail(field string, event, total uint64, err error) error {
+	kind := "corrupt"
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		kind = "truncated"
+	}
+	return fmt.Errorf("%w: %s %s at byte offset %d (event %d of %d): %v",
+		ErrBadTrace, kind, field, d.off, event, total, err)
 }
 
 // WriteFrame writes one length-prefixed frame carrying events.
@@ -100,14 +259,25 @@ func WriteFrame(w io.Writer, events []Event) error {
 
 // FrameReader reads a sequence of length-prefixed frames.
 type FrameReader struct {
-	r     *bufio.Reader
-	index int
-	err   error // sticky fatal error
+	r       *bufio.Reader
+	index   int
+	err     error  // sticky fatal error
+	payload []byte // scratch reused across NextAppend calls
 }
 
 // NewFrameReader returns a reader over a stream of frames.
 func NewFrameReader(r io.Reader) *FrameReader {
 	return &FrameReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Reset discards the reader's position and any sticky error and rewires it
+// to read frames from r. The internal buffers (the 64 KiB read buffer and
+// the payload scratch) are kept, so one FrameReader can be pooled across
+// many streams without re-allocating them.
+func (fr *FrameReader) Reset(r io.Reader) {
+	fr.r.Reset(r)
+	fr.index = 0
+	fr.err = nil
 }
 
 // Next returns the next frame's events.
@@ -118,8 +288,17 @@ func NewFrameReader(r io.Reader) *FrameReader {
 //   - Any other error is fatal and sticky: the frame boundaries themselves
 //     are lost.
 func (fr *FrameReader) Next() ([]Event, error) {
+	return fr.NextAppend(nil)
+}
+
+// NextAppend is Next with caller-owned storage: the frame's events are
+// appended to dst and the extended slice is returned. The reader reuses one
+// internal payload buffer across calls, so a loop that feeds the returned
+// slice back in decodes an entire stream with no per-frame allocation. On
+// any error (including a rejected frame) dst is returned unchanged.
+func (fr *FrameReader) NextAppend(dst []Event) ([]Event, error) {
 	if fr.err != nil {
-		return nil, fr.err
+		return dst, fr.err
 	}
 	length, err := binary.ReadUvarint(fr.r)
 	if err != nil {
@@ -128,24 +307,27 @@ func (fr *FrameReader) Next() ([]Event, error) {
 		} else {
 			fr.err = fmt.Errorf("%w: reading length of frame %d: %v", ErrBadFrame, fr.index, err)
 		}
-		return nil, fr.err
+		return dst, fr.err
 	}
 	if length > MaxFramePayload {
 		fr.err = fmt.Errorf("%w: frame %d length %d exceeds the %d-byte cap",
 			ErrBadFrame, fr.index, length, MaxFramePayload)
-		return nil, fr.err
+		return dst, fr.err
 	}
-	payload := make([]byte, length)
+	if uint64(cap(fr.payload)) < length {
+		fr.payload = make([]byte, length)
+	}
+	payload := fr.payload[:length]
 	if _, err := io.ReadFull(fr.r, payload); err != nil {
 		fr.err = fmt.Errorf("%w: frame %d truncated (%d-byte payload): %v",
 			ErrBadFrame, fr.index, length, err)
-		return nil, fr.err
+		return dst, fr.err
 	}
 	index := fr.index
 	fr.index++
-	events, err := DecodeFrame(payload)
+	events, err := DecodeFrameAppend(payload, dst)
 	if err != nil {
-		return nil, &FrameError{Index: index, Err: err}
+		return dst, &FrameError{Index: index, Err: err}
 	}
 	return events, nil
 }

@@ -62,6 +62,45 @@ func FuzzReader(f *testing.F) {
 	})
 }
 
+// FuzzDecodeFrameAppend differentially checks the in-place payload decoder
+// against the reader-based reference: for arbitrary payload bytes the two
+// must agree on accept/reject and, when accepting, on every decoded event.
+func FuzzDecodeFrameAppend(f *testing.F) {
+	var buf bytes.Buffer
+	events := mkEvents(30)
+	if _, err := Capture(&buf, NewSliceStream(events), 30); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(append([]byte{}, valid...), 0))
+	f.Add([]byte("RSPT"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		want, wantErr := DecodeFrame(data)
+		got, gotErr := DecodeFrameAppend(data, nil)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("disagreement: DecodeFrame err=%v, DecodeFrameAppend err=%v", wantErr, gotErr)
+		}
+		if gotErr != nil {
+			if !errorsIsBadTrace(gotErr) {
+				t.Fatalf("error %v does not wrap ErrBadTrace", gotErr)
+			}
+			return
+		}
+		if len(got) != len(want) {
+			t.Fatalf("decoded %d events, reference decoded %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("event %d: %+v != reference %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
 // FuzzRoundTrip checks that any event sequence encodes and decodes exactly.
 func FuzzRoundTrip(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6})

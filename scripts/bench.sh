@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Ingest hot-path benchmark tracker: runs the table, ingest-handler, codec
+# and workload micro-benchmarks and records (name, ns/op, allocs/op,
+# events/sec) in BENCH_ingest.json at the repository root, so hot-path
+# regressions show up as a diff. Run from anywhere inside the repository.
+#
+#   scripts/bench.sh [benchtime]
+#
+# benchtime defaults to 2s; pass e.g. 5s for lower-variance numbers.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-2s}"
+PATTERN='^(BenchmarkTableApply|BenchmarkTableApplyBatch|BenchmarkIngestHandler|BenchmarkTraceCodec|BenchmarkWorkloadGenerator)$'
+OUT=BENCH_ingest.json
+
+echo "==> go test -bench (benchtime=$BENCHTIME)" >&2
+RAW=$(go test -run='^$' -bench="$PATTERN" -benchmem -benchtime="$BENCHTIME" .)
+printf '%s\n' "$RAW" >&2
+
+# Benchmark lines look like:
+#   BenchmarkTableApplyBatch  3626  642466 ns/op  32768 events/op  8 B/op  0 allocs/op
+# events/op is the per-iteration event count reported by the benchmark; for
+# per-event benchmarks (no events/op metric) it is 1, so events/sec is
+# simply 1e9/ns_op.
+printf '%s\n' "$RAW" | awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = 0; ev = 1; allocs = 0
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "events/op") ev = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns == 0) next
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %.0f, \"allocs_per_op\": %d, \"events_per_sec\": %.0f}", \
+        name, ns, allocs, ev / ns * 1e9
+}
+BEGIN { printf "[\n" }
+END { printf "\n]\n" }
+' >"$OUT"
+
+echo "==> wrote $OUT" >&2
+cat "$OUT"

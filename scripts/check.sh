@@ -69,6 +69,7 @@ ADDR=$(cat "$SMOKE_DIR/addr")
     -scale 0.02 \
     -concurrency 2 \
     -batch 512 \
+    -frames 2 \
     -verify
 
 # Graceful shutdown must drain and leave a final snapshot behind.
@@ -79,5 +80,10 @@ if [ ! -f "$SMOKE_DIR/snaps/current.snap" ]; then
     echo "reactived shutdown left no snapshot" >&2
     exit 1
 fi
+
+# One iteration of every benchmark, so a bench that rots (compile error,
+# panic, bad setup) fails the gate long before anyone needs its numbers.
+echo "==> benchmark smoke (-benchtime=1x)"
+go test -run='^$' -bench=. -benchtime=1x ./...
 
 echo "==> OK"
