@@ -12,6 +12,8 @@
 //
 //	-addr a               listen address (default 127.0.0.1:8344; use :0 for a random port)
 //	-addr-file f          write the bound address to f once listening (for scripts)
+//	-stream-addr a        also accept raw-TCP streaming ingest sessions on this address
+//	-stream-addr-file f   write the bound stream address to f once listening
 //	-shards n             lock-stripe count for the controller table (default 16)
 //	-param-scale k        divide the paper's Table 2 parameters by k (default 10)
 //	-snapshot-dir d       enable snapshot/restore under directory d
@@ -19,8 +21,10 @@
 //	-debug-addr a         serve net/http/pprof and expvar on a separate listener
 //	-debug-addr-file f    write the bound debug address to f once listening
 //
-// Endpoints: POST /v1/ingest, GET /v1/decide, GET /healthz, GET /metrics,
-// POST /v1/snapshot. With -debug-addr, a second listener serves the runtime
+// Endpoints: POST /v1/ingest, GET /v1/decide, GET /v1/info, POST /v1/stream
+// (upgrade to a streaming ingest session), GET /healthz, GET /metrics,
+// POST /v1/snapshot. Streaming sessions are also reachable without HTTP via
+// -stream-addr. With -debug-addr, a second listener serves the runtime
 // profiling surface — GET /debug/pprof/ (CPU, heap, goroutine, block
 // profiles) and GET /debug/vars (expvar, including a "reactived" variable
 // summarizing table totals) — kept off the serving address so profiling
@@ -93,6 +97,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs.SetOutput(os.Stderr)
 	addr := fs.String("addr", "127.0.0.1:8344", "listen address (use :0 for a random port)")
 	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
+	streamAddr := fs.String("stream-addr", "",
+		"also accept raw-TCP streaming ingest sessions on this address (use :0 for a random port)")
+	streamAddrFile := fs.String("stream-addr-file", "",
+		"write the bound stream address to this file once listening")
 	shards := fs.Int("shards", 16, "lock-stripe count for the controller table")
 	paramScale := fs.Uint64("param-scale", 10, "divide the paper's Table 2 parameters by this factor")
 	snapshotDir := fs.String("snapshot-dir", "", "enable snapshot/restore under this directory")
@@ -143,6 +151,27 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
+	// The raw stream listener shares the server's session loop with the
+	// POST /v1/stream upgrade path; only the transport differs.
+	if *streamAddr != "" {
+		sln, err := net.Listen("tcp", *streamAddr)
+		if err != nil {
+			return fmt.Errorf("listening on -stream-addr: %w", err)
+		}
+		defer sln.Close()
+		if *streamAddrFile != "" {
+			if err := os.WriteFile(*streamAddrFile, []byte(sln.Addr().String()), 0o644); err != nil {
+				return fmt.Errorf("writing -stream-addr-file: %w", err)
+			}
+		}
+		logf("stream listener on %s", sln.Addr())
+		go func() {
+			// The accept error is expected at shutdown when the deferred
+			// Close tears the listener down.
+			s.ServeStream(sln)
+		}()
+	}
+
 	// The runtime profiling surface: pprof and expvar register themselves
 	// on the default mux, which we serve on a separate listener so debug
 	// traffic never shares a port with ingest.
@@ -188,9 +217,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			}
 			return err
 		case <-ctx.Done():
-			logf("shutting down: draining in-flight batches")
+			logf("shutting down: draining in-flight batches and stream sessions")
 			s.BeginDrain()
 			shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			// Hijacked stream connections are outside http.Server's
+			// bookkeeping, so Shutdown alone would not wait for them:
+			// WaitStreams covers the sessions BeginDrain just nudged.
+			if err := s.WaitStreams(shutdownCtx); err != nil {
+				logf("shutdown: %v", err)
+			}
 			err := hs.Shutdown(shutdownCtx)
 			cancel()
 			if err != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"io"
 	"net/http"
 	"os"
@@ -9,6 +10,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"reactivespec/internal/server"
+	"reactivespec/internal/trace"
 )
 
 // startDaemon runs the daemon with a random port and returns its base URL
@@ -105,6 +109,70 @@ func TestRunDebugListener(t *testing.T) {
 	}
 
 	if err := shutdown(); err != nil {
+		t.Fatalf("run returned %v on graceful shutdown", err)
+	}
+}
+
+// TestRunStreamListener exercises the raw -stream-addr listener end to end:
+// a session ingests over it, and a graceful shutdown terminates the session
+// with a typed draining error rather than a connection reset.
+func TestRunStreamListener(t *testing.T) {
+	streamAddrFile := filepath.Join(t.TempDir(), "stream-addr")
+	base, shutdown := startDaemon(t,
+		"-stream-addr", "127.0.0.1:0",
+		"-stream-addr-file", streamAddrFile)
+
+	deadline := time.Now().Add(10 * time.Second)
+	var streamAddr string
+	for {
+		b, err := os.ReadFile(streamAddrFile)
+		if err == nil && len(b) > 0 {
+			streamAddr = strings.TrimSpace(string(b))
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never wrote its stream address file")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	ctx := context.Background()
+	c := server.Connect(base)
+	info, err := c.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := server.ParseInfoParamsHash(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := server.DialStream(ctx, streamAddr, "p", hash)
+	if err != nil {
+		t.Fatalf("DialStream: %v", err)
+	}
+	evs := make([]trace.Event, 200)
+	for i := range evs {
+		evs[i] = trace.Event{Branch: trace.BranchID(i % 8), Taken: i%3 == 0, Gap: 5}
+	}
+	if err := st.Send(ctx, evs); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := st.Recv(ctx)
+	if err != nil || len(ds) != len(evs) {
+		t.Fatalf("Recv = %d decisions, %v; want %d", len(ds), err, len(evs))
+	}
+
+	// Graceful shutdown with the session still open: the daemon must drain
+	// it (typed terminal) and still exit cleanly.
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- shutdown() }()
+	recvCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if _, err := st.Recv(recvCtx); !errors.Is(err, server.ErrDraining) {
+		t.Fatalf("Recv during shutdown = %v, want ErrDraining", err)
+	}
+	st.Close()
+	if err := <-shutdownErr; err != nil {
 		t.Fatalf("run returned %v on graceful shutdown", err)
 	}
 }

@@ -9,7 +9,15 @@
 // program is deterministic. With -verify, every worker simultaneously runs
 // an in-process reactive controller over the identical event sequence and
 // fails if any networked decision differs — the end-to-end closed-loop
-// equivalence check.
+// equivalence check. Verification first checks the daemon's
+// controller-parameter hash against /v1/info, so a misconfigured pairing
+// fails up front with a typed mismatch instead of diverging mid-run.
+//
+// With -stream, workers replace per-batch POSTs with one streaming ingest
+// session each (POST /v1/stream upgrade, or a raw -stream-addr listener):
+// batches pipeline over the session up to the granted window, and decisions
+// come back on the same connection. Decisions are byte-identical to POST
+// ingest — -verify works identically in both modes.
 //
 // Usage:
 //
@@ -29,17 +37,23 @@
 //	-intensity f     fault-injection intensity in [0,1] (default 0)
 //	-param-scale k   controller parameter scale for -verify; must match the daemon (default 10)
 //	-verify          cross-check every decision against an in-process controller
+//	-stream          use streaming ingest sessions instead of per-batch POSTs
+//	-window n        requested stream pipeline window in frames (0 = server default)
+//	-stream-addr a   dial the daemon's raw stream listener instead of upgrading over HTTP
 //	-dump-metrics    write the load generator's own metrics registry (Prometheus text) to stderr
 //
 // All latency accounting flows through one internal/obs registry: the JSON
 // report's batch quantiles and its per-phase encode / network / decode
 // breakdown are read back from the registry's histograms, and -dump-metrics
-// exposes the registry itself.
+// exposes the registry itself. In stream mode the per-phase breakdown is
+// absent (a pipelined session has no per-batch round trip to dissect); batch
+// latency measures send-to-decision time per frame.
 //
 // Exit status: 0 on success, 1 on transport errors or verification failure.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -60,9 +74,11 @@ import (
 type Report struct {
 	Benchmark   string  `json:"benchmark"`
 	Input       string  `json:"input"`
+	Mode        string  `json:"mode"` // "post" or "stream"
 	Concurrency int     `json:"concurrency"`
 	Batch       int     `json:"batch"`
 	Frames      int     `json:"frames_per_batch"`
+	Window      int     `json:"window,omitempty"` // granted stream window
 	Intensity   float64 `json:"intensity"`
 	Verified    bool    `json:"verified"`
 
@@ -77,7 +93,8 @@ type Report struct {
 
 	// Phases breaks batch latency into client-side phases ("encode",
 	// "network", "decode"), sourced from the obs registry histograms.
-	Phases map[string]PhaseLatency `json:"phase_latency_ms"`
+	// Empty in stream mode.
+	Phases map[string]PhaseLatency `json:"phase_latency_ms,omitempty"`
 
 	Verdicts  map[string]uint64 `json:"verdicts"`
 	Decisions map[string]uint64 `json:"decisions"`
@@ -138,6 +155,7 @@ func main() {
 type workerResult struct {
 	events    uint64
 	batches   uint64
+	window    int       // granted stream window (stream mode)
 	verdicts  [3]uint64 // indexed by core.Verdict
 	decisions [4]uint64 // indexed by core.State
 	err       error
@@ -158,6 +176,10 @@ func run(args []string, out io.Writer) error {
 	intensity := fs.Float64("intensity", 0, "fault-injection intensity in [0,1]")
 	paramScale := fs.Uint64("param-scale", 10, "controller parameter scale for -verify (must match the daemon)")
 	verify := fs.Bool("verify", false, "cross-check every decision against an in-process controller")
+	streamMode := fs.Bool("stream", false, "use streaming ingest sessions instead of per-batch POSTs")
+	window := fs.Int("window", 0, "requested stream pipeline window in frames (0 = server default)")
+	streamAddr := fs.String("stream-addr", "",
+		"dial the daemon's raw stream listener at this address instead of upgrading over HTTP (implies -stream)")
 	dumpMetrics := fs.Bool("dump-metrics", false,
 		"write the load generator's own metrics registry (Prometheus text) to stderr after the run")
 	if err := fs.Parse(args); err != nil {
@@ -175,6 +197,15 @@ func run(args []string, out io.Writer) error {
 	if *intensity < 0 || *intensity > 1 {
 		return fmt.Errorf("-intensity %v outside [0, 1]", *intensity)
 	}
+	if *window < 0 {
+		return fmt.Errorf("-window must be non-negative")
+	}
+	if *streamAddr != "" {
+		*streamMode = true
+	}
+	if *frames != 1 && *streamMode {
+		return fmt.Errorf("-frames does not apply to -stream (each batch is one frame on the session)")
+	}
 	var inputID workload.InputID
 	switch *input {
 	case "eval":
@@ -187,10 +218,19 @@ func run(args []string, out io.Writer) error {
 	if _, err := workload.Build(*bench, inputID, workload.Options{}); err != nil {
 		return err
 	}
+	ctx := context.Background()
 	params := core.DefaultParams().Scaled(*paramScale)
-	client := server.NewClient(*addr, nil)
-	if _, err := client.Healthz(); err != nil {
+	client := server.Connect(*addr)
+	if _, err := client.Healthz(ctx); err != nil {
 		return fmt.Errorf("daemon not reachable at %s: %w", *addr, err)
+	}
+	if *verify {
+		// Fail configuration skew up front: a daemon at a different
+		// -param-scale would diverge from the mirror on the first
+		// monitoring-period boundary anyway.
+		if _, err := client.VerifyParams(ctx, server.ParamsHash(params)); err != nil {
+			return err
+		}
 	}
 
 	ins := newInstruments()
@@ -201,27 +241,39 @@ func run(args []string, out io.Writer) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w] = runWorker(client, ins, workerConfig{
-				program:   fmt.Sprintf("%s@%d", *bench, w),
-				bench:     *bench,
-				input:     inputID,
-				scale:     *scale,
-				events:    *events,
-				batch:     *batch,
-				frames:    *frames,
-				seed:      *seed + uint64(w),
-				intensity: *intensity,
-				params:    params,
-				verify:    *verify,
-			})
+			cfg := workerConfig{
+				program:    fmt.Sprintf("%s@%d", *bench, w),
+				bench:      *bench,
+				input:      inputID,
+				scale:      *scale,
+				events:     *events,
+				batch:      *batch,
+				frames:     *frames,
+				seed:       *seed + uint64(w),
+				intensity:  *intensity,
+				params:     params,
+				verify:     *verify,
+				window:     *window,
+				streamAddr: *streamAddr,
+			}
+			if *streamMode {
+				results[w] = runStreamWorker(ctx, client, ins, cfg)
+			} else {
+				results[w] = runWorker(ctx, client, ins, cfg)
+			}
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	mode := "post"
+	if *streamMode {
+		mode = "stream"
+	}
 	rep := Report{
 		Benchmark:   *bench,
 		Input:       inputID.String(),
+		Mode:        mode,
 		Concurrency: *concurrency,
 		Batch:       *batch,
 		Frames:      *frames,
@@ -237,6 +289,9 @@ func run(args []string, out io.Writer) error {
 		}
 		rep.Events += r.events
 		rep.Batches += r.batches
+		if r.window > rep.Window {
+			rep.Window = r.window
+		}
 		for v, n := range r.verdicts {
 			rep.Verdicts[core.Verdict(v).String()] += n
 		}
@@ -250,10 +305,12 @@ func run(args []string, out io.Writer) error {
 	rep.BatchP50Ms = ins.batch.Quantile(0.5) * 1e3
 	rep.BatchP90Ms = ins.batch.Quantile(0.9) * 1e3
 	rep.BatchP99Ms = ins.batch.Quantile(0.99) * 1e3
-	rep.Phases = map[string]PhaseLatency{
-		"encode":  phase(ins.encode),
-		"network": phase(ins.network),
-		"decode":  phase(ins.decode),
+	if !*streamMode {
+		rep.Phases = map[string]PhaseLatency{
+			"encode":  phase(ins.encode),
+			"network": phase(ins.network),
+			"decode":  phase(ins.decode),
+		}
 	}
 
 	enc := json.NewEncoder(out)
@@ -268,29 +325,30 @@ func run(args []string, out io.Writer) error {
 }
 
 type workerConfig struct {
-	program   string
-	bench     string
-	input     workload.InputID
-	scale     float64
-	events    uint64
-	batch     int
-	frames    int
-	seed      uint64
-	intensity float64
-	params    core.Params
-	verify    bool
+	program    string
+	bench      string
+	input      workload.InputID
+	scale      float64
+	events     uint64
+	batch      int
+	frames     int
+	seed       uint64
+	intensity  float64
+	params     core.Params
+	verify     bool
+	window     int
+	streamAddr string
 }
 
-// runWorker replays one seeded stream against the daemon.
-func runWorker(client *server.Client, ins *instruments, cfg workerConfig) workerResult {
-	var res workerResult
+// buildEventStream assembles one worker's seeded event source: workload
+// generator, optional fault injection, optional event cap.
+func buildEventStream(cfg workerConfig) (trace.Stream, error) {
 	spec, err := workload.Build(cfg.bench, cfg.input, workload.Options{
 		EventScale: workload.DefaultEventScale * cfg.scale,
 		Seed:       cfg.seed,
 	})
 	if err != nil {
-		res.err = err
-		return res
+		return nil, err
 	}
 	var stream trace.Stream = workload.NewGenerator(spec)
 	if cfg.intensity > 0 {
@@ -301,14 +359,68 @@ func runWorker(client *server.Client, ins *instruments, cfg workerConfig) worker
 	if cfg.events > 0 {
 		stream = trace.Head(stream, cfg.events)
 	}
+	return stream, nil
+}
 
-	// The verification mirror: an in-process controller fed the identical
-	// sequence must agree with every networked decision.
-	var mirror *core.Controller
-	var mirrorInstr uint64
-	if cfg.verify {
-		mirror = core.New(cfg.params)
+// mirror is the -verify cross-check: an in-process controller fed the
+// identical event sequence, compared decision-by-decision against the
+// daemon. A nil *mirror checks nothing.
+type mirror struct {
+	ctl    *core.Controller
+	instr  uint64
+	seen   uint64
+	params core.Params
+	prog   string
+}
+
+func newMirror(cfg workerConfig) *mirror {
+	if !cfg.verify {
+		return nil
 	}
+	return &mirror{ctl: core.New(cfg.params), params: cfg.params, prog: cfg.program}
+}
+
+// check replays events through the mirror controller and compares the
+// daemon's decisions. events and ds are parallel.
+func (m *mirror) check(events []trace.Event, ds []server.Decision) error {
+	if m == nil {
+		return nil
+	}
+	for i, ev := range events {
+		m.instr += uint64(ev.Gap)
+		v := m.ctl.OnBranch(ev.Branch, ev.Taken, m.instr)
+		dir, live := m.ctl.Speculating(ev.Branch)
+		want := server.Decision{Verdict: v, State: m.ctl.BranchState(ev.Branch), Dir: dir, Live: live}
+		if ds[i] != want {
+			return fmt.Errorf("decision mismatch at event %d of %s (branch %d): daemon %v, in-process %v"+
+				" (is the daemon running with -param-scale %d?)",
+				m.seen+uint64(i), m.prog, ev.Branch, ds[i], want, paramScaleHint(m.params))
+		}
+	}
+	m.seen += uint64(len(events))
+	return nil
+}
+
+// tally folds one batch's decisions into the worker result.
+func (res *workerResult) tally(n int, ds []server.Decision) {
+	res.batches++
+	res.events += uint64(n)
+	for _, d := range ds {
+		res.verdicts[d.Verdict]++
+		res.decisions[d.State]++
+	}
+}
+
+// runWorker replays one seeded stream against the daemon over per-batch
+// POSTs.
+func runWorker(ctx context.Context, client *server.Client, ins *instruments, cfg workerConfig) workerResult {
+	var res workerResult
+	stream, err := buildEventStream(cfg)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	mir := newMirror(cfg)
 
 	batch := make([]trace.Event, 0, cfg.batch)
 	frameBuf := make([][]trace.Event, 0, cfg.frames)
@@ -318,7 +430,7 @@ func runWorker(client *server.Client, ins *instruments, cfg workerConfig) worker
 	// "applied N of M frames" diagnostic rather than a silent drop.
 	send := func() ([]server.Decision, server.IngestTiming, error) {
 		if cfg.frames <= 1 {
-			return client.IngestTimed(cfg.program, batch)
+			return client.IngestTimed(ctx, cfg.program, batch)
 		}
 		frameBuf = frameBuf[:0]
 		per := (len(batch) + cfg.frames - 1) / cfg.frames
@@ -329,7 +441,7 @@ func runWorker(client *server.Client, ins *instruments, cfg workerConfig) worker
 			}
 			frameBuf = append(frameBuf, batch[off:end])
 		}
-		results, tm, err := client.IngestFramesTimed(cfg.program, frameBuf)
+		results, tm, err := client.IngestFramesTimed(ctx, cfg.program, frameBuf)
 		if err != nil {
 			return nil, tm, err
 		}
@@ -357,24 +469,9 @@ func runWorker(client *server.Client, ins *instruments, cfg workerConfig) worker
 		ins.decode.Observe(tm.Decode.Seconds())
 		ins.batches.Inc()
 		ins.events.Add(uint64(len(batch)))
-		res.batches++
-		res.events += uint64(len(batch))
-		for i, d := range ds {
-			res.verdicts[d.Verdict]++
-			res.decisions[d.State]++
-			if mirror != nil {
-				ev := batch[i]
-				mirrorInstr += uint64(ev.Gap)
-				v := mirror.OnBranch(ev.Branch, ev.Taken, mirrorInstr)
-				dir, live := mirror.Speculating(ev.Branch)
-				want := server.Decision{Verdict: v, State: mirror.BranchState(ev.Branch), Dir: dir, Live: live}
-				if d != want {
-					return fmt.Errorf("decision mismatch at event %d of %s (branch %d): daemon %v, in-process %v"+
-						" (is the daemon running with -param-scale %d?)",
-						res.events-uint64(len(batch))+uint64(i), cfg.program, ev.Branch, d, want,
-						paramScaleHint(cfg.params))
-				}
-			}
+		res.tally(len(batch), ds)
+		if err := mir.check(batch, ds); err != nil {
+			return err
 		}
 		batch = batch[:0]
 		return nil
@@ -393,6 +490,132 @@ func runWorker(client *server.Client, ins *instruments, cfg workerConfig) worker
 		}
 	}
 	res.err = flush()
+	return res
+}
+
+// runStreamWorker replays one seeded stream over a single streaming ingest
+// session: a sender goroutine pipelines batches up to the granted window
+// while the receiver (this goroutine) drains decision frames, verifies them
+// against the mirror, and measures per-frame send-to-decision latency.
+func runStreamWorker(ctx context.Context, client *server.Client, ins *instruments, cfg workerConfig) workerResult {
+	var res workerResult
+	stream, err := buildEventStream(cfg)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	mir := newMirror(cfg)
+
+	var opts []server.StreamOption
+	if cfg.window > 0 {
+		opts = append(opts, server.WithStreamWindow(cfg.window))
+	}
+	var st *server.Stream
+	if cfg.streamAddr != "" {
+		// A raw listener has no /v1/info; resolve the hash over HTTP.
+		info, ierr := client.Info(ctx)
+		if ierr != nil {
+			res.err = fmt.Errorf("resolving params hash for -stream-addr: %w", ierr)
+			return res
+		}
+		hash, herr := server.ParseInfoParamsHash(info)
+		if herr != nil {
+			res.err = herr
+			return res
+		}
+		st, err = server.DialStream(ctx, cfg.streamAddr, cfg.program, hash, opts...)
+	} else {
+		st, err = client.OpenStream(ctx, cfg.program, opts...)
+	}
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.window = st.Window()
+
+	// inflight pairs each sent batch with its send timestamp; the receiver
+	// matches them to decision frames, which arrive in send order. Capacity
+	// beyond the window keeps the sender from ever blocking on this channel
+	// rather than on window credit.
+	type inflight struct {
+		events []trace.Event
+		sentAt time.Time
+	}
+	pending := make(chan inflight, st.Window()+1)
+	sendErr := make(chan error, 1)
+	go func() {
+		defer close(pending)
+		batch := make([]trace.Event, 0, cfg.batch)
+		flush := func() error {
+			if len(batch) == 0 {
+				return nil
+			}
+			// The batch buffer is reused; the in-flight copy belongs to
+			// the receiver until its decisions arrive.
+			evs := make([]trace.Event, len(batch))
+			copy(evs, batch)
+			t0 := time.Now()
+			if err := st.Send(ctx, evs); err != nil {
+				return err
+			}
+			pending <- inflight{events: evs, sentAt: t0}
+			batch = batch[:0]
+			return nil
+		}
+		for {
+			ev, ok := stream.Next()
+			if !ok {
+				break
+			}
+			batch = append(batch, ev)
+			if len(batch) == cfg.batch {
+				if err := flush(); err != nil {
+					sendErr <- err
+					return
+				}
+			}
+		}
+		sendErr <- flush()
+	}()
+
+	for inf := range pending {
+		ds, err := st.Recv(ctx)
+		if err != nil {
+			res.err = fmt.Errorf("receiving decisions: %w", err)
+			break
+		}
+		if len(ds) != len(inf.events) {
+			res.err = fmt.Errorf("%d decisions for %d events", len(ds), len(inf.events))
+			break
+		}
+		ins.batch.Observe(time.Since(inf.sentAt).Seconds())
+		ins.batches.Inc()
+		ins.events.Add(uint64(len(inf.events)))
+		res.tally(len(inf.events), ds)
+		if err := mir.check(inf.events, ds); err != nil {
+			res.err = err
+			break
+		}
+	}
+	if res.err != nil {
+		// The receive loop broke early. Close first: it discards the
+		// undelivered decision frames, which unwedges the stream reader and
+		// fails any Send blocked on window credit — only then is the sender
+		// guaranteed to finish.
+		go func() {
+			for range pending {
+			}
+		}()
+		st.Close()
+		<-sendErr
+		return res
+	}
+	if err := <-sendErr; err != nil {
+		res.err = err
+		st.Close()
+		return res
+	}
+	res.err = st.Close()
 	return res
 }
 

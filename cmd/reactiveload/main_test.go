@@ -3,7 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -104,8 +106,102 @@ func TestRunVerifyDetectsParamMismatch(t *testing.T) {
 		"-param-scale", "1", // mirror at full Table 2 parameters
 		"-verify",
 	}, &out)
-	if err == nil || !strings.Contains(err.Error(), "decision mismatch") {
-		t.Fatalf("err = %v, want decision mismatch", err)
+	// The /v1/info params-hash precheck rejects the pairing before a single
+	// event is sent, with the typed sentinel rather than a mid-run
+	// decision-by-decision diff.
+	if !errors.Is(err, server.ErrParamsMismatch) {
+		t.Fatalf("err = %v, want ErrParamsMismatch", err)
+	}
+}
+
+// TestRunStreamVerifiedLoad drives -stream end to end with verification:
+// every decision received over the session must match the in-process mirror,
+// which transitively pins stream decisions to the POST path (the mirror is
+// the same controller the POST equivalence tests check against).
+func TestRunStreamVerifiedLoad(t *testing.T) {
+	base := testDaemon(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", base,
+		"-bench", "gzip",
+		"-scale", "0.01",
+		"-concurrency", "2",
+		"-batch", "512",
+		"-stream",
+		"-window", "4",
+		"-verify",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Mode != "stream" {
+		t.Fatalf("mode = %q, want stream", rep.Mode)
+	}
+	if rep.Window != 4 {
+		t.Fatalf("window = %d, want 4", rep.Window)
+	}
+	if rep.Events == 0 || !rep.Verified {
+		t.Fatalf("empty or unverified run: %+v", rep)
+	}
+	var verdictTotal uint64
+	for _, n := range rep.Verdicts {
+		verdictTotal += n
+	}
+	if verdictTotal != rep.Events {
+		t.Fatalf("verdict counts sum to %d, want %d", verdictTotal, rep.Events)
+	}
+	if len(rep.Phases) != 0 {
+		t.Fatalf("stream mode reported POST phase breakdown: %+v", rep.Phases)
+	}
+}
+
+// TestRunStreamMatchesPostTallies runs the identical seeded workload in both
+// modes against fresh daemons: the aggregate verdict and decision tallies
+// must agree exactly.
+func TestRunStreamMatchesPostTallies(t *testing.T) {
+	args := func(base string, extra ...string) []string {
+		return append([]string{
+			"-addr", base,
+			"-bench", "gzip",
+			"-scale", "0.01",
+			"-concurrency", "2",
+			"-batch", "256",
+			"-seed", "42",
+		}, extra...)
+	}
+	var postOut, streamOut bytes.Buffer
+	if err := run(args(testDaemon(t)), &postOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args(testDaemon(t), "-stream"), &streamOut); err != nil {
+		t.Fatal(err)
+	}
+	var post, stream Report
+	if err := json.Unmarshal(postOut.Bytes(), &post); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(streamOut.Bytes(), &stream); err != nil {
+		t.Fatal(err)
+	}
+	if post.Events != stream.Events {
+		t.Fatalf("events: post %d, stream %d", post.Events, stream.Events)
+	}
+	if !reflect.DeepEqual(post.Verdicts, stream.Verdicts) {
+		t.Fatalf("verdicts differ: post %v, stream %v", post.Verdicts, stream.Verdicts)
+	}
+	if !reflect.DeepEqual(post.Decisions, stream.Decisions) {
+		t.Fatalf("decisions differ: post %v, stream %v", post.Decisions, stream.Decisions)
+	}
+}
+
+func TestRunStreamRejectsFramesFlag(t *testing.T) {
+	err := run([]string{"-addr", "http://127.0.0.1:1", "-stream", "-frames", "2"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-frames") {
+		t.Fatalf("err = %v, want -frames conflict", err)
 	}
 }
 

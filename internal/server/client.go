@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -16,23 +17,140 @@ import (
 	"reactivespec/internal/trace"
 )
 
-// Client is a Go client for the reactived HTTP API. It is safe for
-// concurrent use by multiple goroutines, but batches for the same program
-// should be sent by one goroutine at a time (the server serializes them
-// anyway; interleaving would make the decision order nondeterministic).
+// Client is a Go client for the reactived HTTP API. Construct it with
+// Connect and functional options:
+//
+//	c := server.Connect("http://127.0.0.1:8344",
+//	    server.WithTimeout(10*time.Second),
+//	    server.WithRetry(3, 100*time.Millisecond))
+//
+// Every method takes a context.Context governing that call's lifetime. The
+// client is safe for concurrent use by multiple goroutines, but batches for
+// the same program should be sent by one goroutine at a time (the server
+// serializes them anyway; interleaving would make the decision order
+// nondeterministic).
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	retries int           // extra attempts after the first, transport errors only
+	backoff time.Duration // sleep between attempts, doubled each retry
+	// paramsPin, when non-empty, is appended as the params= query pin on
+	// every ingest request and checked against /v1/info by VerifyParams.
+	paramsPin string
 }
 
-// NewClient returns a client for the daemon at base (e.g.
-// "http://127.0.0.1:8344"). A nil hc uses a dedicated client with a 60s
-// timeout.
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient uses hc for every request instead of the default client
+// (60s timeout). Later options may still adjust it (WithTimeout copies).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
+	}
+}
+
+// WithTimeout bounds every request with d. It applies on top of
+// WithHTTPClient by copying the supplied client rather than mutating it.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) {
+		hc := *c.hc
+		hc.Timeout = d
+		c.hc = &hc
+	}
+}
+
+// WithRetry retries idempotent requests (decide, healthz, metrics, info) up
+// to n extra times on transport errors, sleeping backoff before the first
+// retry and doubling it each attempt. Ingest and snapshot are never retried:
+// the events (or the snapshot) may have landed even when the response was
+// lost, and replaying them would double-apply.
+func WithRetry(n int, backoff time.Duration) Option {
+	return func(c *Client) {
+		if n < 0 {
+			n = 0
+		}
+		c.retries = n
+		c.backoff = backoff
+	}
+}
+
+// WithParamsHash pins every ingest request to the given controller-parameter
+// hash (see ParamsHash): the daemon rejects the batch with a typed
+// ErrParamsMismatch error (HTTP 409) instead of computing silently diverging
+// decisions.
+func WithParamsHash(h uint64) Option {
+	return func(c *Client) { c.paramsPin = formatParamsHash(h) }
+}
+
+// Connect returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:8344"). It performs no I/O — the name records intent,
+// not a dial; the first request finds out whether the daemon is there.
+func Connect(base string, opts ...Option) *Client {
+	c := &Client{
+		base: base,
+		hc:   &http.Client{Timeout: 60 * time.Second},
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// NewClient returns a client for the daemon at base. A nil hc uses the
+// default client with a 60s timeout.
+//
+// Deprecated: use Connect with WithHTTPClient; NewClient remains for callers
+// of the pre-options API.
 func NewClient(base string, hc *http.Client) *Client {
 	if hc == nil {
-		hc = &http.Client{Timeout: 60 * time.Second}
+		return Connect(base)
 	}
-	return &Client{base: base, hc: hc}
+	return Connect(base, WithHTTPClient(hc))
+}
+
+// get performs one GET round trip with the retry policy (GETs here are all
+// idempotent reads).
+func (c *Client) get(ctx context.Context, op, url string) (*http.Response, error) {
+	var lastErr error
+	backoff := c.backoff
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, fmt.Errorf("server: %s: %w", op, err)
+		}
+		resp, err := c.hc.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if attempt == c.retries || ctx.Err() != nil {
+			return nil, fmt.Errorf("server: %s: %w", op, lastErr)
+		}
+		if backoff > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("server: %s: %w", op, ctx.Err())
+			}
+			backoff *= 2
+		}
+	}
+}
+
+// getJSON performs a GET and decodes a JSON body into out.
+func (c *Client) getJSON(ctx context.Context, op, url string, out any) error {
+	resp, err := c.get(ctx, op, url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError(op, resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // IngestResult is the per-frame outcome of one ingest batch.
@@ -83,14 +201,14 @@ type IngestTiming struct {
 // Ingest sends one batch of events as a single frame and returns the
 // per-event decisions. A rejected frame (corrupt on the wire) surfaces as an
 // error.
-func (c *Client) Ingest(program string, events []trace.Event) ([]Decision, error) {
-	ds, _, err := c.IngestTimed(program, events)
+func (c *Client) Ingest(ctx context.Context, program string, events []trace.Event) ([]Decision, error) {
+	ds, _, err := c.IngestTimed(ctx, program, events)
 	return ds, err
 }
 
 // IngestTimed is Ingest with a per-phase latency breakdown.
-func (c *Client) IngestTimed(program string, events []trace.Event) ([]Decision, IngestTiming, error) {
-	results, tm, err := c.IngestFramesTimed(program, [][]trace.Event{events})
+func (c *Client) IngestTimed(ctx context.Context, program string, events []trace.Event) ([]Decision, IngestTiming, error) {
+	results, tm, err := c.IngestFramesTimed(ctx, program, [][]trace.Event{events})
 	if err != nil {
 		return nil, tm, err
 	}
@@ -109,13 +227,23 @@ func (c *Client) IngestTimed(program string, events []trace.Event) ([]Decision, 
 // failures, with one partial-success case: a *BatchTruncatedError is
 // returned alongside the results for the frames the server did apply before
 // its framing was lost ("applied N of M frames").
-func (c *Client) IngestFrames(program string, frames [][]trace.Event) ([]IngestResult, error) {
-	results, _, err := c.IngestFramesTimed(program, frames)
+func (c *Client) IngestFrames(ctx context.Context, program string, frames [][]trace.Event) ([]IngestResult, error) {
+	results, _, err := c.IngestFramesTimed(ctx, program, frames)
 	return results, err
 }
 
+// ingestURL builds the ingest endpoint URL for program, including the
+// params pin when the client carries one.
+func (c *Client) ingestURL(program string) string {
+	u := c.base + "/v1/ingest?program=" + url.QueryEscape(program)
+	if c.paramsPin != "" {
+		u += "&params=" + c.paramsPin
+	}
+	return u
+}
+
 // IngestFramesTimed is IngestFrames with a per-phase latency breakdown.
-func (c *Client) IngestFramesTimed(program string, frames [][]trace.Event) ([]IngestResult, IngestTiming, error) {
+func (c *Client) IngestFramesTimed(ctx context.Context, program string, frames [][]trace.Event) ([]IngestResult, IngestTiming, error) {
 	var tm IngestTiming
 	encodeStart := time.Now()
 	bufp := encodeBufPool.Get().(*[]byte)
@@ -128,8 +256,12 @@ func (c *Client) IngestFramesTimed(program string, frames [][]trace.Event) ([]In
 	tm.Encode = time.Since(encodeStart)
 
 	netStart := time.Now()
-	resp, err := c.hc.Post(c.base+"/v1/ingest?program="+url.QueryEscape(program),
-		"application/octet-stream", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.ingestURL(program), bytes.NewReader(body))
+	if err != nil {
+		return nil, tm, fmt.Errorf("server: ingest: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, tm, err
 	}
@@ -240,39 +372,49 @@ func parseIngestResponse(body io.Reader) (results []IngestResult, truncated stri
 }
 
 // Decide queries a branch's current classification.
-func (c *Client) Decide(program string, id trace.BranchID) (DecideResponse, error) {
+func (c *Client) Decide(ctx context.Context, program string, id trace.BranchID) (DecideResponse, error) {
 	var out DecideResponse
 	u := c.base + "/v1/decide?program=" + url.QueryEscape(program) +
 		"&branch=" + strconv.FormatUint(uint64(id), 10)
-	resp, err := c.hc.Get(u)
-	if err != nil {
-		return out, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return out, httpError("decide", resp)
-	}
-	return out, json.NewDecoder(resp.Body).Decode(&out)
+	return out, c.getJSON(ctx, "decide", u, &out)
 }
 
 // Healthz fetches the daemon's health summary.
-func (c *Client) Healthz() (Health, error) {
+func (c *Client) Healthz(ctx context.Context) (Health, error) {
 	var out Health
-	resp, err := c.hc.Get(c.base + "/healthz")
+	return out, c.getJSON(ctx, "healthz", c.base+"/healthz", &out)
+}
+
+// Info fetches the daemon's API/protocol identity (GET /v1/info).
+func (c *Client) Info(ctx context.Context) (Info, error) {
+	var out Info
+	return out, c.getJSON(ctx, "info", c.base+"/v1/info", &out)
+}
+
+// VerifyParams checks the daemon's controller-parameter hash against params
+// and fails with a typed ErrParamsMismatch error on skew, so callers that
+// mirror decisions locally (reactiveload -verify) reject a misconfigured
+// pairing up front instead of diverging mid-run.
+func (c *Client) VerifyParams(ctx context.Context, params uint64) (Info, error) {
+	info, err := c.Info(ctx)
 	if err != nil {
-		return out, err
+		return info, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return out, httpError("healthz", resp)
+	if info.ParamsHash != formatParamsHash(params) {
+		return info, fmt.Errorf("%w: client hash %s, daemon hash %s (differing -param-scale?)",
+			ErrParamsMismatch, formatParamsHash(params), info.ParamsHash)
 	}
-	return out, json.NewDecoder(resp.Body).Decode(&out)
+	return info, nil
 }
 
 // Snapshot asks the daemon to persist a snapshot now.
-func (c *Client) Snapshot() (SnapshotResult, error) {
+func (c *Client) Snapshot(ctx context.Context) (SnapshotResult, error) {
 	var out SnapshotResult
-	resp, err := c.hc.Post(c.base+"/v1/snapshot", "", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/snapshot", nil)
+	if err != nil {
+		return out, fmt.Errorf("server: snapshot: %w", err)
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return out, err
 	}
@@ -283,9 +425,9 @@ func (c *Client) Snapshot() (SnapshotResult, error) {
 	return out, json.NewDecoder(resp.Body).Decode(&out)
 }
 
-// MetricsText fetches the raw /metrics exposition.
-func (c *Client) MetricsText() (string, error) {
-	resp, err := c.hc.Get(c.base + "/metrics")
+// Metrics fetches the raw /metrics Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	resp, err := c.get(ctx, "metrics", c.base+"/metrics")
 	if err != nil {
 		return "", err
 	}
@@ -297,8 +439,22 @@ func (c *Client) MetricsText() (string, error) {
 	return string(b), err
 }
 
-// httpError summarizes a non-200 response, including its (truncated) body.
+// MetricsText fetches the raw /metrics exposition.
+//
+// Deprecated: use Metrics; MetricsText remains for callers of the
+// pre-context API.
+func (c *Client) MetricsText(ctx context.Context) (string, error) { return c.Metrics(ctx) }
+
+// httpError decodes a non-200 response into an *APIError. Responses carrying
+// the unified JSON envelope keep their machine-readable code (and map onto
+// the ErrDraining / ErrParamsMismatch sentinels via APIError.Is); anything
+// else is preserved as an "unknown"-code error with the raw body.
 func httpError(op string, resp *http.Response) error {
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-	return fmt.Errorf("server: %s: %s: %s", op, resp.Status, bytes.TrimSpace(body))
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 2048))
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Code != "" {
+		return &APIError{Op: op, Status: resp.StatusCode, Code: env.Code, Message: env.Error}
+	}
+	return &APIError{Op: op, Status: resp.StatusCode, Code: "unknown",
+		Message: string(bytes.TrimSpace(body))}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"testing"
 
 	"reactivespec/internal/core"
@@ -50,7 +51,7 @@ func TestEndToEndEquivalenceWithHarness(t *testing.T) {
 		if n == 0 {
 			break
 		}
-		ds, err := c.Ingest(spec.Name, buf[:n])
+		ds, err := c.Ingest(context.Background(), spec.Name, buf[:n])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,7 +88,7 @@ func TestEndToEndEquivalenceUnderFaults(t *testing.T) {
 		if len(batch) == 0 {
 			return
 		}
-		ds, err := c.Ingest(spec.Name, batch)
+		ds, err := c.Ingest(context.Background(), spec.Name, batch)
 		if err != nil {
 			t.Fatal(err)
 		}

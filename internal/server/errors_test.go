@@ -1,0 +1,172 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"reactivespec/internal/trace"
+)
+
+// TestErrorEnvelopeConformance walks every /v1/* handler's failure paths and
+// checks the one contract they all share: a JSON {"error", "code"} envelope
+// with the documented status code, served as application/json.
+func TestErrorEnvelopeConformance(t *testing.T) {
+	live := New(Config{Params: testParams(), Shards: 2})
+	liveTS := httptest.NewServer(live.Handler())
+	defer liveTS.Close()
+
+	draining := New(Config{Params: testParams(), Shards: 2})
+	draining.BeginDrain()
+	drainTS := httptest.NewServer(draining.Handler())
+	defer drainTS.Close()
+
+	wrongPin := formatParamsHash(live.paramsHash ^ 1)
+	cases := []struct {
+		name       string
+		base       string
+		method     string
+		path       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"ingest wrong method", liveTS.URL, http.MethodGet, "/v1/ingest?program=p", http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+		{"ingest missing program", liveTS.URL, http.MethodPost, "/v1/ingest", http.StatusBadRequest, CodeMalformed},
+		{"ingest bad params pin", liveTS.URL, http.MethodPost, "/v1/ingest?program=p&params=zzz", http.StatusBadRequest, CodeMalformed},
+		{"ingest params mismatch", liveTS.URL, http.MethodPost, "/v1/ingest?program=p&params=" + wrongPin, http.StatusConflict, CodeParamMismatch},
+		{"ingest draining", drainTS.URL, http.MethodPost, "/v1/ingest?program=p", http.StatusServiceUnavailable, CodeDraining},
+		{"decide wrong method", liveTS.URL, http.MethodPost, "/v1/decide?program=p&branch=0", http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+		{"decide missing program", liveTS.URL, http.MethodGet, "/v1/decide?branch=0", http.StatusBadRequest, CodeMalformed},
+		{"decide bad branch", liveTS.URL, http.MethodGet, "/v1/decide?program=p&branch=x", http.StatusBadRequest, CodeMalformed},
+		{"info wrong method", liveTS.URL, http.MethodPost, "/v1/info", http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+		{"stream wrong method", liveTS.URL, http.MethodGet, "/v1/stream", http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+		{"stream draining", drainTS.URL, http.MethodPost, "/v1/stream", http.StatusServiceUnavailable, CodeDraining},
+		{"snapshot wrong method", liveTS.URL, http.MethodGet, "/v1/snapshot", http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+		{"snapshot draining", drainTS.URL, http.MethodPost, "/v1/snapshot", http.StatusServiceUnavailable, CodeDraining},
+		{"snapshot unconfigured", liveTS.URL, http.MethodPost, "/v1/snapshot", http.StatusInternalServerError, CodeInternal},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, tc.base+tc.path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Fatalf("Content-Type = %q, want application/json", ct)
+			}
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var env errorEnvelope
+			if err := json.Unmarshal(body, &env); err != nil {
+				t.Fatalf("body is not an error envelope: %v\n%s", err, body)
+			}
+			if env.Code != tc.wantCode {
+				t.Fatalf("code = %q, want %q", env.Code, tc.wantCode)
+			}
+			if env.Error == "" {
+				t.Fatal("envelope carries no diagnostic")
+			}
+		})
+	}
+}
+
+// TestClientErrorMapping pins the client-side contract: envelopes decode to
+// *APIError and map onto the sentinels through errors.Is.
+func TestClientErrorMapping(t *testing.T) {
+	s, c := newTestServer(t, Config{Shards: 2})
+	s.BeginDrain()
+	_, err := c.Ingest(context.Background(), "p", synthEvents(10, 1))
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("ingest while draining = %v, want ErrDraining", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("ingest error %T is not *APIError", err)
+	}
+	if apiErr.Status != http.StatusServiceUnavailable || apiErr.Code != CodeDraining || apiErr.Op != "ingest" {
+		t.Fatalf("APIError = %+v", apiErr)
+	}
+
+	s2, c2 := newTestServer(t, Config{Shards: 2})
+	pinned := Connect(c2.base, WithParamsHash(s2.paramsHash^1))
+	if _, err := pinned.Ingest(context.Background(), "p", synthEvents(10, 1)); !errors.Is(err, ErrParamsMismatch) {
+		t.Fatalf("pinned ingest = %v, want ErrParamsMismatch", err)
+	}
+}
+
+// TestInfoEndpoint pins /v1/info's contents and the VerifyParams round trip.
+func TestInfoEndpoint(t *testing.T) {
+	s, c := newTestServer(t, Config{Shards: 4})
+	info, err := c.Info(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.APIVersion != APIVersion {
+		t.Fatalf("api_version = %q, want %q", info.APIVersion, APIVersion)
+	}
+	if info.ProtoVersion != trace.StreamProtoVersion {
+		t.Fatalf("proto_version = %d, want %d", info.ProtoVersion, trace.StreamProtoVersion)
+	}
+	if info.Shards != 4 || info.Draining {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.ParamsHash != formatParamsHash(ParamsHash(s.cfg.Params)) {
+		t.Fatalf("params_hash = %q, want %q", info.ParamsHash, formatParamsHash(ParamsHash(s.cfg.Params)))
+	}
+	h, err := ParseInfoParamsHash(info)
+	if err != nil || h != s.paramsHash {
+		t.Fatalf("ParseInfoParamsHash = %#x, %v; want %#x", h, err, s.paramsHash)
+	}
+
+	if _, err := c.VerifyParams(context.Background(), s.paramsHash); err != nil {
+		t.Fatalf("VerifyParams with matching hash: %v", err)
+	}
+	if _, err := c.VerifyParams(context.Background(), s.paramsHash^1); !errors.Is(err, ErrParamsMismatch) {
+		t.Fatalf("VerifyParams with wrong hash = %v, want ErrParamsMismatch", err)
+	}
+
+	s.BeginDrain()
+	info, err = c.Info(context.Background())
+	if err != nil || !info.Draining {
+		t.Fatalf("info after drain = %+v, %v; want draining", info, err)
+	}
+}
+
+// TestParamsHashSensitivity checks that the hash separates parameter sets
+// and is stable for equal ones.
+func TestParamsHashSensitivity(t *testing.T) {
+	p := testParams()
+	if ParamsHash(p) != ParamsHash(p) {
+		t.Fatal("hash not deterministic")
+	}
+	q := p
+	q.MisspecStep++
+	if ParamsHash(p) == ParamsHash(q) {
+		t.Fatal("hash ignores MisspecStep")
+	}
+	r := p
+	r.EvictBias += 0.5
+	if ParamsHash(p) == ParamsHash(r) {
+		t.Fatal("hash ignores EvictBias")
+	}
+	b := p
+	b.NoEviction = !b.NoEviction
+	if ParamsHash(p) == ParamsHash(b) {
+		t.Fatal("hash ignores NoEviction")
+	}
+}

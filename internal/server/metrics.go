@@ -61,6 +61,8 @@ type serverInstruments struct {
 	truncatedBatches *obs.Counter
 	responseErrors   *obs.Counter
 	snapshots        *obs.Counter
+	streamSessions   *obs.Counter
+	streamFrames     *obs.Counter
 
 	batchLat    *obs.Histogram
 	decodeLat   *obs.Histogram
@@ -83,7 +85,11 @@ func newServerInstruments(reg *obs.Registry) serverInstruments {
 			"Ingest batches whose framing was lost mid-body (decoded prefix applied)."),
 		responseErrors: reg.NewCounter("reactived_ingest_response_errors_total",
 			"Ingest responses that failed to write back to the client."),
-		snapshots:  reg.NewCounter("reactived_snapshots_total", "Snapshots written."),
+		snapshots: reg.NewCounter("reactived_snapshots_total", "Snapshots written."),
+		streamSessions: reg.NewCounter("reactived_stream_sessions_total",
+			"Streaming ingest sessions accepted."),
+		streamFrames: reg.NewCounter("reactived_stream_frames_total",
+			"Event frames received over streaming sessions."),
 		batchLat:   lat("reactived_batch_latency_seconds", "Ingest batch handling latency."),
 		decodeLat:  lat("reactived_ingest_decode_seconds", "Per-batch time decoding trace frames."),
 		applyLat:   lat("reactived_ingest_apply_seconds", "Per-batch time applying events to the controller table."),

@@ -47,10 +47,19 @@ import (
 //	  The body is fully read and decoded *before* the program cursor is
 //	  taken, so a slow client cannot stall other ingesters for its program.
 //
+//	  An optional params=<hex hash> query pins the request to a controller
+//	  parameter hash (see ParamsHash); a mismatch is rejected with 409
+//	  before any event is applied.
+//
 //	GET  /v1/decide?program=P&branch=N   → JSON DecideResponse
+//	GET  /v1/info                        → JSON Info (API/proto version, params hash)
+//	POST /v1/stream                      → upgrade to a streaming ingest session (stream.go)
 //	GET  /healthz                        → JSON health summary
 //	GET  /metrics                        → Prometheus text exposition
 //	POST /v1/snapshot                    → force a snapshot, JSON result
+//
+// Every failure path answers with the unified JSON error envelope
+// {"error": ..., "code": ...} defined in errors.go.
 
 // Ingest response per-frame status bytes.
 const (
@@ -78,15 +87,18 @@ type Config struct {
 // Server is the speculation-control service. Create with New, expose via
 // Handler, and drive shutdown with BeginDrain + (optionally) SnapshotNow.
 type Server struct {
-	cfg   Config
-	table *Table
-	start time.Time
+	cfg        Config
+	table      *Table
+	start      time.Time
+	paramsHash uint64
 
 	cursorsMu sync.Mutex
 	cursors   map[string]*cursor
 
 	reg *obs.Registry
 	ins serverInstruments
+
+	streams streamRegistry
 
 	draining atomic.Bool
 	snapMu   sync.Mutex // serializes snapshot writes
@@ -106,16 +118,20 @@ func New(cfg Config) *Server {
 		cfg.Shards = 16
 	}
 	s := &Server{
-		cfg:     cfg,
-		table:   NewTable(cfg.Params, cfg.Shards),
-		start:   time.Now(),
-		cursors: make(map[string]*cursor),
-		reg:     obs.NewRegistry(),
+		cfg:        cfg,
+		table:      NewTable(cfg.Params, cfg.Shards),
+		start:      time.Now(),
+		paramsHash: ParamsHash(cfg.Params),
+		cursors:    make(map[string]*cursor),
+		reg:        obs.NewRegistry(),
 	}
+	s.streams.sessions = make(map[*streamSession]struct{})
 	s.ins = newServerInstruments(s.reg)
 	registerTableCollector(s.reg, s.table)
 	s.reg.NewGaugeFunc("reactived_uptime_seconds", "Time since the daemon started.",
 		func() float64 { return time.Since(s.start).Seconds() })
+	s.reg.NewGaugeFunc("reactived_stream_sessions", "Live streaming ingest sessions.",
+		func() float64 { return float64(s.streams.count()) })
 	s.reg.NewGaugeFunc("reactived_draining", "1 while the daemon is draining for shutdown.",
 		func() float64 {
 			if s.draining.Load() {
@@ -152,9 +168,14 @@ func (s *Server) cursorFor(program string) *cursor {
 }
 
 // BeginDrain makes subsequent ingest and snapshot requests fail with 503
-// while in-flight ones complete (http.Server.Shutdown waits for those).
-// Read-only endpoints keep working.
-func (s *Server) BeginDrain() { s.draining.Store(true) }
+// while in-flight ones complete (http.Server.Shutdown waits for those), and
+// asks every active stream session to finish its current frame, send a
+// terminal "draining" frame, and close (the client surfaces ErrDraining, not
+// a connection reset). Read-only endpoints keep working.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.streams.drainAll()
+}
 
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -164,6 +185,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	mux.HandleFunc("/v1/decide", s.handleDecide)
+	mux.HandleFunc("/v1/info", s.handleInfo)
+	mux.HandleFunc("/v1/stream", s.handleStream)
 	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -195,17 +218,31 @@ var ingestScratchPool = sync.Pool{New: func() any { return new(ingestScratch) }}
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
 	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "draining")
 		return
 	}
-	program := r.URL.Query().Get("program")
+	q := r.URL.Query()
+	program := q.Get("program")
 	if program == "" {
-		http.Error(w, "missing program parameter", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeMalformed, "missing program parameter")
 		return
+	}
+	if pin := q.Get("params"); pin != "" {
+		h, err := parseParamsHash(pin)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeMalformed, "bad params parameter: "+err.Error())
+			return
+		}
+		if h != s.paramsHash {
+			writeError(w, http.StatusConflict, CodeParamMismatch, fmt.Sprintf(
+				"client controller params hash %s != server %s",
+				formatParamsHash(h), formatParamsHash(s.paramsHash)))
+			return
+		}
 	}
 	start := time.Now()
 
@@ -327,17 +364,17 @@ type DecideResponse struct {
 
 func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
 	}
 	program := r.URL.Query().Get("program")
 	if program == "" {
-		http.Error(w, "missing program parameter", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeMalformed, "missing program parameter")
 		return
 	}
 	branch, err := strconv.ParseUint(r.URL.Query().Get("branch"), 10, 32)
 	if err != nil {
-		http.Error(w, "bad branch parameter: "+err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeMalformed, "bad branch parameter: "+err.Error())
 		return
 	}
 	d := s.table.Decide(program, trace.BranchID(branch))
@@ -346,7 +383,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		dir = "taken"
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(DecideResponse{
+	writeJSON(w, DecideResponse{
 		Program:   program,
 		Branch:    uint32(branch),
 		State:     d.State.String(),
@@ -374,7 +411,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	programs := len(s.cursors)
 	s.cursorsMu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(Health{
+	writeJSON(w, Health{
 		Status:    "ok",
 		UptimeSec: time.Since(s.start).Seconds(),
 		Shards:    s.table.Shards(),
@@ -383,6 +420,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Draining:  s.draining.Load(),
 	})
 }
+
+// writeJSON encodes v onto an already-200 response.
+func writeJSON(w http.ResponseWriter, v any) { json.NewEncoder(w).Encode(v) }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -398,20 +438,20 @@ type SnapshotResult struct {
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
 	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "draining")
 		return
 	}
 	res, err := s.SnapshotNow()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(res)
+	writeJSON(w, res)
 }
 
 // SnapshotNow persists the full service state to the configured snapshot

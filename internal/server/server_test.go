@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"net/http"
 	"net/http/httptest"
@@ -40,7 +41,7 @@ func TestIngestAndDecide(t *testing.T) {
 		if end > len(evs) {
 			end = len(evs)
 		}
-		ds, err := c.Ingest("gzip", evs[off:end])
+		ds, err := c.Ingest(context.Background(), "gzip", evs[off:end])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -53,7 +54,7 @@ func TestIngestAndDecide(t *testing.T) {
 	}
 
 	// Decide must agree with the table's view.
-	dr, err := c.Decide("gzip", 0)
+	dr, err := c.Decide(context.Background(), "gzip", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestIngestAndDecide(t *testing.T) {
 		t.Fatalf("decide %+v, table %v", dr, d)
 	}
 
-	h, err := c.Healthz()
+	h, err := c.Healthz(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestIngestAndDecide(t *testing.T) {
 		t.Fatalf("health %+v", h)
 	}
 
-	m, err := c.MetricsText()
+	m, err := c.Metrics(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestIngestRejectsBadFramePerBatch(t *testing.T) {
 	}
 
 	// The service stays up for the next batch (per-batch, not per-connection).
-	if _, err := c.Ingest("p", good1); err != nil {
+	if _, err := c.Ingest(context.Background(), "p", good1); err != nil {
 		t.Fatalf("follow-up batch failed: %v", err)
 	}
 }
@@ -227,23 +228,23 @@ func TestIngestBadQueryAndMethod(t *testing.T) {
 // TestDrainRejectsNewIngest checks the graceful-shutdown gate.
 func TestDrainRejectsNewIngest(t *testing.T) {
 	s, c := newTestServer(t, Config{})
-	if _, err := c.Ingest("p", synthEvents(100, 1)); err != nil {
+	if _, err := c.Ingest(context.Background(), "p", synthEvents(100, 1)); err != nil {
 		t.Fatal(err)
 	}
 	s.BeginDrain()
-	if _, err := c.Ingest("p", synthEvents(100, 2)); err == nil ||
+	if _, err := c.Ingest(context.Background(), "p", synthEvents(100, 2)); err == nil ||
 		!strings.Contains(err.Error(), "503") {
 		t.Fatalf("ingest while draining: err = %v, want 503", err)
 	}
 	// Read-only endpoints keep serving.
-	h, err := c.Healthz()
+	h, err := c.Healthz(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !h.Draining {
 		t.Fatal("health must report draining")
 	}
-	if _, err := c.Decide("p", 0); err != nil {
+	if _, err := c.Decide(context.Background(), "p", 0); err != nil {
 		t.Fatalf("decide while draining: %v", err)
 	}
 }
@@ -261,7 +262,7 @@ func TestConcurrentIngestDistinctPrograms(t *testing.T) {
 			evs := synthEvents(5_000, uint64(w)*31)
 			program := "prog-" + string(rune('a'+w))
 			for off := 0; off < len(evs); off += 1000 {
-				if _, err := c.Ingest(program, evs[off:off+1000]); err != nil {
+				if _, err := c.Ingest(context.Background(), program, evs[off:off+1000]); err != nil {
 					t.Errorf("worker %d: %v", w, err)
 					return
 				}

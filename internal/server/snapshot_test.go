@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -21,14 +22,14 @@ func TestSnapshotRestoreResumesIdenticalDecisions(t *testing.T) {
 	half := len(evs) / 2
 
 	orig, origClient := newTestServer(t, Config{Params: params, Shards: 8, SnapshotDir: dir})
-	firstDs, err := origClient.Ingest("gzip", evs[:half])
+	firstDs, err := origClient.Ingest(context.Background(), "gzip", evs[:half])
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(firstDs) != half {
 		t.Fatalf("%d decisions for %d events", len(firstDs), half)
 	}
-	if _, err := origClient.Snapshot(); err != nil {
+	if _, err := origClient.Snapshot(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -41,11 +42,11 @@ func TestSnapshotRestoreResumesIdenticalDecisions(t *testing.T) {
 		t.Fatal("no snapshot restored")
 	}
 
-	wantDs, err := origClient.Ingest("gzip", evs[half:])
+	wantDs, err := origClient.Ingest(context.Background(), "gzip", evs[half:])
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotDs, err := restoredClient.Ingest("gzip", evs[half:])
+	gotDs, err := restoredClient.Ingest(context.Background(), "gzip", evs[half:])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestLoadSnapshotMissingAndCorrupt(t *testing.T) {
 func TestRestoreRejectsParamMismatch(t *testing.T) {
 	dir := t.TempDir()
 	s, c := newTestServer(t, Config{Params: testParams(), SnapshotDir: dir})
-	if _, err := c.Ingest("p", synthEvents(1000, 4)); err != nil {
+	if _, err := c.Ingest(context.Background(), "p", synthEvents(1000, 4)); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.SnapshotNow(); err != nil {
@@ -156,13 +157,13 @@ func TestRestoreRejectsParamMismatch(t *testing.T) {
 func TestSnapshotEndpointAndDeterminism(t *testing.T) {
 	dir := t.TempDir()
 	_, c := newTestServer(t, Config{SnapshotDir: dir, Shards: 8})
-	if _, err := c.Ingest("a", synthEvents(5000, 5)); err != nil {
+	if _, err := c.Ingest(context.Background(), "a", synthEvents(5000, 5)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Ingest("b", synthEvents(5000, 6)); err != nil {
+	if _, err := c.Ingest(context.Background(), "b", synthEvents(5000, 6)); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Snapshot()
+	res, err := c.Snapshot(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestSnapshotEndpointAndDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Snapshot(); err != nil {
+	if _, err := c.Snapshot(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	second, err := os.ReadFile(res.Path)

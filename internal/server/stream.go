@@ -1,0 +1,344 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reactivespec/internal/trace"
+)
+
+// Streaming ingest sessions: instead of one HTTP POST per batch, a client
+// performs one handshake and then pipelines event frames over a long-lived
+// connection, receiving decision frames back on the same connection
+// (internal/trace stream.go defines the wire format). Two transports reach
+// the same session loop:
+//
+//   - POST /v1/stream on the serving address: the handler hijacks the
+//     connection, answers "101 Switching Protocols", and hands the raw
+//     socket to the session;
+//   - a dedicated raw TCP listener (reactived -stream-addr) where the
+//     session protocol starts immediately after connect.
+//
+// Decisions are byte-identical to the /v1/ingest path: both run
+// Table.ApplyBatch under the same per-program cursor lock, so a program's
+// event order — and therefore its decision sequence — is independent of the
+// transport (TestStreamMatchesIngest pins this).
+//
+// Backpressure is window-based: the handshake ack advertises how many event
+// frames may be in flight, each decision (or reject) frame implicitly
+// returns one credit, and the client blocks sending when the window is
+// exhausted. The server answers frames strictly in order.
+//
+// Lifecycle: BeginDrain asks every session to finish its current frame,
+// write a terminal "draining" frame, and close — the client observes a typed
+// ErrDraining, never a bare connection reset. Snapshots interleave freely
+// with active sessions: the cursor and shard locks are only held per frame,
+// so SnapshotNow sees a per-entry-consistent state exactly as it does under
+// POST ingest.
+
+const (
+	// DefaultStreamWindow is the pipeline window granted when the
+	// handshake does not request one.
+	DefaultStreamWindow = 32
+	// MaxStreamWindow caps the grantable window.
+	MaxStreamWindow = 1024
+	// streamHandshakeTimeout bounds how long a new connection may take to
+	// present its handshake before the server hangs up.
+	streamHandshakeTimeout = 10 * time.Second
+	// streamWriteTimeout bounds every server-side frame write so a stalled
+	// client cannot pin a session goroutine (or block drain) forever.
+	streamWriteTimeout = 30 * time.Second
+)
+
+// streamSession is one live streaming connection's server-side handle; the
+// registry uses it to nudge the session during drain.
+type streamSession struct {
+	conn     net.Conn
+	draining atomic.Bool
+}
+
+// nudge asks the session to stop: the read deadline wakes a blocked frame
+// read, whose error path then sees the draining flag.
+func (ss *streamSession) nudge() {
+	ss.draining.Store(true)
+	ss.conn.SetReadDeadline(time.Now())
+}
+
+// streamRegistry tracks live sessions so BeginDrain can reach them.
+type streamRegistry struct {
+	mu       sync.Mutex
+	sessions map[*streamSession]struct{}
+	draining bool
+}
+
+// add registers a session; it fails when the registry is already draining
+// (the caller answers with a terminal frame instead of serving).
+func (r *streamRegistry) add(ss *streamSession) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.draining {
+		return false
+	}
+	r.sessions[ss] = struct{}{}
+	return true
+}
+
+func (r *streamRegistry) remove(ss *streamSession) {
+	r.mu.Lock()
+	delete(r.sessions, ss)
+	r.mu.Unlock()
+}
+
+func (r *streamRegistry) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+// drainAll marks the registry draining and nudges every live session.
+func (r *streamRegistry) drainAll() {
+	r.mu.Lock()
+	r.draining = true
+	for ss := range r.sessions {
+		ss.nudge()
+	}
+	r.mu.Unlock()
+}
+
+// ActiveStreams reports how many streaming sessions are currently live.
+func (s *Server) ActiveStreams() int { return s.streams.count() }
+
+// WaitStreams blocks until every streaming session has closed or ctx
+// expires. Call it after BeginDrain during shutdown, alongside
+// http.Server.Shutdown.
+func (s *Server) WaitStreams(ctx context.Context) error {
+	for s.streams.count() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server: %d stream sessions still open: %w",
+				s.streams.count(), ctx.Err())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// ServeStream accepts raw TCP streaming sessions on ln until the listener
+// closes (reactived -stream-addr). Each connection speaks the session
+// protocol immediately — no HTTP preamble.
+func (s *Server) ServeStream(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveStreamConn(conn,
+			bufio.NewReaderSize(conn, 1<<16), bufio.NewWriterSize(conn, 1<<16))
+	}
+}
+
+// handleStream upgrades POST /v1/stream into a streaming session: the
+// connection is hijacked from the HTTP server, answered with 101 Switching
+// Protocols, and handed to the session loop.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "draining")
+		return
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, CodeInternal,
+			"transport does not support connection hijacking")
+		return
+	}
+	conn, bufrw, err := hj.Hijack()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	if _, werr := bufrw.WriteString("HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: reactived-stream/1\r\nConnection: Upgrade\r\n\r\n"); werr != nil {
+		conn.Close()
+		return
+	}
+	if werr := bufrw.Flush(); werr != nil {
+		conn.Close()
+		return
+	}
+	s.serveStreamConn(conn, bufrw.Reader, bufrw.Writer)
+}
+
+// serveStreamConn runs one streaming session to completion: handshake,
+// event/decision frame loop, terminal frame. It owns conn and closes it.
+func (s *Server) serveStreamConn(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) {
+	defer conn.Close()
+
+	// A write shared by every outbound frame: bounded by a write deadline
+	// so a stalled client cannot pin the goroutine.
+	var wireBuf []byte
+	writeWire := func(b []byte) error {
+		conn.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		return nil
+	}
+
+	// Handshake, under its own deadline.
+	conn.SetReadDeadline(time.Now().Add(streamHandshakeTimeout))
+	hs, err := trace.ReadHandshake(br)
+	if err != nil {
+		// The peer never presented a coherent handshake; there is no
+		// protocol to answer in.
+		return
+	}
+	reject := func(code, msg string) {
+		wireBuf = trace.AppendAck(wireBuf[:0], trace.Ack{Err: &trace.StreamError{Code: code, Msg: msg}})
+		if writeWire(wireBuf) == nil {
+			bw.Flush()
+		}
+	}
+	switch {
+	case hs.Proto != trace.StreamProtoVersion:
+		reject(trace.StreamCodeProtoMismatch, fmt.Sprintf(
+			"client speaks stream protocol %d, server %d", hs.Proto, trace.StreamProtoVersion))
+		return
+	case hs.Program == "":
+		reject(trace.StreamCodeMalformed, "missing program name")
+		return
+	case hs.ParamsHash != s.paramsHash:
+		reject(trace.StreamCodeParamMismatch, fmt.Sprintf(
+			"client controller params hash %s != server %s",
+			formatParamsHash(hs.ParamsHash), formatParamsHash(s.paramsHash)))
+		return
+	}
+	window := hs.Window
+	if window == 0 {
+		window = DefaultStreamWindow
+	}
+	if window > MaxStreamWindow {
+		window = MaxStreamWindow
+	}
+
+	ss := &streamSession{conn: conn}
+	if !s.streams.add(ss) {
+		reject(trace.StreamCodeDraining, "draining")
+		return
+	}
+	defer s.streams.remove(ss)
+	s.ins.streamSessions.Inc()
+
+	wireBuf = trace.AppendAck(wireBuf[:0], trace.Ack{
+		Proto: trace.StreamProtoVersion, Window: window, ParamsHash: s.paramsHash,
+	})
+	if writeWire(wireBuf) != nil || bw.Flush() != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	// terminal ends the session with a typed frame; the client surfaces
+	// the code (ErrDraining for "draining", io.EOF for "bye") instead of a
+	// bare connection reset.
+	terminal := func(code, msg string) {
+		wireBuf = trace.AppendSessionFrame(wireBuf[:0], trace.StreamFrameTerminal,
+			trace.AppendStreamError(nil, trace.StreamError{Code: code, Msg: msg}))
+		if writeWire(wireBuf) == nil {
+			bw.Flush()
+		}
+	}
+
+	// Session-local scratch, reused across frames: the steady-state loop
+	// allocates nothing.
+	var (
+		payloadScratch []byte
+		events         []trace.Event
+		decisions      []byte
+		payload        []byte
+		cur            = s.cursorFor(hs.Program)
+	)
+	for {
+		var typ byte
+		typ, payload, payloadScratch, err = trace.ReadSessionFrame(br, payloadScratch)
+		if err != nil {
+			if ss.draining.Load() {
+				conn.SetReadDeadline(time.Time{})
+				terminal(trace.StreamCodeDraining, "server draining; session closed after the current frame")
+				return
+			}
+			// io.EOF without a close frame, or damaged framing: the
+			// connection is unusable either way; say why if we can.
+			terminal(trace.StreamCodeBadFrame, fmt.Sprintf("reading session frame: %v", err))
+			return
+		}
+		switch typ {
+		case trace.StreamFrameEvents:
+			s.ins.streamFrames.Inc()
+			events, err = trace.DecodeFrameAppend(payload, events[:0])
+			if err != nil {
+				// The session framing is intact — reject this frame
+				// alone and keep the session, mirroring the POST
+				// path's per-frame rejection.
+				s.ins.rejectedFrames.Inc()
+				wireBuf = trace.AppendSessionFrame(wireBuf[:0], trace.StreamFrameReject,
+					[]byte(err.Error()))
+				if writeWire(wireBuf) != nil {
+					return
+				}
+			} else {
+				applyStart := time.Now()
+				cur.mu.Lock()
+				decisions, cur.instr = s.table.ApplyBatch(hs.Program, events, cur.instr, decisions[:0])
+				cur.mu.Unlock()
+				s.ins.applyLat.Observe(time.Since(applyStart).Seconds())
+				s.ins.batchEvents.Observe(float64(len(events)))
+				wireBuf = appendDecisionsFrame(wireBuf[:0], decisions)
+				if writeWire(wireBuf) != nil {
+					return
+				}
+			}
+			// Flush only when no further frame is already buffered: a
+			// pipelining client keeps the session busy, and its credits
+			// come back in one flush when the server catches up.
+			if br.Buffered() == 0 {
+				if bw.Flush() != nil {
+					return
+				}
+			}
+		case trace.StreamFrameClose:
+			terminal(trace.StreamCodeBye, "")
+			return
+		default:
+			terminal(trace.StreamCodeBadFrame, fmt.Sprintf("unexpected session frame type %q", typ))
+			return
+		}
+	}
+}
+
+// appendDecisionsFrame appends one 'D' session frame carrying the decision
+// bytes (count uvarint + one byte per event) to dst.
+func appendDecisionsFrame(dst, decisions []byte) []byte {
+	// Build the payload in place after the header: type byte, payload
+	// length, count, decisions.
+	payload := appendUvarint(nil, uint64(len(decisions)))
+	payload = append(payload, decisions...)
+	return trace.AppendSessionFrame(dst, trace.StreamFrameDecisions, payload)
+}
+
+// appendUvarint appends v's uvarint encoding to dst.
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"net/http"
@@ -68,7 +69,7 @@ func TestIngestTruncatedBatchPartialApply(t *testing.T) {
 	}
 
 	// The truncation is counted.
-	m, err := NewClient(ts.URL, ts.Client()).MetricsText()
+	m, err := NewClient(ts.URL, ts.Client()).Metrics(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestClientSurfacesBatchTruncation(t *testing.T) {
 
 	c := NewClient(canned.URL, canned.Client())
 	frames := [][]trace.Event{synthEvents(10, 1), synthEvents(20, 2), synthEvents(30, 3)}
-	results, err := c.IngestFrames("p", frames)
+	results, err := c.IngestFrames(context.Background(), "p", frames)
 	var te *BatchTruncatedError
 	if !errors.As(err, &te) {
 		t.Fatalf("err = %v, want *BatchTruncatedError", err)

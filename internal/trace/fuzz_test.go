@@ -1,8 +1,10 @@
 package trace
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
+	"io"
 	"testing"
 )
 
@@ -96,6 +98,86 @@ func FuzzDecodeFrameAppend(f *testing.F) {
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("event %d: %+v != reference %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// FuzzStreamHandshake feeds arbitrary bytes to the session-handshake and ack
+// decoders: they must never panic and must either decode cleanly or report
+// ErrBadHandshake-wrapped errors. Valid handshakes must round-trip exactly.
+func FuzzStreamHandshake(f *testing.F) {
+	valid := AppendHandshake(nil, Handshake{
+		Proto: StreamProtoVersion, ParamsHash: 0x1234, Window: 8, Program: "gzip@0",
+	})
+	f.Add(valid)
+	// Truncated handshakes: mid-magic, mid-varint, mid-program-name.
+	f.Add(valid[:2])
+	f.Add(valid[:5])
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte("RSHS"))
+	f.Add([]byte{})
+	// A declared program length far beyond the actual bytes.
+	f.Add(append(append([]byte{}, valid[:6]...), 0xff, 0xff, 0x01))
+	validAck := AppendAck(nil, Ack{Proto: StreamProtoVersion, Window: 8, ParamsHash: 0x1234})
+	f.Add(validAck)
+	f.Add(validAck[:len(validAck)-1])
+	f.Add(AppendAck(nil, Ack{Err: &StreamError{Code: StreamCodeDraining, Msg: "going away"}}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ReadHandshake(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			if !errors.Is(err, ErrBadHandshake) {
+				t.Fatalf("handshake error %v does not wrap ErrBadHandshake", err)
+			}
+		} else {
+			// An accepted handshake re-encodes and re-decodes to itself
+			// (the varint wire form is not canonical, so compare values,
+			// not bytes).
+			again, err := ReadHandshake(bufio.NewReader(bytes.NewReader(AppendHandshake(nil, h))))
+			if err != nil || again != h {
+				t.Fatalf("accepted handshake %+v does not round-trip: %+v, %v", h, again, err)
+			}
+		}
+		if _, err := ReadAck(bufio.NewReader(bytes.NewReader(data))); err != nil &&
+			!errors.Is(err, ErrBadHandshake) {
+			t.Fatalf("ack error %v does not wrap ErrBadHandshake", err)
+		}
+	})
+}
+
+// FuzzSessionFrame feeds arbitrary bytes to the session-frame reader: it must
+// never panic, and every frame stream must end in io.EOF (clean boundary) or
+// an ErrBadFrame-wrapped framing error.
+func FuzzSessionFrame(f *testing.F) {
+	events := AppendSessionFrame(nil, StreamFrameEvents, EncodeFrameAppend(nil, mkEvents(10)))
+	f.Add(events)
+	// Truncated session frames: type byte only, mid-length, mid-payload.
+	f.Add(events[:1])
+	f.Add(events[:2])
+	f.Add(events[:len(events)-4])
+	f.Add(AppendSessionFrame(events, StreamFrameClose, nil))
+	f.Add(AppendSessionFrame(nil, StreamFrameTerminal,
+		AppendStreamError(nil, StreamError{Code: StreamCodeBye})))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		var scratch []byte
+		for n := 0; ; n++ {
+			var err error
+			_, _, scratch, err = ReadSessionFrame(br, scratch)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if !errors.Is(err, ErrBadFrame) {
+					t.Fatalf("session frame error %v does not wrap ErrBadFrame", err)
+				}
+				return
+			}
+			if n > len(data) {
+				t.Fatal("reader produced more frames than any input this size could encode")
 			}
 		}
 	})

@@ -45,3 +45,92 @@ END { printf "\n]\n" }
 
 echo "==> wrote $OUT" >&2
 cat "$OUT"
+
+# --- POST vs streaming transport comparison --------------------------------
+# Drives the identical seeded workload through POST /v1/ingest and through a
+# streaming session at several credit windows against an ephemeral reactived,
+# and records throughput and p99 batch latency per transport in
+# BENCH_stream.json. The windows bracket the backpressure regimes: window 1
+# is fully serialized (one frame in flight), larger windows pipeline.
+STREAM_OUT=BENCH_stream.json
+BENCH_DIR=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill "$DAEMON_PID" 2>/dev/null || true
+        wait "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$BENCH_DIR"
+}
+trap cleanup EXIT INT TERM
+
+echo "==> building reactived + reactiveload for the transport comparison" >&2
+go build -o "$BENCH_DIR/reactived" ./cmd/reactived
+go build -o "$BENCH_DIR/reactiveload" ./cmd/reactiveload
+
+"$BENCH_DIR/reactived" \
+    -addr 127.0.0.1:0 \
+    -addr-file "$BENCH_DIR/addr" >"$BENCH_DIR/reactived.log" 2>&1 &
+DAEMON_PID=$!
+i=0
+while [ ! -s "$BENCH_DIR/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "reactived never published its address" >&2
+        cat "$BENCH_DIR/reactived.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$BENCH_DIR/addr")
+
+# Every run replays the same seeded gzip workload at batch 1024, so the
+# transports are compared on identical event sequences.
+run_load() { # $1 = report label; rest = transport-selecting flags
+    label=$1
+    shift
+    echo "==> reactiveload $label" >&2
+    "$BENCH_DIR/reactiveload" \
+        -addr "http://$ADDR" \
+        -bench gzip \
+        -scale 0.5 \
+        -events 50000 \
+        -seed 7 \
+        -concurrency 4 \
+        -batch 1024 \
+        "$@" >"$BENCH_DIR/$label.json"
+}
+
+# All runs replay the same programs, so the first one also pays the cold
+# cost of populating the controller table; burn that on an unrecorded
+# warmup so every measured run sees the same converged table state.
+run_load warmup
+run_load post
+run_load stream-w1 -stream -window 1
+run_load stream-w4 -stream -window 4
+run_load stream-w16 -stream -window 16
+run_load stream-w32 -stream -window 32
+
+# Pull one numeric field out of an indented JSON report.
+field() { # $1 = report label, $2 = field name
+    sed -n 's/.*"'"$2"'": *\([0-9.eE+-][0-9.eE+-]*\).*/\1/p' "$BENCH_DIR/$1.json"
+}
+
+{
+    printf '[\n'
+    first=1
+    for label in post stream-w1 stream-w4 stream-w16 stream-w32; do
+        if [ "$first" -eq 1 ]; then first=0; else printf ',\n'; fi
+        window=$(field "$label" window)
+        printf '  {"name": "%s", "mode": "%s", "window": %s, "batch": 1024, "events_per_sec": %s, "batch_latency_p99_ms": %s}' \
+            "$label" \
+            "${label%%-*}" \
+            "${window:-0}" \
+            "$(field "$label" events_per_sec)" \
+            "$(field "$label" batch_latency_p99_ms)"
+    done
+    printf '\n]\n'
+} >"$STREAM_OUT"
+
+echo "==> wrote $STREAM_OUT" >&2
+cat "$STREAM_OUT"

@@ -42,6 +42,8 @@ go build -o "$SMOKE_DIR/reactiveload" ./cmd/reactiveload
 "$SMOKE_DIR/reactived" \
     -addr 127.0.0.1:0 \
     -addr-file "$SMOKE_DIR/addr" \
+    -stream-addr 127.0.0.1:0 \
+    -stream-addr-file "$SMOKE_DIR/stream-addr" \
     -snapshot-dir "$SMOKE_DIR/snaps" \
     -snapshot-interval 0 >"$SMOKE_DIR/reactived.log" 2>&1 &
 DAEMON_PID=$!
@@ -70,6 +72,32 @@ ADDR=$(cat "$SMOKE_DIR/addr")
     -concurrency 2 \
     -batch 512 \
     -frames 2 \
+    -verify
+
+# A verified workload over a streaming session (POST /v1/stream upgrade):
+# decisions must match the in-process mirror exactly, pinning
+# stream-transport equivalence end to end. Each smoke run uses a distinct
+# benchmark so its programs hit fresh controllers — the daemon keeps the
+# state the previous run trained, and -verify's mirror starts cold.
+echo "==> streaming-mode smoke (reactiveload -stream -verify)"
+"$SMOKE_DIR/reactiveload" \
+    -addr "http://$ADDR" \
+    -bench vpr \
+    -scale 0.02 \
+    -concurrency 2 \
+    -batch 512 \
+    -stream \
+    -window 8 \
+    -verify
+
+# And once more over the raw -stream-addr TCP listener (no HTTP upgrade).
+"$SMOKE_DIR/reactiveload" \
+    -addr "http://$ADDR" \
+    -stream-addr "$(cat "$SMOKE_DIR/stream-addr")" \
+    -bench mcf \
+    -scale 0.02 \
+    -concurrency 2 \
+    -batch 512 \
     -verify
 
 # Graceful shutdown must drain and leave a final snapshot behind.
