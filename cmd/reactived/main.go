@@ -18,8 +18,18 @@
 //	-param-scale k        divide the paper's Table 2 parameters by k (default 10)
 //	-snapshot-dir d       enable snapshot/restore under directory d
 //	-snapshot-interval t  periodic snapshot interval (default 30s; 0 = only on shutdown)
+//	-wal-dir d            enable the write-ahead event log under directory d
+//	-wal-fsync p          WAL fsync policy: always, interval[=dur], or never (default interval)
+//	-wal-segment-bytes n  WAL segment rotation threshold (default 64 MiB)
 //	-debug-addr a         serve net/http/pprof and expvar on a separate listener
 //	-debug-addr-file f    write the bound debug address to f once listening
+//
+// With -wal-dir, every ingested frame is appended to a segmented write-ahead
+// log before it is applied, and startup becomes restore-snapshot → replay
+// WAL tail → resume: a SIGKILL loses at most the tail the fsync policy
+// permits, and recovery reproduces byte-identical decisions for everything
+// durably logged. Snapshots anchor the log — segments wholly covered by the
+// latest durable snapshot are deleted.
 //
 // Endpoints: POST /v1/ingest, GET /v1/decide, GET /v1/info, POST /v1/stream
 // (upgrade to a streaming ingest session), GET /healthz, GET /metrics,
@@ -27,9 +37,10 @@
 // -stream-addr. With -debug-addr, a second listener serves the runtime
 // profiling surface — GET /debug/pprof/ (CPU, heap, goroutine, block
 // profiles) and GET /debug/vars (expvar, including a "reactived" variable
-// summarizing table totals) — kept off the serving address so profiling
-// traffic can be firewalled separately. SIGINT/SIGTERM drain in-flight
-// batches, take a final snapshot (when -snapshot-dir is set), and exit 0.
+// summarizing table totals and WAL position) — kept off the serving address
+// so profiling traffic can be firewalled separately. SIGINT/SIGTERM drain
+// in-flight batches, take a final snapshot (when -snapshot-dir is set), and
+// exit 0.
 package main
 
 import (
@@ -50,6 +61,7 @@ import (
 
 	"reactivespec/internal/core"
 	"reactivespec/internal/server"
+	"reactivespec/internal/wal"
 )
 
 func main() {
@@ -81,7 +93,7 @@ func publishExpvars() {
 		for _, m := range s.Table().Metrics() {
 			total.Add(m)
 		}
-		return map[string]any{
+		v := map[string]any{
 			"events":       total.Events,
 			"instructions": total.Instrs,
 			"misspec_rate": total.MisspecRate(),
@@ -89,6 +101,20 @@ func publishExpvars() {
 			"shards":       s.Table().Shards(),
 			"draining":     s.Draining(),
 		}
+		if l := s.WAL(); l != nil {
+			st := l.Stats()
+			v["wal"] = map[string]any{
+				"dir":              l.Dir(),
+				"policy":           l.Policy().String(),
+				"appended_records": st.AppendedRecords,
+				"appended_bytes":   st.AppendedBytes,
+				"fsyncs":           st.Fsyncs,
+				"segments":         st.Segments,
+				"oldest_seq":       st.OldestSeq,
+				"next_seq":         st.NextSeq,
+			}
+		}
+		return v
 	}))
 }
 
@@ -106,6 +132,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	snapshotDir := fs.String("snapshot-dir", "", "enable snapshot/restore under this directory")
 	snapshotInterval := fs.Duration("snapshot-interval", 30*time.Second,
 		"periodic snapshot interval (0 = only on shutdown)")
+	walDir := fs.String("wal-dir", "", "enable the write-ahead event log under this directory")
+	walFsync := fs.String("wal-fsync", "interval",
+		"WAL fsync policy: always, interval[=duration], or never")
+	walSegmentBytes := fs.Int64("wal-segment-bytes", wal.DefaultSegmentBytes,
+		"WAL segment rotation threshold in bytes")
 	debugAddr := fs.String("debug-addr", "",
 		"serve net/http/pprof and expvar on this separate listener (use :0 for a random port)")
 	debugAddrFile := fs.String("debug-addr-file", "",
@@ -120,18 +151,46 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	logf := func(format string, a ...any) {
 		fmt.Fprintf(out, "reactived: "+format+"\n", a...)
 	}
+	params := core.DefaultParams().Scaled(*paramScale)
+
+	var wlog *wal.Log
+	if *walDir != "" {
+		policy, interval, err := wal.ParseSyncPolicy(*walFsync)
+		if err != nil {
+			return fmt.Errorf("parsing -wal-fsync: %w", err)
+		}
+		wlog, err = wal.Open(wal.Options{
+			Dir:          *walDir,
+			ParamsHash:   server.ParamsHash(params),
+			SegmentBytes: *walSegmentBytes,
+			Policy:       policy,
+			Interval:     interval,
+			Logf:         logf,
+		})
+		if err != nil {
+			return fmt.Errorf("opening wal: %w", err)
+		}
+		defer wlog.Close()
+		logf("wal enabled under %s (fsync=%s)", *walDir, policy)
+	}
+
 	s := server.New(server.Config{
-		Params:      core.DefaultParams().Scaled(*paramScale),
+		Params:      params,
 		Shards:      *shards,
 		SnapshotDir: *snapshotDir,
+		WAL:         wlog,
 		Logf:        logf,
 	})
-	restored, err := s.RestoreFromDisk()
+	rec, err := s.Recover()
 	if err != nil {
-		return fmt.Errorf("restoring snapshot: %w", err)
+		return fmt.Errorf("recovering state: %w", err)
 	}
-	if !restored && *snapshotDir != "" {
+	if !rec.SnapshotRestored && *snapshotDir != "" {
 		logf("no snapshot under %s; starting fresh", *snapshotDir)
+	}
+	if wlog != nil {
+		logf("wal: replayed %d records (%d events); next seq %d",
+			rec.ReplayedRecords, rec.ReplayedEvents, wlog.NextSeq())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

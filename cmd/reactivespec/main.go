@@ -18,6 +18,14 @@
 // per-branch state-transition timeline — as a summary table, as raw
 // per-segment CSV spans, or as an SVG Gantt chart with -format svg.
 //
+// With -wal-dir, the timeline experiment replays a window of a reactived
+// write-ahead log instead of a synthetic workload: pick the sequence window
+// with -wal-from/-wal-to, the program with -wal-program (auto-detected for
+// single-program logs), and match the daemon's -param-scale. The window
+// replays through fresh controllers (a cold start: state and instruction
+// counts are relative to the window, not the live table) and renders through
+// the same table/CSV/SVG machinery.
+//
 // Flags:
 //
 //	-scale f        workload scale relative to the calibrated default (1.0)
@@ -26,6 +34,11 @@
 //	-format f       "table" (default), "csv", or "svg" (figures 2/3/5/6/7/8, chaos, timeline)
 //	-timeout d      cancel the run after this duration (e.g. 2m; 0 = none)
 //	-intensities l  fault intensities for the chaos experiment (e.g. 0,0.2,0.8)
+//	-wal-dir d      timeline only: replay a reactived write-ahead log under d
+//	-wal-program p  program to replay from the WAL (default: auto-detect)
+//	-wal-from n     first WAL sequence number to replay (default 0, the oldest)
+//	-wal-to n       stop before this WAL sequence number (default 0, the end)
+//	-param-scale k  the daemon's -param-scale, for WAL replay (default 10)
 //
 // Exit status: 0 on success, 1 when an experiment fails (or the -timeout
 // deadline cancels it), 2 on usage errors. Errors go to stderr.
@@ -43,6 +56,7 @@ import (
 
 	"reactivespec/internal/core"
 	"reactivespec/internal/experiments"
+	"reactivespec/internal/server"
 	"reactivespec/internal/workload"
 )
 
@@ -94,6 +108,11 @@ func run(args []string, out io.Writer) error {
 	format := fs.String("format", "table", `output format: "table", "csv", or "svg" (figures only)`)
 	timeout := fs.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
 	intensitiesFlag := fs.String("intensities", "", "comma-separated fault intensities in [0,1] for chaos (default 0,0.05,0.1,0.2,0.4,0.8)")
+	walDir := fs.String("wal-dir", "", "timeline only: replay a reactived write-ahead log under this directory")
+	walProgram := fs.String("wal-program", "", "program to replay from the WAL (default: auto-detect)")
+	walFrom := fs.Uint64("wal-from", 0, "first WAL sequence number to replay (0 = oldest retained)")
+	walTo := fs.Uint64("wal-to", 0, "stop the WAL replay before this sequence number (0 = end of log)")
+	paramScale := fs.Uint64("param-scale", 10, "the daemon's -param-scale, for WAL replay")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: reactivespec [flags] <experiment>\n\nexperiments: %s\n\nflags:\n",
 			strings.Join(experimentNames(), " "))
@@ -141,6 +160,36 @@ func run(args []string, out io.Writer) error {
 	}
 
 	name := fs.Arg(0)
+	if *walDir == "" && (*walProgram != "" || *walFrom != 0 || *walTo != 0) {
+		return usagef("-wal-program, -wal-from and -wal-to require -wal-dir")
+	}
+	if *walDir != "" {
+		if name != "timeline" {
+			return usagef("-wal-dir applies only to the timeline experiment, not %q", name)
+		}
+		if *walTo != 0 && *walTo <= *walFrom {
+			return usagef("empty WAL window [%d, %d)", *walFrom, *walTo)
+		}
+		params := core.DefaultParams().Scaled(*paramScale)
+		res, trunc, err := experiments.TimelineFromWAL(experiments.WALWindow{
+			Dir:        *walDir,
+			Program:    *walProgram,
+			From:       *walFrom,
+			To:         *walTo,
+			Params:     params,
+			ParamsHash: server.ParamsHash(params),
+		})
+		if err != nil {
+			return err
+		}
+		if trunc != nil {
+			fmt.Fprintf(os.Stderr, "reactivespec: wal tail %v\n", trunc)
+		}
+		if svg {
+			return experiments.SVGTimeline(out, res)
+		}
+		return experiments.WriteTimeline(out, res, csv)
+	}
 	if svg {
 		return dispatchSVG(name, cfg, intensities, out)
 	}

@@ -5,6 +5,11 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/server"
+	"reactivespec/internal/trace"
+	"reactivespec/internal/wal"
 )
 
 func TestRunTable2(t *testing.T) {
@@ -127,6 +132,62 @@ func TestRunTimeline(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "<svg") || !strings.Contains(b.String(), "</svg>") {
 		t.Fatal("timeline SVG output malformed")
+	}
+}
+
+// TestRunWALTimeline drives the WAL replay mode end to end: write a small
+// log the way reactived would, then render its timeline in all three
+// formats.
+func TestRunWALTimeline(t *testing.T) {
+	params := core.DefaultParams().Scaled(10)
+	dir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: dir, ParamsHash: server.ParamsHash(params), Policy: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := make([]trace.Event, 0, 400)
+	for i := 0; i < 400; i++ {
+		events = append(events, trace.Event{Branch: trace.BranchID(1 + i%2), Taken: i%2 == 0, Gap: 9})
+	}
+	if _, err := l.Append("gzip", events); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := run([]string{"-wal-dir", dir, "timeline"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"wal:gzip", "transitions", "trajectory"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("wal timeline output missing %q:\n%s", want, b.String())
+		}
+	}
+	b.Reset()
+	if err := run([]string{"-wal-dir", dir, "-wal-program", "gzip", "-format", "csv", "timeline"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "branch,state,from_instr,to_instr") {
+		t.Fatalf("wal timeline csv output wrong:\n%s", b.String())
+	}
+	b.Reset()
+	if err := run([]string{"-wal-dir", dir, "-format", "svg", "timeline"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<svg") {
+		t.Fatal("wal timeline SVG output malformed")
+	}
+
+	if err := run([]string{"-wal-dir", dir, "table1"}, &b); exitCode(err) != 2 {
+		t.Fatalf("-wal-dir with table1: err %v, want usage error", err)
+	}
+	if err := run([]string{"-wal-from", "3", "timeline"}, &b); exitCode(err) != 2 {
+		t.Fatalf("-wal-from without -wal-dir: err %v, want usage error", err)
+	}
+	if err := run([]string{"-wal-dir", dir, "-wal-from", "5", "-wal-to", "5", "timeline"}, &b); exitCode(err) != 2 {
+		t.Fatalf("empty window: err %v, want usage error", err)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"reactivespec/internal/core"
 	"reactivespec/internal/obs"
+	"reactivespec/internal/wal"
 )
 
 // ShardMetrics are one shard's lifetime counters. Counters reset on process
@@ -64,11 +65,16 @@ type serverInstruments struct {
 	streamSessions   *obs.Counter
 	streamFrames     *obs.Counter
 
+	walAppendErrors    *obs.Counter
+	walReplayedRecords *obs.Counter
+	walReplayedEvents  *obs.Counter
+
 	batchLat    *obs.Histogram
 	decodeLat   *obs.Histogram
 	applyLat    *obs.Histogram
 	respondLat  *obs.Histogram
 	batchEvents *obs.Histogram
+	walFsyncLat *obs.Histogram
 }
 
 // newServerInstruments registers the server's direct metrics, all under the
@@ -90,13 +96,43 @@ func newServerInstruments(reg *obs.Registry) serverInstruments {
 			"Streaming ingest sessions accepted."),
 		streamFrames: reg.NewCounter("reactived_stream_frames_total",
 			"Event frames received over streaming sessions."),
+		walAppendErrors: reg.NewCounter("reactived_wal_append_errors_total",
+			"Ingest batches rejected because the write-ahead log could not append them."),
+		walReplayedRecords: reg.NewCounter("reactived_wal_replayed_records_total",
+			"WAL records replayed during recovery."),
+		walReplayedEvents: reg.NewCounter("reactived_wal_replayed_events_total",
+			"Events replayed from the WAL during recovery."),
 		batchLat:   lat("reactived_batch_latency_seconds", "Ingest batch handling latency."),
 		decodeLat:  lat("reactived_ingest_decode_seconds", "Per-batch time decoding trace frames."),
 		applyLat:   lat("reactived_ingest_apply_seconds", "Per-batch time applying events to the controller table."),
 		respondLat: lat("reactived_ingest_respond_seconds", "Per-batch time encoding and writing the decision response."),
 		batchEvents: reg.NewHistogram("reactived_ingest_batch_events",
 			"Events per ingest batch.", 1, 1e8, 10, batchLatencyQuantiles...),
+		walFsyncLat: lat("reactived_wal_fsync_seconds", "WAL fsync latency."),
 	}
+}
+
+// registerWALCollector exposes the write-ahead log's internal counters —
+// which live behind the log's own mutex, not in registry instruments — as
+// computed families.
+func registerWALCollector(reg *obs.Registry, l *wal.Log) {
+	reg.RegisterCollector("reactived_wal", func(e *obs.Emitter) {
+		st := l.Stats()
+		e.Family("reactived_wal_appended_records_total", "counter", "Records appended to the WAL.")
+		e.SampleUint(st.AppendedRecords)
+		e.Family("reactived_wal_appended_bytes_total", "counter", "Bytes appended to the WAL.")
+		e.SampleUint(st.AppendedBytes)
+		e.Family("reactived_wal_fsyncs_total", "counter", "WAL segment fsyncs.")
+		e.SampleUint(st.Fsyncs)
+		e.Family("reactived_wal_segments", "gauge", "On-disk WAL segment files.")
+		e.SampleUint(uint64(st.Segments))
+		e.Family("reactived_wal_active_segment_bytes", "gauge", "Size of the WAL segment being appended to.")
+		e.SampleUint(uint64(st.ActiveSegmentBytes))
+		e.Family("reactived_wal_next_seq", "gauge", "Sequence number the next WAL record will get.")
+		e.SampleUint(st.NextSeq)
+		e.Family("reactived_wal_oldest_seq", "gauge", "Oldest retained WAL sequence number.")
+		e.SampleUint(st.OldestSeq)
+	})
 }
 
 // registerTableCollector exposes the sharded table's counters — which live

@@ -16,6 +16,7 @@ import (
 	"reactivespec/internal/core"
 	"reactivespec/internal/obs"
 	"reactivespec/internal/trace"
+	"reactivespec/internal/wal"
 )
 
 // HTTP API:
@@ -80,6 +81,11 @@ type Config struct {
 	Shards int
 	// SnapshotDir, when non-empty, enables snapshot/restore.
 	SnapshotDir string
+	// WAL, when non-nil, is the write-ahead event log: every ingested frame
+	// (POST and streaming) is appended to it *before* it is applied to the
+	// table, and Recover replays its tail over the restored snapshot. The
+	// log must be opened with ParamsHash(Params).
+	WAL *wal.Log
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -102,6 +108,16 @@ type Server struct {
 
 	draining atomic.Bool
 	snapMu   sync.Mutex // serializes snapshot writes
+
+	// applyMu fences WAL-append-plus-apply sections (read side) against
+	// snapshot capture (write side): a snapshot's WAL anchor is taken while
+	// no batch is between its WAL append and its table apply, so every
+	// record below the anchor is fully applied and none above it is. Lock
+	// order: applyMu before cursorsMu before cursor.mu.
+	applyMu sync.RWMutex
+	// restoredWALSeq is the WAL anchor of the snapshot RestoreFromDisk
+	// loaded (0 when none): the sequence number replay resumes from.
+	restoredWALSeq uint64
 }
 
 // cursor is one program's ingest position: the cumulative dynamic
@@ -128,6 +144,10 @@ func New(cfg Config) *Server {
 	s.streams.sessions = make(map[*streamSession]struct{})
 	s.ins = newServerInstruments(s.reg)
 	registerTableCollector(s.reg, s.table)
+	if cfg.WAL != nil {
+		cfg.WAL.OnFsync = func(d time.Duration) { s.ins.walFsyncLat.Observe(d.Seconds()) }
+		registerWALCollector(s.reg, cfg.WAL)
+	}
 	s.reg.NewGaugeFunc("reactived_uptime_seconds", "Time since the daemon started.",
 		func() float64 { return time.Since(s.start).Seconds() })
 	s.reg.NewGaugeFunc("reactived_stream_sessions", "Live streaming ingest sessions.",
@@ -144,6 +164,10 @@ func New(cfg Config) *Server {
 
 // Table returns the underlying sharded table (tests and tooling).
 func (s *Server) Table() *Table { return s.table }
+
+// WAL returns the configured write-ahead log, or nil when durability is
+// disabled (debug pages and tooling).
+func (s *Server) WAL() *wal.Log { return s.cfg.WAL }
 
 // Registry returns the server's metrics registry so the embedding binary can
 // register daemon-level metrics into the same /metrics exposition.
@@ -293,19 +317,50 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	decodeDur := time.Since(decodeStart)
 
-	// Stage 2 — ordered apply. Only the controller updates run under the
-	// cursor lock, batched per frame so the table can amortize hashing and
-	// shard locking across each frame's events.
+	// Stage 2 — log, then ordered apply. The WAL append runs under the same
+	// cursor lock as the apply so a program's WAL record order is exactly
+	// its apply order (replay reproduces the same decisions), and one Commit
+	// covers the whole batch. Only the controller updates and the WAL append
+	// run under the lock, batched per frame so the table can amortize
+	// hashing and shard locking across each frame's events.
 	applyStart := time.Now()
 	cur := s.cursorFor(program)
+	s.applyMu.RLock()
 	cur.mu.Lock()
-	for _, f := range sc.frames {
-		if f.errMsg != "" {
-			continue
+	var walErr error
+	if wlog := s.cfg.WAL; wlog != nil {
+		for _, f := range sc.frames {
+			if f.errMsg != "" {
+				continue
+			}
+			if _, walErr = wlog.Append(program, sc.events[f.start:f.end]); walErr != nil {
+				break
+			}
 		}
-		sc.decisions, cur.instr = s.table.ApplyBatch(program, sc.events[f.start:f.end], cur.instr, sc.decisions)
+		if walErr == nil {
+			walErr = wlog.Commit()
+		}
+	}
+	if walErr == nil {
+		for _, f := range sc.frames {
+			if f.errMsg != "" {
+				continue
+			}
+			sc.decisions, cur.instr = s.table.ApplyBatch(program, sc.events[f.start:f.end], cur.instr, sc.decisions)
+		}
 	}
 	cur.mu.Unlock()
+	s.applyMu.RUnlock()
+	if walErr != nil {
+		// Nothing was applied: a client that cannot durably log must not
+		// train the live table, or recovery would diverge from the state it
+		// acknowledged. (Frames appended before the failure may survive in
+		// the log; replaying unacknowledged events is safe — the client saw
+		// an error, not an ack.)
+		s.ins.walAppendErrors.Inc()
+		writeError(w, http.StatusInternalServerError, CodeInternal, "wal append: "+walErr.Error())
+		return
+	}
 	applyDur := time.Since(applyStart)
 
 	// Stage 3 — encode and write the response from a pooled buffer.
@@ -433,6 +488,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 type SnapshotResult struct {
 	Entries  int    `json:"entries"`
 	Programs int    `json:"programs"`
+	WALSeq   uint64 `json:"wal_seq"`
 	Path     string `json:"path"`
 }
 
@@ -455,29 +511,48 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 // SnapshotNow persists the full service state to the configured snapshot
-// directory. Concurrent calls serialize; concurrent ingest yields per-entry
-// consistency (see Table.SnapshotEntries).
+// directory. Concurrent calls serialize. Without a WAL, concurrent ingest
+// yields per-entry consistency (see Table.SnapshotEntries); with one, the
+// capture excludes in-flight apply sections (applyMu) so the snapshot's WAL
+// anchor is exact — every record below it is fully applied, none above it —
+// and segments wholly below the anchor are compacted away once the snapshot
+// is durably installed.
 func (s *Server) SnapshotNow() (SnapshotResult, error) {
 	if s.cfg.SnapshotDir == "" {
 		return SnapshotResult{}, fmt.Errorf("server: no snapshot directory configured")
 	}
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
+	if s.cfg.WAL != nil {
+		s.applyMu.Lock()
+	}
 	snap := &Snapshot{
 		Version: snapshotVersion,
 		Params:  s.cfg.Params,
 		Cursors: s.exportCursors(),
 		Entries: s.table.SnapshotEntries(),
 	}
+	if s.cfg.WAL != nil {
+		snap.WALSeq = s.cfg.WAL.NextSeq()
+		s.applyMu.Unlock()
+	}
 	if err := WriteSnapshot(s.cfg.SnapshotDir, snap); err != nil {
 		return SnapshotResult{}, err
 	}
 	s.ins.snapshots.Inc()
-	s.logf("snapshot: %d entries, %d programs -> %s",
-		len(snap.Entries), len(snap.Cursors), snapshotPath(s.cfg.SnapshotDir))
+	if s.cfg.WAL != nil {
+		// The snapshot is durable: everything below its anchor is dead
+		// weight. A compaction failure does not invalidate the snapshot.
+		if _, err := s.cfg.WAL.CompactTo(snap.WALSeq); err != nil {
+			s.logf("wal: compaction after snapshot: %v", err)
+		}
+	}
+	s.logf("snapshot: %d entries, %d programs, wal seq %d -> %s",
+		len(snap.Entries), len(snap.Cursors), snap.WALSeq, snapshotPath(s.cfg.SnapshotDir))
 	return SnapshotResult{
 		Entries:  len(snap.Entries),
 		Programs: len(snap.Cursors),
+		WALSeq:   snap.WALSeq,
 		Path:     snapshotPath(s.cfg.SnapshotDir),
 	}, nil
 }
@@ -522,6 +597,8 @@ func (s *Server) RestoreFromDisk() (bool, error) {
 		s.cursors[cs.Program] = &cursor{instr: cs.Instr}
 	}
 	s.cursorsMu.Unlock()
-	s.logf("restored snapshot: %d entries, %d programs", len(snap.Entries), len(snap.Cursors))
+	s.restoredWALSeq = snap.WALSeq
+	s.logf("restored snapshot: %d entries, %d programs, wal seq %d",
+		len(snap.Entries), len(snap.Cursors), snap.WALSeq)
 	return true, nil
 }

@@ -40,6 +40,12 @@ type Snapshot struct {
 	Params  core.Params
 	Cursors []CursorSnapshot
 	Entries []EntrySnapshot
+	// WALSeq anchors the snapshot in the write-ahead log: every WAL record
+	// with a lower sequence number is fully reflected in Entries/Cursors,
+	// none at or above it is. Zero for snapshots taken without a WAL (gob
+	// also decodes pre-WAL snapshots to zero, so the layout stays at
+	// snapshotVersion 1).
+	WALSeq uint64
 }
 
 // CursorSnapshot is one program's ingest position.

@@ -296,9 +296,30 @@ func (s *Server) serveStreamConn(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 				}
 			} else {
 				applyStart := time.Now()
+				s.applyMu.RLock()
 				cur.mu.Lock()
-				decisions, cur.instr = s.table.ApplyBatch(hs.Program, events, cur.instr, decisions[:0])
+				var walErr error
+				if wlog := s.cfg.WAL; wlog != nil {
+					// Same contract as the POST path: the frame is logged
+					// under the cursor lock (WAL order == apply order) and
+					// committed before it trains the table.
+					if _, walErr = wlog.Append(hs.Program, events); walErr == nil {
+						walErr = wlog.Commit()
+					}
+				}
+				if walErr == nil {
+					decisions, cur.instr = s.table.ApplyBatch(hs.Program, events, cur.instr, decisions[:0])
+				}
 				cur.mu.Unlock()
+				s.applyMu.RUnlock()
+				if walErr != nil {
+					// The frame was not applied; end the session with a
+					// typed server-side error rather than acknowledging
+					// events that were never durably logged.
+					s.ins.walAppendErrors.Inc()
+					terminal(trace.StreamCodeInternal, "wal append: "+walErr.Error())
+					return
+				}
 				s.ins.applyLat.Observe(time.Since(applyStart).Seconds())
 				s.ins.batchEvents.Observe(float64(len(events)))
 				wireBuf = appendDecisionsFrame(wireBuf[:0], decisions)

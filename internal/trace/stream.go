@@ -93,6 +93,10 @@ const (
 	StreamCodeParamMismatch = "param_mismatch"
 	// StreamCodeMalformed rejects a handshake that failed validation.
 	StreamCodeMalformed = "malformed"
+	// StreamCodeInternal reports a server-side failure (e.g. the write-ahead
+	// log rejecting an append) that ends the session before the frame's
+	// events were applied.
+	StreamCodeInternal = "internal"
 )
 
 // MaxHandshakeProgram caps the program-name length a handshake may carry; a

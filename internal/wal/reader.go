@@ -1,0 +1,359 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"reactivespec/internal/trace"
+)
+
+// Record is one replayable WAL entry: the event batch one ingest appended
+// for one program, with its derived sequence number.
+type Record struct {
+	Seq     uint64
+	Program string
+	Events  []trace.Event
+}
+
+// ReaderOptions configures a replay pass over a WAL directory.
+type ReaderOptions struct {
+	// Dir is the segment directory.
+	Dir string
+	// ParamsHash must match every segment header; replaying records written
+	// under different controller parameters would produce different
+	// decisions, so a mismatch is a hard error.
+	ParamsHash uint64
+	// From is the first sequence number to yield. Records below it are
+	// skipped (the reader seeks to the covering segment, so skipping is
+	// cheap). Zero replays everything retained.
+	From uint64
+}
+
+// Reader replays WAL records in sequence order. It reads the directory
+// as-is — it does not require (and must not race with) an open Log, so the
+// same code path serves both daemon recovery and offline time-travel
+// tooling. A torn tail on the *final* segment ends the replay cleanly and is
+// reported via Truncation; corruption anywhere else is fatal, because
+// rotation fsyncs completed segments and a hole mid-log means records are
+// missing, not merely unfinished.
+type Reader struct {
+	opts     ReaderOptions
+	segments []segmentRef
+	segIdx   int
+	f        *os.File
+	dec      *segmentDecoder
+	nextSeq  uint64 // seq the next decoded record will carry
+	events   []trace.Event
+	err      error
+	trunc    *TailTruncation
+}
+
+// NewReader opens a replay pass over dir starting at opts.From. An empty or
+// absent directory yields a reader that immediately reports io.EOF.
+func NewReader(opts ReaderOptions) (*Reader, error) {
+	segments, err := listSegments(opts.Dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			segments = nil
+		} else {
+			return nil, err
+		}
+	}
+	// Seek: the covering segment is the last one based at or below From.
+	// Earlier segments hold only records below From and are never opened.
+	start := sort.Search(len(segments), func(i int) bool {
+		return segments[i].base > opts.From
+	})
+	if start > 0 {
+		start--
+	}
+	r := &Reader{opts: opts, segments: segments, segIdx: start}
+	if len(segments) > 0 && opts.From < segments[0].base {
+		return nil, fmt.Errorf("wal: replay from sequence %d is below the oldest retained record %d (compacted away)",
+			opts.From, segments[0].base)
+	}
+	return r, nil
+}
+
+// Truncation reports the torn tail that ended the replay, if any.
+func (r *Reader) Truncation() *TailTruncation { return r.trunc }
+
+// NextSeq returns the sequence number the next yielded record will carry —
+// after io.EOF, the end of the replayable range.
+func (r *Reader) NextSeq() uint64 { return r.nextSeq }
+
+// Next returns the next record at or past opts.From. io.EOF signals the end
+// of the log (including a truncated final segment — check Truncation). The
+// returned record's Events slice is reused by the following Next call; copy
+// it to retain it.
+func (r *Reader) Next() (Record, error) {
+	if r.err != nil {
+		return Record{}, r.err
+	}
+	for {
+		if r.dec == nil {
+			if err := r.openSegment(); err != nil {
+				r.err = err
+				r.closeFile()
+				return Record{}, err
+			}
+		}
+		program, events, err := r.dec.next(r.events[:0])
+		if err == io.EOF {
+			// Clean end of this segment at a record boundary.
+			endSeq := r.nextSeq
+			r.closeFile()
+			r.segIdx++
+			if r.segIdx >= len(r.segments) {
+				r.err = io.EOF
+				return Record{}, io.EOF
+			}
+			// Completed segments are fsynced before the next is created,
+			// so consecutive bases must meet exactly; a gap means records
+			// were lost mid-log and replay cannot be trusted.
+			if next := r.segments[r.segIdx].base; next != endSeq {
+				r.err = fmt.Errorf("%w: %s begins at sequence %d but the previous segment ends at %d",
+					ErrBadSegment, filepath.Base(r.segments[r.segIdx].path), next, endSeq)
+				return Record{}, r.err
+			}
+			continue
+		}
+		if err != nil {
+			if r.segIdx == len(r.segments)-1 {
+				// Torn tail on the final segment: everything before it
+				// replayed fine; stop cleanly and report the cut.
+				r.trunc = &TailTruncation{
+					Segment: filepath.Base(r.segments[r.segIdx].path),
+					Offset:  r.dec.off,
+					Dropped: r.dec.size - r.dec.off,
+					Reason:  err.Error(),
+				}
+				r.closeFile()
+				r.err = io.EOF
+				return Record{}, io.EOF
+			}
+			r.err = fmt.Errorf("%w: %s at byte offset %d: %v",
+				ErrBadSegment, filepath.Base(r.segments[r.segIdx].path), r.dec.off, err)
+			r.closeFile()
+			return Record{}, r.err
+		}
+		seq := r.nextSeq
+		r.nextSeq++
+		r.events = events
+		if seq < r.opts.From {
+			continue
+		}
+		return Record{Seq: seq, Program: program, Events: events}, nil
+	}
+}
+
+// openSegment opens segments[segIdx], validates its header, and positions
+// nextSeq at its base.
+func (r *Reader) openSegment() error {
+	if r.segIdx >= len(r.segments) {
+		return io.EOF
+	}
+	seg := r.segments[r.segIdx]
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return fmt.Errorf("wal: opening segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: stat %s: %w", seg.path, err)
+	}
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		if r.segIdx == len(r.segments)-1 {
+			// A final segment whose header never hit the disk holds no
+			// records; the replayable range simply ends before it.
+			r.trunc = &TailTruncation{
+				Segment: filepath.Base(seg.path),
+				Offset:  0,
+				Dropped: st.Size(),
+				Reason:  "truncated header",
+			}
+			return io.EOF
+		}
+		return fmt.Errorf("%w: %s: truncated header: %v", ErrBadSegment, filepath.Base(seg.path), err)
+	}
+	if _, err := parseSegmentHeader(hdr, filepath.Base(seg.path), r.opts.ParamsHash, seg.base); err != nil {
+		f.Close()
+		return err
+	}
+	r.f = f
+	r.dec = newSegmentDecoder(f, st.Size())
+	r.nextSeq = seg.base
+	return nil
+}
+
+func (r *Reader) closeFile() {
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+	}
+	r.dec = nil
+}
+
+// Close releases the reader's open segment, if any.
+func (r *Reader) Close() error {
+	r.closeFile()
+	if r.err == nil {
+		r.err = ErrClosed
+	}
+	return nil
+}
+
+// segmentDecoder walks one segment's records after the header, tracking the
+// byte offset of the last record boundary for truncation diagnostics.
+type segmentDecoder struct {
+	br      byteReader
+	off     int64 // offset of the last valid record boundary
+	size    int64
+	payload []byte
+}
+
+// byteReader adapts an io.Reader for binary.ReadUvarint while counting
+// consumed bytes. It reads one byte at a time; callers wrap the file in
+// buffering via the payload reads being io.ReadFull over the same reader —
+// so wrap the file once here instead.
+type byteReader struct {
+	r   io.Reader
+	buf []byte
+	pos int
+	n   int
+	off int64 // total bytes consumed from r
+}
+
+func (b *byteReader) ReadByte() (byte, error) {
+	if b.pos >= b.n {
+		if err := b.fill(); err != nil {
+			return 0, err
+		}
+	}
+	c := b.buf[b.pos]
+	b.pos++
+	return c, nil
+}
+
+func (b *byteReader) fill() error {
+	n, err := b.r.Read(b.buf)
+	if n == 0 {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	b.pos, b.n = 0, n
+	b.off += int64(n)
+	return nil
+}
+
+// Read drains the look-ahead buffer first, then the underlying reader.
+func (b *byteReader) Read(p []byte) (int, error) {
+	if b.pos < b.n {
+		n := copy(p, b.buf[b.pos:b.n])
+		b.pos += n
+		return n, nil
+	}
+	n, err := b.r.Read(p)
+	b.off += int64(n)
+	return n, err
+}
+
+// consumed is how many bytes have been handed out (buffered bytes not yet
+// read back are excluded).
+func (b *byteReader) consumed() int64 {
+	return b.off - int64(b.n-b.pos)
+}
+
+// newSegmentDecoder positions a decoder just past the segment header of r;
+// size is the full segment file size (for truncation diagnostics).
+func newSegmentDecoder(r io.Reader, size int64) *segmentDecoder {
+	d := &segmentDecoder{size: size, off: segHeaderSize}
+	d.br = byteReader{r: r, buf: make([]byte, 1<<16), off: segHeaderSize}
+	return d
+}
+
+// next decodes one record, appending its events to dst. io.EOF means the
+// segment ended cleanly at a record boundary; any other error describes why
+// the bytes at offset d.off could not be a record.
+func (d *segmentDecoder) next(dst []trace.Event) (string, []trace.Event, error) {
+	length, err := binary.ReadUvarint(&d.br)
+	if err != nil {
+		if err == io.EOF && d.br.consumed() == d.off {
+			return "", nil, io.EOF
+		}
+		return "", nil, fmt.Errorf("truncated record length prefix: %v", err)
+	}
+	if length > maxRecordPayload {
+		return "", nil, fmt.Errorf("record length %d exceeds the %d-byte cap", length, maxRecordPayload)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(&d.br, crcBuf[:]); err != nil {
+		return "", nil, fmt.Errorf("truncated record checksum: %v", err)
+	}
+	wantCRC := binary.LittleEndian.Uint32(crcBuf[:])
+	if uint64(cap(d.payload)) < length {
+		d.payload = make([]byte, length)
+	}
+	payload := d.payload[:length]
+	if _, err := io.ReadFull(&d.br, payload); err != nil {
+		return "", nil, fmt.Errorf("truncated record payload (%d bytes declared): %v", length, err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return "", nil, fmt.Errorf("record checksum mismatch: computed %08x, stored %08x", got, wantCRC)
+	}
+	// payload: programLen, program, frame payload.
+	progLen, n := binary.Uvarint(payload)
+	if n <= 0 || progLen > maxProgramLen || uint64(n)+progLen > uint64(len(payload)) {
+		return "", nil, fmt.Errorf("record program field is malformed (declared length %d)", progLen)
+	}
+	program := string(payload[n : uint64(n)+progLen])
+	events, err := trace.DecodeFrameAppend(payload[uint64(n)+progLen:], dst)
+	if err != nil {
+		return "", nil, fmt.Errorf("record frame payload: %v", err)
+	}
+	d.off = d.br.consumed()
+	return program, events, nil
+}
+
+// scanSegmentFile walks every record of the segment at path and returns how
+// many valid records it holds, the byte offset of the last valid record
+// boundary, and — when the segment does not end cleanly — why the bytes past
+// that offset were rejected. The header must already have been validated.
+func scanSegmentFile(path string) (records uint64, end int64, reason string, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, "", fmt.Errorf("wal: opening segment: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, 0, "", fmt.Errorf("wal: stat %s: %w", path, err)
+	}
+	if _, err := f.Seek(segHeaderSize, io.SeekStart); err != nil {
+		return 0, 0, "", fmt.Errorf("wal: seeking past header: %w", err)
+	}
+	d := newSegmentDecoder(f, st.Size())
+	var dst []trace.Event
+	for {
+		_, events, derr := d.next(dst[:0])
+		if derr == io.EOF {
+			return records, d.off, "", nil
+		}
+		if derr != nil {
+			return records, d.off, derr.Error(), nil
+		}
+		dst = events
+		records++
+	}
+}

@@ -7,6 +7,12 @@
 #   scripts/bench.sh [benchtime]
 #
 # benchtime defaults to 2s; pass e.g. 5s for lower-variance numbers.
+#
+# After regenerating the tracked result files, fresh numbers are compared
+# against the previously committed ones: a throughput drop beyond
+# BENCH_GATE_PCT percent (default 15) on any shared benchmark fails the
+# script. Set BENCH_GATE_SKIP=1 to record new numbers without gating (e.g.
+# when moving to different hardware).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,6 +20,23 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-2s}"
 PATTERN='^(BenchmarkTableApply|BenchmarkTableApplyBatch|BenchmarkIngestHandler|BenchmarkTraceCodec|BenchmarkWorkloadGenerator)$'
 OUT=BENCH_ingest.json
+GATE_PCT="${BENCH_GATE_PCT:-15}"
+
+BENCH_DIR=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill "$DAEMON_PID" 2>/dev/null || true
+        wait "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$BENCH_DIR"
+}
+trap cleanup EXIT INT TERM
+
+# The files in the worktree are the committed baseline; stash them before
+# they are regenerated so the gate at the end can diff against them.
+cp BENCH_ingest.json "$BENCH_DIR/base_ingest.json" 2>/dev/null || true
+cp BENCH_stream.json "$BENCH_DIR/base_stream.json" 2>/dev/null || true
 
 echo "==> go test -bench (benchtime=$BENCHTIME)" >&2
 RAW=$(go test -run='^$' -bench="$PATTERN" -benchmem -benchtime="$BENCHTIME" .)
@@ -53,36 +76,43 @@ cat "$OUT"
 # BENCH_stream.json. The windows bracket the backpressure regimes: window 1
 # is fully serialized (one frame in flight), larger windows pipeline.
 STREAM_OUT=BENCH_stream.json
-BENCH_DIR=$(mktemp -d)
-DAEMON_PID=""
-cleanup() {
-    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
-        kill "$DAEMON_PID" 2>/dev/null || true
-        wait "$DAEMON_PID" 2>/dev/null || true
-    fi
-    rm -rf "$BENCH_DIR"
-}
-trap cleanup EXIT INT TERM
 
 echo "==> building reactived + reactiveload for the transport comparison" >&2
 go build -o "$BENCH_DIR/reactived" ./cmd/reactived
 go build -o "$BENCH_DIR/reactiveload" ./cmd/reactiveload
 
-"$BENCH_DIR/reactived" \
-    -addr 127.0.0.1:0 \
-    -addr-file "$BENCH_DIR/addr" >"$BENCH_DIR/reactived.log" 2>&1 &
-DAEMON_PID=$!
-i=0
-while [ ! -s "$BENCH_DIR/addr" ]; do
-    i=$((i + 1))
-    if [ "$i" -gt 100 ]; then
-        echo "reactived never published its address" >&2
-        cat "$BENCH_DIR/reactived.log" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
-ADDR=$(cat "$BENCH_DIR/addr")
+# start_daemon <label> [extra reactived flags...]: boots an ephemeral daemon
+# on a random port, waits for the address file, and leaves ADDR/DAEMON_PID
+# set. stop_daemon shuts it down.
+start_daemon() {
+    sd_label=$1
+    shift
+    rm -f "$BENCH_DIR/addr"
+    "$BENCH_DIR/reactived" \
+        -addr 127.0.0.1:0 \
+        -addr-file "$BENCH_DIR/addr" \
+        "$@" >"$BENCH_DIR/reactived-$sd_label.log" 2>&1 &
+    DAEMON_PID=$!
+    i=0
+    while [ ! -s "$BENCH_DIR/addr" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "reactived ($sd_label) never published its address" >&2
+            cat "$BENCH_DIR/reactived-$sd_label.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    ADDR=$(cat "$BENCH_DIR/addr")
+}
+
+stop_daemon() {
+    kill "$DAEMON_PID"
+    wait "$DAEMON_PID" 2>/dev/null || true
+    DAEMON_PID=""
+}
+
+start_daemon transport
 
 # Every run replays the same seeded gzip workload at batch 1024, so the
 # transports are compared on identical event sequences.
@@ -134,3 +164,88 @@ field() { # $1 = report label, $2 = field name
 
 echo "==> wrote $STREAM_OUT" >&2
 cat "$STREAM_OUT"
+stop_daemon
+
+# --- WAL ingest cost ------------------------------------------------------
+# Replays the identical seeded POST workload against a daemon without a WAL,
+# with the WAL at the default interval fsync policy, and with fsync=always,
+# and records the three in BENCH_wal.json. Each mode gets a fresh daemon
+# (the log cannot be toggled at runtime), with an unrecorded warmup so every
+# measured run sees a converged controller table. The interval policy — the
+# recommended production setting — must stay within BENCH_WAL_GATE_PCT
+# percent (default 25) of the WAL-off throughput measured in the same run.
+WAL_OUT=BENCH_wal.json
+WAL_GATE_PCT="${BENCH_WAL_GATE_PCT:-25}"
+
+run_wal_mode() { # $1 = report label; rest = extra reactived flags
+    mode=$1
+    shift
+    rm -rf "$BENCH_DIR/wal"
+    start_daemon "$mode" "$@"
+    run_load "warmup-$mode"
+    run_load "$mode"
+    stop_daemon
+}
+
+run_wal_mode wal-off
+run_wal_mode wal-interval -wal-dir "$BENCH_DIR/wal" -wal-fsync interval
+run_wal_mode wal-always -wal-dir "$BENCH_DIR/wal" -wal-fsync always
+
+{
+    printf '[\n'
+    first=1
+    for label in wal-off wal-interval wal-always; do
+        if [ "$first" -eq 1 ]; then first=0; else printf ',\n'; fi
+        printf '  {"name": "%s", "fsync": "%s", "batch": 1024, "events_per_sec": %s, "batch_latency_p99_ms": %s}' \
+            "$label" \
+            "${label#wal-}" \
+            "$(field "$label" events_per_sec)" \
+            "$(field "$label" batch_latency_p99_ms)"
+    done
+    printf '\n]\n'
+} >"$WAL_OUT"
+
+echo "==> wrote $WAL_OUT" >&2
+cat "$WAL_OUT"
+
+WAL_OFF_EPS=$(field wal-off events_per_sec)
+WAL_INT_EPS=$(field wal-interval events_per_sec)
+awk -v off="$WAL_OFF_EPS" -v on="$WAL_INT_EPS" -v limit="$WAL_GATE_PCT" 'BEGIN {
+    drop = (off - on) / off * 100
+    printf "==> wal overhead (fsync=interval): %.1f%% (limit %.0f%%)\n", drop, limit
+    if (drop > limit) { print "WAL REGRESSION: interval-fsync ingest exceeds the overhead budget"; exit 1 }
+}' >&2
+
+# --- Regression gate vs the committed baselines ---------------------------
+# Any benchmark shared by a stashed baseline file and its fresh counterpart
+# must not have lost more than GATE_PCT percent throughput.
+if [ "${BENCH_GATE_SKIP:-0}" = "1" ]; then
+    echo "==> BENCH_GATE_SKIP=1: skipping the regression gate" >&2
+else
+    pairs() { # extract "name events_per_sec" rows from a result file
+        sed -n 's/.*"name": *"\([^"]*\)".*"events_per_sec": *\([0-9][0-9]*\).*/\1 \2/p' "$1"
+    }
+    gate() { # $1 = stashed baseline, $2 = fresh file
+        [ -s "$1" ] || {
+            echo "==> no committed $2 baseline; nothing to gate" >&2
+            return 0
+        }
+        echo "==> gating $2 against the committed baseline (limit ${GATE_PCT}%)" >&2
+        pairs "$1" >"$BENCH_DIR/gate_base.txt"
+        pairs "$2" >"$BENCH_DIR/gate_fresh.txt"
+        awk -v limit="$GATE_PCT" '
+            NR == FNR { base[$1] = $2; next }
+            ($1 in base) && base[$1] > 0 {
+                drop = (base[$1] - $2) / base[$1] * 100
+                if (drop > limit) {
+                    printf "    REGRESSION %-28s %12.0f -> %12.0f events/sec (-%.1f%%)\n", $1, base[$1], $2, drop
+                    bad = 1
+                } else {
+                    printf "    ok         %-28s %12.0f -> %12.0f events/sec (%+.1f%%)\n", $1, base[$1], $2, -drop
+                }
+            }
+            END { exit bad }' "$BENCH_DIR/gate_base.txt" "$BENCH_DIR/gate_fresh.txt" >&2
+    }
+    gate "$BENCH_DIR/base_ingest.json" "$OUT"
+    gate "$BENCH_DIR/base_stream.json" "$STREAM_OUT"
+fi

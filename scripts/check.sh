@@ -26,7 +26,15 @@ go test -race -count=2 ./internal/obs ./internal/server
 echo "==> serving-mode smoke (reactiveload vs ephemeral reactived)"
 SMOKE_DIR=$(mktemp -d)
 DAEMON_PID=""
+# On failure, preserve the daemon logs and the WAL directory for post-mortem
+# when the caller points CHECK_ARTIFACT_DIR somewhere (CI uploads them).
 cleanup() {
+    status=$?
+    if [ "$status" -ne 0 ] && [ -n "${CHECK_ARTIFACT_DIR:-}" ]; then
+        mkdir -p "$CHECK_ARTIFACT_DIR"
+        cp "$SMOKE_DIR"/*.log "$CHECK_ARTIFACT_DIR"/ 2>/dev/null || true
+        [ -d "$SMOKE_DIR/wal" ] && cp -r "$SMOKE_DIR/wal" "$CHECK_ARTIFACT_DIR/wal" 2>/dev/null || true
+    fi
     if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
         kill "$DAEMON_PID" 2>/dev/null || true
         wait "$DAEMON_PID" 2>/dev/null || true
@@ -108,6 +116,110 @@ if [ ! -f "$SMOKE_DIR/snaps/current.snap" ]; then
     echo "reactived shutdown left no snapshot" >&2
     exit 1
 fi
+
+# Crash-recovery smoke: run the daemon with the write-ahead log on
+# (fsync=always, so nothing acknowledged may be lost), SIGKILL it in the
+# middle of an ingest run, restart it over the same directories, and require
+# (a) the restart to report a WAL replay and (b) a verified workload against
+# the recovered daemon to pass. Each load uses a bench the daemon has not
+# seen, because -verify's in-process mirror starts cold.
+echo "==> crash-recovery smoke (SIGKILL mid-ingest, WAL replay on restart)"
+"$SMOKE_DIR/reactived" \
+    -addr 127.0.0.1:0 \
+    -addr-file "$SMOKE_DIR/addr2" \
+    -snapshot-dir "$SMOKE_DIR/snaps2" \
+    -snapshot-interval 0 \
+    -wal-dir "$SMOKE_DIR/wal" \
+    -wal-fsync always >"$SMOKE_DIR/reactived-crash.log" 2>&1 &
+DAEMON_PID=$!
+i=0
+while [ ! -s "$SMOKE_DIR/addr2" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "reactived (wal) never published its address" >&2
+        cat "$SMOKE_DIR/reactived-crash.log" >&2
+        exit 1
+    fi
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "reactived (wal) exited early" >&2
+        cat "$SMOKE_DIR/reactived-crash.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+ADDR=$(cat "$SMOKE_DIR/addr2")
+
+# A verified load with the WAL on the write path.
+"$SMOKE_DIR/reactiveload" \
+    -addr "http://$ADDR" \
+    -bench gcc \
+    -scale 0.02 \
+    -concurrency 2 \
+    -batch 512 \
+    -verify
+
+# SIGKILL the daemon while a second load is mid-flight; the client is
+# expected to fail when the connection dies.
+"$SMOKE_DIR/reactiveload" \
+    -addr "http://$ADDR" \
+    -bench parser \
+    -scale 0.2 \
+    -concurrency 2 \
+    -batch 256 >/dev/null 2>&1 &
+LOAD_PID=$!
+sleep 0.5
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+wait "$LOAD_PID" 2>/dev/null || true
+
+# Restart over the same WAL + snapshot directories: recovery must replay.
+"$SMOKE_DIR/reactived" \
+    -addr 127.0.0.1:0 \
+    -addr-file "$SMOKE_DIR/addr3" \
+    -snapshot-dir "$SMOKE_DIR/snaps2" \
+    -snapshot-interval 0 \
+    -wal-dir "$SMOKE_DIR/wal" \
+    -wal-fsync always >"$SMOKE_DIR/reactived-recovered.log" 2>&1 &
+DAEMON_PID=$!
+i=0
+while [ ! -s "$SMOKE_DIR/addr3" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "reactived never recovered after SIGKILL" >&2
+        cat "$SMOKE_DIR/reactived-recovered.log" >&2
+        exit 1
+    fi
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "reactived exited during recovery" >&2
+        cat "$SMOKE_DIR/reactived-recovered.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+ADDR=$(cat "$SMOKE_DIR/addr3")
+
+# The pre-crash loads were acknowledged under fsync=always, so recovery
+# must have replayed a nonzero tail.
+if ! grep "wal: replayed" "$SMOKE_DIR/reactived-recovered.log" | grep -qv "replayed 0 records"; then
+    echo "recovered reactived did not report a nonzero WAL replay" >&2
+    cat "$SMOKE_DIR/reactived-recovered.log" >&2
+    exit 1
+fi
+
+# A verified load against the recovered daemon, on a bench the crashed run
+# never trained.
+"$SMOKE_DIR/reactiveload" \
+    -addr "http://$ADDR" \
+    -bench twolf \
+    -scale 0.02 \
+    -concurrency 2 \
+    -batch 512 \
+    -verify
+
+kill "$DAEMON_PID"
+wait "$DAEMON_PID"
+DAEMON_PID=""
 
 # One iteration of every benchmark, so a bench that rots (compile error,
 # panic, bad setup) fails the gate long before anyone needs its numbers.
