@@ -21,6 +21,10 @@
 //	-wal-dir d            enable the write-ahead event log under directory d
 //	-wal-fsync p          WAL fsync policy: always, interval[=dur], or never (default interval)
 //	-wal-segment-bytes n  WAL segment rotation threshold (default 64 MiB)
+//	-replication-addr a   serve WAL replication to followers on this address (requires -wal-dir)
+//	-replication-addr-file f  write the bound replication address to f once listening
+//	-replica-of a         run as a read-only replica of the primary's replication
+//	                      listener at a (requires -wal-dir)
 //	-debug-addr a         serve net/http/pprof and expvar on a separate listener
 //	-debug-addr-file f    write the bound debug address to f once listening
 //
@@ -30,6 +34,15 @@
 // permits, and recovery reproduces byte-identical decisions for everything
 // durably logged. Snapshots anchor the log — segments wholly covered by the
 // latest durable snapshot are deleted.
+//
+// Replication: a primary started with -replication-addr ships its WAL to
+// attached followers (only records it has fsynced). A daemon started with
+// -replica-of runs read-only — client ingest is rejected with the read_only
+// code while every shipped record flows through the same log-before-apply
+// path as primary ingest — and is promoted to a writable primary by SIGUSR1
+// or POST /v1/promote, which seals replication first so no record can land
+// after the flip. GET /v1/cursor reports per-program applied-event counts,
+// the resume point failover clients re-send from.
 //
 // Endpoints: POST /v1/ingest, GET /v1/decide, GET /v1/info, POST /v1/stream
 // (upgrade to a streaming ingest session), GET /healthz, GET /metrics,
@@ -60,6 +73,7 @@ import (
 	"time"
 
 	"reactivespec/internal/core"
+	"reactivespec/internal/replica"
 	"reactivespec/internal/server"
 	"reactivespec/internal/wal"
 )
@@ -78,6 +92,15 @@ func main() {
 // tests call run repeatedly, so the published Func dereferences this pointer
 // instead of capturing one server.
 var expvarServer atomic.Pointer[server.Server]
+
+// replicationVars is the replication machinery the expvar block reports on;
+// either side may be nil.
+type replicationVars struct {
+	follower *replica.Follower
+	shipper  *replica.Shipper
+}
+
+var expvarReplication atomic.Pointer[replicationVars]
 
 // publishExpvars registers the "reactived" expvar once per process.
 func publishExpvars() {
@@ -100,6 +123,30 @@ func publishExpvars() {
 			"entries":      total.Entries,
 			"shards":       s.Table().Shards(),
 			"draining":     s.Draining(),
+			"mode":         s.Mode(),
+		}
+		if rv := expvarReplication.Load(); rv != nil {
+			repl := map[string]any{}
+			if f := rv.follower; f != nil {
+				errMsg := ""
+				if err := f.Err(); err != nil {
+					errMsg = err.Error()
+				}
+				repl["follower"] = map[string]any{
+					"state":        f.State(),
+					"last_applied": f.LastApplied(),
+					"error":        errMsg,
+				}
+			}
+			if sh := rv.shipper; sh != nil {
+				records, bytes := sh.Shipped()
+				repl["shipper"] = map[string]any{
+					"sessions":        sh.Sessions(),
+					"shipped_records": records,
+					"shipped_bytes":   bytes,
+				}
+			}
+			v["replication"] = repl
 		}
 		if l := s.WAL(); l != nil {
 			st := l.Stats()
@@ -137,6 +184,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"WAL fsync policy: always, interval[=duration], or never")
 	walSegmentBytes := fs.Int64("wal-segment-bytes", wal.DefaultSegmentBytes,
 		"WAL segment rotation threshold in bytes")
+	replicationAddr := fs.String("replication-addr", "",
+		"serve WAL replication to followers on this address (requires -wal-dir; use :0 for a random port)")
+	replicationAddrFile := fs.String("replication-addr-file", "",
+		"write the bound replication address to this file once listening")
+	replicaOf := fs.String("replica-of", "",
+		"run as a read-only replica of the primary's replication listener at this address (requires -wal-dir)")
 	debugAddr := fs.String("debug-addr", "",
 		"serve net/http/pprof and expvar on this separate listener (use :0 for a random port)")
 	debugAddrFile := fs.String("debug-addr-file", "",
@@ -152,6 +205,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(out, "reactived: "+format+"\n", a...)
 	}
 	params := core.DefaultParams().Scaled(*paramScale)
+
+	// Replication in either role rides on the WAL: the shipper serves it,
+	// the follower logs into it before applying.
+	if *replicaOf != "" && *walDir == "" {
+		return fmt.Errorf("-replica-of requires -wal-dir (the replica logs shipped records before applying them)")
+	}
+	if *replicationAddr != "" && *walDir == "" {
+		return fmt.Errorf("-replication-addr requires -wal-dir (replication ships the write-ahead log)")
+	}
 
 	var wlog *wal.Log
 	if *walDir != "" {
@@ -179,6 +241,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Shards:      *shards,
 		SnapshotDir: *snapshotDir,
 		WAL:         wlog,
+		Replica:     *replicaOf != "",
 		Logf:        logf,
 	})
 	rec, err := s.Recover()
@@ -192,6 +255,53 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		logf("wal: replayed %d records (%d events); next seq %d",
 			rec.ReplayedRecords, rec.ReplayedEvents, wlog.NextSeq())
 	}
+
+	// Replication starts only after recovery: the WAL's numbering is final
+	// by now (AlignSeq has run), so both the shipper's retained range and
+	// the follower's resume point are exact.
+	var rvars replicationVars
+	var followerDone <-chan struct{}
+	if *replicationAddr != "" {
+		sh := replica.NewShipper(replica.ShipperConfig{Log: wlog, Logf: logf})
+		sh.RegisterMetrics(s.Registry())
+		rln, err := net.Listen("tcp", *replicationAddr)
+		if err != nil {
+			return fmt.Errorf("listening on -replication-addr: %w", err)
+		}
+		if *replicationAddrFile != "" {
+			if err := os.WriteFile(*replicationAddrFile, []byte(rln.Addr().String()), 0o644); err != nil {
+				rln.Close()
+				return fmt.Errorf("writing -replication-addr-file: %w", err)
+			}
+		}
+		logf("replication listener on %s", rln.Addr())
+		go sh.Serve(rln)
+		defer sh.Close()
+		rvars.shipper = sh
+	}
+	if *replicaOf != "" {
+		f := replica.StartFollower(replica.FollowerConfig{
+			Addr:       *replicaOf,
+			ParamsHash: server.ParamsHash(params),
+			NextSeq:    wlog.NextSeq,
+			Apply:      s.ApplyReplicated,
+			Logf:       logf,
+		})
+		s.SetSealFunc(f.Seal)
+		f.RegisterMetrics(s.Registry())
+		defer f.Seal()
+		followerDone = f.Done()
+		rvars.follower = f
+		logf("replica mode: following %s from wal seq %d (SIGUSR1 or POST /v1/promote to promote)",
+			*replicaOf, wlog.NextSeq())
+	}
+	expvarReplication.Store(&rvars)
+
+	// SIGUSR1 promotes a replica in place, for failover drivers that only
+	// hold a pid.
+	promoteCh := make(chan os.Signal, 1)
+	signal.Notify(promoteCh, syscall.SIGUSR1)
+	defer signal.Stop(promoteCh)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -270,6 +380,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			if _, err := s.SnapshotNow(); err != nil {
 				logf("periodic snapshot failed: %v", err)
 			}
+		case <-promoteCh:
+			if res, err := s.Promote(); err != nil {
+				logf("promote (SIGUSR1): %v", err)
+			} else {
+				logf("promoted to primary at wal seq %d (SIGUSR1)", res.LastAppliedSeq)
+			}
+		case <-followerDone:
+			// The follower stops for good on a permanent error (mismatch,
+			// compaction gap, divergence) — surface it and exit rather than
+			// serving a replica that silently stopped replicating. A sealed
+			// follower (promotion) reports no error; keep serving.
+			if rvars.follower.Err() != nil {
+				return fmt.Errorf("replication failed: %w", rvars.follower.Err())
+			}
+			followerDone = nil
 		case err := <-serveErr:
 			if errors.Is(err, http.ErrServerClosed) {
 				return nil

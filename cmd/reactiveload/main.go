@@ -19,6 +19,19 @@
 // come back on the same connection. Decisions are byte-identical to POST
 // ingest — -verify works identically in both modes.
 //
+// With -failover, the run verifies a primary→replica failover end to end:
+// workers drive the primary until it dies (SIGKILLed by this process once
+// -failover-after-batches batches are acked when -failover-pid is set, or
+// crashed externally), then one worker promotes the named follower (POST
+// /v1/promote, retried), every worker asks it how many of its events were
+// replicated (/v1/cursor), and the stream resumes from exactly that point.
+// Each worker's mirror decisions are precomputed at absolute stream indices,
+// so decisions from before the crash, re-sent overlap, and the post-failover
+// tail all verify against the same uncrashed in-process control — the
+// bitwise-equivalence claim of the replication subsystem. The run fails if
+// the primary survives to the end (the crash never happened, so failover was
+// never exercised).
+//
 // Usage:
 //
 //	reactiveload -addr http://127.0.0.1:8344 [flags]
@@ -40,6 +53,9 @@
 //	-stream          use streaming ingest sessions instead of per-batch POSTs
 //	-window n        requested stream pipeline window in frames (0 = server default)
 //	-stream-addr a   dial the daemon's raw stream listener instead of upgrading over HTTP
+//	-failover url            follower base URL: verify failover by resuming against it (implies -verify)
+//	-failover-pid n          primary pid to SIGKILL once the batch threshold is acked
+//	-failover-after-batches n  acked batches across all workers before the kill
 //	-dump-metrics    write the load generator's own metrics registry (Prometheus text) to stderr
 //
 // All latency accounting flows through one internal/obs registry: the JSON
@@ -74,7 +90,7 @@ import (
 type Report struct {
 	Benchmark   string  `json:"benchmark"`
 	Input       string  `json:"input"`
-	Mode        string  `json:"mode"` // "post" or "stream"
+	Mode        string  `json:"mode"` // "post", "stream" or "failover"
 	Concurrency int     `json:"concurrency"`
 	Batch       int     `json:"batch"`
 	Frames      int     `json:"frames_per_batch"`
@@ -98,6 +114,10 @@ type Report struct {
 
 	Verdicts  map[string]uint64 `json:"verdicts"`
 	Decisions map[string]uint64 `json:"decisions"`
+
+	// Failover describes the primary crash and the resume against the
+	// promoted follower. Present only in -failover mode.
+	Failover *FailoverReport `json:"failover,omitempty"`
 }
 
 // PhaseLatency is one phase's latency quantiles in milliseconds.
@@ -180,6 +200,12 @@ func run(args []string, out io.Writer) error {
 	window := fs.Int("window", 0, "requested stream pipeline window in frames (0 = server default)")
 	streamAddr := fs.String("stream-addr", "",
 		"dial the daemon's raw stream listener at this address instead of upgrading over HTTP (implies -stream)")
+	failoverURL := fs.String("failover", "",
+		"follower base URL: verify failover by promoting it when the primary dies and resuming against it (implies -verify)")
+	failoverPid := fs.Int("failover-pid", 0,
+		"primary daemon pid to SIGKILL once -failover-after-batches batches are acked (0 = the primary is crashed externally)")
+	failoverAfter := fs.Uint64("failover-after-batches", 0,
+		"acked batches across all workers before -failover-pid is killed")
 	dumpMetrics := fs.Bool("dump-metrics", false,
 		"write the load generator's own metrics registry (Prometheus text) to stderr after the run")
 	if err := fs.Parse(args); err != nil {
@@ -205,6 +231,21 @@ func run(args []string, out io.Writer) error {
 	}
 	if *frames != 1 && *streamMode {
 		return fmt.Errorf("-frames does not apply to -stream (each batch is one frame on the session)")
+	}
+	if *failoverURL == "" && (*failoverPid != 0 || *failoverAfter != 0) {
+		return fmt.Errorf("-failover-pid and -failover-after-batches require -failover")
+	}
+	if *failoverURL != "" {
+		if *streamMode {
+			return fmt.Errorf("-failover drives per-batch POSTs; it does not combine with -stream")
+		}
+		if *frames != 1 {
+			return fmt.Errorf("-frames does not apply to -failover")
+		}
+		if *failoverPid > 0 && *failoverAfter == 0 {
+			return fmt.Errorf("-failover-pid requires -failover-after-batches > 0 (when should the primary die?)")
+		}
+		*verify = true
 	}
 	var inputID workload.InputID
 	switch *input {
@@ -232,6 +273,24 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	var fc *failoverCtl
+	if *failoverURL != "" {
+		follower := server.Connect(*failoverURL)
+		if _, err := follower.Healthz(ctx); err != nil {
+			return fmt.Errorf("follower not reachable at %s: %w", *failoverURL, err)
+		}
+		if _, err := follower.VerifyParams(ctx, server.ParamsHash(params)); err != nil {
+			return fmt.Errorf("follower at %s: %w", *failoverURL, err)
+		}
+		info, err := follower.Info(ctx)
+		if err != nil {
+			return fmt.Errorf("follower at %s: %w", *failoverURL, err)
+		}
+		if info.Mode != "replica" {
+			return fmt.Errorf("-failover target %s is %q, not a replica — it has nothing to promote", *failoverURL, info.Mode)
+		}
+		fc = newFailoverCtl(follower, *failoverPid, *failoverAfter)
+	}
 
 	ins := newInstruments()
 	results := make([]workerResult, *concurrency)
@@ -256,9 +315,12 @@ func run(args []string, out io.Writer) error {
 				window:     *window,
 				streamAddr: *streamAddr,
 			}
-			if *streamMode {
+			switch {
+			case fc != nil:
+				results[w] = runFailoverWorker(ctx, client, ins, cfg, fc)
+			case *streamMode:
 				results[w] = runStreamWorker(ctx, client, ins, cfg)
-			} else {
+			default:
 				results[w] = runWorker(ctx, client, ins, cfg)
 			}
 		}(w)
@@ -269,6 +331,9 @@ func run(args []string, out io.Writer) error {
 	mode := "post"
 	if *streamMode {
 		mode = "stream"
+	}
+	if fc != nil {
+		mode = "failover"
 	}
 	rep := Report{
 		Benchmark:   *bench,
@@ -297,6 +362,19 @@ func run(args []string, out io.Writer) error {
 		}
 		for st, n := range r.decisions {
 			rep.Decisions[core.State(st).String()] += n
+		}
+	}
+	if fc != nil {
+		if fc.resumed.Load() == 0 {
+			return fmt.Errorf("the primary survived the whole run, so failover was never exercised " +
+				"(grow the workload, or lower -failover-after-batches)")
+		}
+		rep.Failover = &FailoverReport{
+			Promoted:        true,
+			KilledAtBatches: fc.killedAt.Load(),
+			PromotedWalSeq:  fc.res.LastAppliedSeq,
+			WorkersResumed:  int(fc.resumed.Load()),
+			ResentEvents:    fc.resent.Load(),
 		}
 	}
 	if elapsed > 0 {

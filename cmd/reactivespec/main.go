@@ -26,6 +26,13 @@
 // counts are relative to the window, not the live table) and renders through
 // the same table/CSV/SVG machinery.
 //
+// The directory does not need to be quiescent: the replay snapshots the
+// segment list once at open, so it can point at a live daemon's (typically a
+// replica's) -wal-dir. Records appended after the pass starts are excluded, a
+// record mid-write at the tail reads as a reported clean truncation, and only
+// a compaction racing the pass (a snapshot on the daemon deleting an unread
+// segment) fails it — with an error saying to retry or raise -wal-from.
+//
 // Flags:
 //
 //	-scale f        workload scale relative to the calibrated default (1.0)

@@ -48,6 +48,16 @@ type WALWindow struct {
 // to the window's first event, so the result reads "how would this traffic
 // classify on its own", not "what state was the table in".
 //
+// The replay is a point-in-time pass over a directory that may belong to a
+// live daemon (a primary's — or, more usefully, a replica's — -wal-dir): the
+// reader snapshots the segment list once at open, so records appended after
+// the pass begins are not included, and a record the daemon is mid-way
+// through writing when the pass reaches the tail reads as a clean truncation
+// of the final segment, reported like any torn tail. Quiescence is not
+// required. The one live-directory hazard is compaction (a snapshot on the
+// daemon) deleting an unread segment mid-pass, which fails with an error
+// naming the remedy: retry, or replay from a later -wal-from.
+//
 // The returned truncation is non-nil when the log ends in a torn tail (the
 // replay covers the valid prefix); errors include parameter-hash mismatches,
 // windows that pre-date compaction, and mid-log corruption.

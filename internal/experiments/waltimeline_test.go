@@ -189,6 +189,61 @@ func TestTimelineFromWALTornTail(t *testing.T) {
 	}
 }
 
+// TestTimelineFromWALLiveDir pins the point-in-time contract: the replay
+// runs against a directory whose Log is still open and appending, sees
+// exactly the records flushed before the pass, and a later pass over the
+// same (still-live) directory sees the records appended in between.
+func TestTimelineFromWALLiveDir(t *testing.T) {
+	params := walTimelineParams()
+	hash := server.ParamsHash(params)
+	dir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: dir, ParamsHash: hash, Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	defer l.Close()
+
+	perBatch := 30
+	for round := 0; round < 3; round++ {
+		if _, err := l.Append("gcc", synthWALEvents(round, perBatch)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if err := l.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+
+	w := WALWindow{Dir: dir, Params: params, ParamsHash: hash}
+	res, trunc, err := TimelineFromWAL(w)
+	if err != nil {
+		t.Fatalf("replay against a live dir: %v", err)
+	}
+	if trunc != nil {
+		t.Fatalf("unexpected truncation on fsynced records: %v", trunc)
+	}
+	if want := uint64(3 * perBatch); res.Stats.Events != want {
+		t.Fatalf("live replay saw %d events, want %d", res.Stats.Events, want)
+	}
+
+	// The log keeps growing; a fresh pass sees the new records, while the
+	// completed pass was unaffected by them.
+	for round := 3; round < 5; round++ {
+		if _, err := l.Append("gcc", synthWALEvents(round, perBatch)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if err := l.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+	res2, _, err := TimelineFromWAL(w)
+	if err != nil {
+		t.Fatalf("second live replay: %v", err)
+	}
+	if want := uint64(5 * perBatch); res2.Stats.Events != want {
+		t.Fatalf("second live replay saw %d events, want %d", res2.Stats.Events, want)
+	}
+}
+
 // TestTimelineFromWALErrors covers the refusal cases: inverted windows,
 // parameter mismatches, ambiguous multi-program windows, and empty
 // selections.

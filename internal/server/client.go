@@ -425,6 +425,35 @@ func (c *Client) Snapshot(ctx context.Context) (SnapshotResult, error) {
 	return out, json.NewDecoder(resp.Body).Decode(&out)
 }
 
+// Promote asks a replica daemon to seal replication and go writable
+// (POST /v1/promote). A daemon that is not a replica — including one already
+// promoted — answers with an error satisfying errors.Is(err, ErrNotReplica).
+func (c *Client) Promote(ctx context.Context) (PromoteResult, error) {
+	var out PromoteResult
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/promote", nil)
+	if err != nil {
+		return out, fmt.Errorf("server: promote: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, httpError("promote", resp)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Cursor fetches one program's ingest position (GET /v1/cursor) — after a
+// failover, Events tells the client how many of its events the promoted
+// daemon holds, so it can resume sending from exactly there.
+func (c *Client) Cursor(ctx context.Context, program string) (CursorResponse, error) {
+	var out CursorResponse
+	u := c.base + "/v1/cursor?program=" + url.QueryEscape(program)
+	return out, c.getJSON(ctx, "cursor", u, &out)
+}
+
 // Metrics fetches the raw /metrics Prometheus text exposition.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	resp, err := c.get(ctx, "metrics", c.base+"/metrics")

@@ -33,6 +33,13 @@ const (
 	// CodeDraining labels a request rejected because the server is
 	// draining for shutdown.
 	CodeDraining = "draining"
+	// CodeReadOnly labels a write rejected because the daemon is running
+	// as a read-only replica; ingest on the primary, or promote first.
+	// Stream handshakes carry the same code (trace.StreamCodeReadOnly).
+	CodeReadOnly = "read_only"
+	// CodeNotReplica labels a promote request sent to a daemon that is not
+	// (or is no longer) a replica — including a second promote.
+	CodeNotReplica = "not_replica"
 	// CodeInternal labels a server-side failure.
 	CodeInternal = "internal"
 )
@@ -44,6 +51,13 @@ var ErrDraining = errors.New("server: draining")
 // ErrParamsMismatch reports a controller-parameter hash that differs between
 // client and server: proceeding would produce silently diverging decisions.
 var ErrParamsMismatch = errors.New("server: controller parameters mismatch")
+
+// ErrReadOnly reports a write rejected by a read-only replica.
+var ErrReadOnly = errors.New("server: replica is read-only")
+
+// ErrNotReplica reports a promote request to a daemon that is not a replica
+// (or was already promoted).
+var ErrNotReplica = errors.New("server: not a replica")
 
 // errorEnvelope is the JSON wire form of every /v1/* failure.
 type errorEnvelope struct {
@@ -84,6 +98,10 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == CodeDraining
 	case ErrParamsMismatch:
 		return e.Code == CodeParamMismatch
+	case ErrReadOnly:
+		return e.Code == CodeReadOnly
+	case ErrNotReplica:
+		return e.Code == CodeNotReplica
 	}
 	return false
 }

@@ -96,6 +96,9 @@ type Info struct {
 	Shards int `json:"shards"`
 	// Draining reports whether the daemon is draining for shutdown.
 	Draining bool `json:"draining"`
+	// Mode is "primary" for a writable daemon, "replica" while it is
+	// read-only and applying a primary's shipped WAL.
+	Mode string `json:"mode"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -110,5 +113,6 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		ParamsHash:   formatParamsHash(s.paramsHash),
 		Shards:       s.table.Shards(),
 		Draining:     s.draining.Load(),
+		Mode:         s.Mode(),
 	})
 }

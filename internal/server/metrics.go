@@ -69,6 +69,10 @@ type serverInstruments struct {
 	walReplayedRecords *obs.Counter
 	walReplayedEvents  *obs.Counter
 
+	replicatedRecords *obs.Counter
+	replicatedEvents  *obs.Counter
+	promotions        *obs.Counter
+
 	batchLat    *obs.Histogram
 	decodeLat   *obs.Histogram
 	applyLat    *obs.Histogram
@@ -102,6 +106,12 @@ func newServerInstruments(reg *obs.Registry) serverInstruments {
 			"WAL records replayed during recovery."),
 		walReplayedEvents: reg.NewCounter("reactived_wal_replayed_events_total",
 			"Events replayed from the WAL during recovery."),
+		replicatedRecords: reg.NewCounter("reactived_replication_applied_records_total",
+			"Records applied from a primary's shipped WAL (replica mode)."),
+		replicatedEvents: reg.NewCounter("reactived_replication_applied_events_total",
+			"Events applied from a primary's shipped WAL (replica mode)."),
+		promotions: reg.NewCounter("reactived_replication_promotions_total",
+			"Replica-to-primary promotions."),
 		batchLat:   lat("reactived_batch_latency_seconds", "Ingest batch handling latency."),
 		decodeLat:  lat("reactived_ingest_decode_seconds", "Per-batch time decoding trace frames."),
 		applyLat:   lat("reactived_ingest_apply_seconds", "Per-batch time applying events to the controller table."),

@@ -72,6 +72,7 @@ func (s *Server) Recover() (RecoveryResult, error) {
 		}
 		cur := s.cursorFor(rec.Program)
 		discard, cur.instr = s.table.ApplyBatch(rec.Program, rec.Events, cur.instr, discard[:0])
+		cur.events += uint64(len(rec.Events))
 		res.ReplayedRecords++
 		res.ReplayedEvents += uint64(len(rec.Events))
 	}

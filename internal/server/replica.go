@@ -1,0 +1,164 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"reactivespec/internal/trace"
+)
+
+// Replica mode: a server started with Config.Replica set rejects every client
+// write (POST ingest and stream sessions answer with the read_only code) and
+// advances state only through ApplyReplicated — records a replication
+// follower received from a primary's WAL. Each replicated record runs the
+// same log-before-apply path as primary ingest, so the replica's own WAL and
+// snapshots stay exactly as trustworthy as a primary's, and promotion is just
+// "stop following, go writable": seal the follower (SetSealFunc), flip the
+// read-only bit, and the daemon serves ingest with cursors, table state, and
+// WAL numbering continuing the primary's sequence.
+
+// ReadOnly reports whether the server is currently rejecting client writes
+// (replica mode, before promotion).
+func (s *Server) ReadOnly() bool { return s.readOnly.Load() }
+
+// Mode names the server's role: "replica" while read-only, "primary" once
+// writable.
+func (s *Server) Mode() string {
+	if s.readOnly.Load() {
+		return "replica"
+	}
+	return "primary"
+}
+
+// SetSealFunc installs the hook Promote calls to stop replication before the
+// server goes writable. The hook must block until no further ApplyReplicated
+// call can arrive and return the last applied WAL sequence (the follower's
+// Seal method does exactly this).
+func (s *Server) SetSealFunc(f func() (uint64, error)) {
+	s.promoteMu.Lock()
+	s.sealFn = f
+	s.promoteMu.Unlock()
+}
+
+// PromoteResult is the JSON answer of POST /v1/promote.
+type PromoteResult struct {
+	// Mode is the post-promotion role, always "primary".
+	Mode string `json:"mode"`
+	// LastAppliedSeq is the WAL sequence the sealed follower stopped at: the
+	// first sequence the promoted daemon will assign to fresh ingest.
+	LastAppliedSeq uint64 `json:"last_applied_seq"`
+}
+
+// Promote seals replication and makes the replica writable. It is the one-way
+// door of failover: the follower is stopped first (no replicated record can
+// land after the flip), then the read-only bit clears and client ingest
+// proceeds from the replicated state. A second Promote — or a Promote on a
+// daemon that never was a replica — fails with ErrNotReplica.
+func (s *Server) Promote() (PromoteResult, error) {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	if !s.readOnly.Load() {
+		return PromoteResult{}, ErrNotReplica
+	}
+	var last uint64
+	if s.sealFn != nil {
+		var err error
+		if last, err = s.sealFn(); err != nil {
+			return PromoteResult{}, fmt.Errorf("server: sealing replication: %w", err)
+		}
+	}
+	s.readOnly.Store(false)
+	s.ins.promotions.Inc()
+	s.logf("replica: promoted to primary at wal seq %d", last)
+	return PromoteResult{Mode: "primary", LastAppliedSeq: last}, nil
+}
+
+// ApplyReplicated applies one record shipped from the primary's WAL: append
+// it to the replica's own log, commit, then train the table — the same
+// log-before-apply contract as handleIngest, under the same locks, so
+// snapshots taken on the replica carry exact WAL anchors and replay after a
+// replica crash reproduces the same decisions. Callers (the replication
+// follower) deliver records in WAL-sequence order; the per-program cursor
+// lock preserves that order against the table.
+func (s *Server) ApplyReplicated(program string, events []trace.Event) error {
+	if !s.readOnly.Load() {
+		return ErrNotReplica
+	}
+	cur := s.cursorFor(program)
+	s.replicaMu.Lock()
+	defer s.replicaMu.Unlock()
+	s.applyMu.RLock()
+	cur.mu.Lock()
+	var walErr error
+	if wlog := s.cfg.WAL; wlog != nil {
+		if _, walErr = wlog.Append(program, events); walErr == nil {
+			walErr = wlog.Commit()
+		}
+	}
+	if walErr == nil {
+		s.replicaScratch, cur.instr = s.table.ApplyBatch(program, events, cur.instr, s.replicaScratch[:0])
+		cur.events += uint64(len(events))
+	}
+	cur.mu.Unlock()
+	s.applyMu.RUnlock()
+	if walErr != nil {
+		s.ins.walAppendErrors.Inc()
+		return fmt.Errorf("server: replica wal append: %w", walErr)
+	}
+	s.ins.replicatedRecords.Inc()
+	s.ins.replicatedEvents.Add(uint64(len(events)))
+	return nil
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
+		return
+	}
+	res, err := s.Promote()
+	if err == ErrNotReplica {
+		writeError(w, http.StatusConflict, CodeNotReplica,
+			"not a replica (already promoted, or never one)")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, res)
+}
+
+// CursorResponse is the JSON answer of GET /v1/cursor: one program's ingest
+// position. Failover clients read Events off a freshly promoted replica to
+// learn how many of their events survived, and resume sending from there.
+type CursorResponse struct {
+	Program string `json:"program"`
+	// Instr is the cumulative dynamic instruction count.
+	Instr uint64 `json:"instr"`
+	// Events is the number of events applied for the program.
+	Events uint64 `json:"events"`
+}
+
+func (s *Server) handleCursor(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		return
+	}
+	program := r.URL.Query().Get("program")
+	if program == "" {
+		writeError(w, http.StatusBadRequest, CodeMalformed, "missing program parameter")
+		return
+	}
+	resp := CursorResponse{Program: program}
+	s.cursorsMu.Lock()
+	c := s.cursors[program]
+	s.cursorsMu.Unlock()
+	if c != nil {
+		c.mu.Lock()
+		resp.Instr, resp.Events = c.instr, c.events
+		c.mu.Unlock()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, resp)
+}

@@ -86,6 +86,13 @@ type Config struct {
 	// table, and Recover replays its tail over the restored snapshot. The
 	// log must be opened with ParamsHash(Params).
 	WAL *wal.Log
+	// Replica starts the server read-only: client ingest (POST and stream)
+	// is rejected with the read_only code, and state advances only through
+	// ApplyReplicated — records shipped from a primary's WAL. Promote flips
+	// the server writable. Replica mode requires a WAL: the replica logs
+	// shipped records through the same log-before-apply path as a primary,
+	// so after promotion its durability story is identical.
+	Replica bool
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -109,6 +116,20 @@ type Server struct {
 	draining atomic.Bool
 	snapMu   sync.Mutex // serializes snapshot writes
 
+	// readOnly is set while the server runs as a replica; Promote clears
+	// it. Checked on every ingest path before any event is accepted.
+	readOnly atomic.Bool
+	// promoteMu serializes Promote against itself; sealFn (installed by the
+	// replication follower via SetSealFunc) stops the follower and returns
+	// the last applied sequence before the server goes writable.
+	promoteMu sync.Mutex
+	sealFn    func() (uint64, error)
+	// replicaMu serializes ApplyReplicated's use of replicaScratch (shipped
+	// records already arrive in per-connection order; the cursor lock, not
+	// this one, is the ordering guarantee).
+	replicaMu      sync.Mutex
+	replicaScratch []byte
+
 	// applyMu fences WAL-append-plus-apply sections (read side) against
 	// snapshot capture (write side): a snapshot's WAL anchor is taken while
 	// no batch is between its WAL append and its table apply, so every
@@ -121,11 +142,16 @@ type Server struct {
 }
 
 // cursor is one program's ingest position: the cumulative dynamic
-// instruction count. Holding mu across a whole batch serializes same-program
-// batches, preserving the event order the controller's latency model needs.
+// instruction count and the number of events applied. Holding mu across a
+// whole batch serializes same-program batches, preserving the event order the
+// controller's latency model needs. The event count is what failover clients
+// resume from: after promoting a replica, /v1/cursor tells them exactly how
+// many of their events survived, so they re-send from there and nothing is
+// double-applied.
 type cursor struct {
-	mu    sync.Mutex
-	instr uint64
+	mu     sync.Mutex
+	instr  uint64
+	events uint64
 }
 
 // New returns a server with an empty table.
@@ -142,6 +168,7 @@ func New(cfg Config) *Server {
 		reg:        obs.NewRegistry(),
 	}
 	s.streams.sessions = make(map[*streamSession]struct{})
+	s.readOnly.Store(cfg.Replica)
 	s.ins = newServerInstruments(s.reg)
 	registerTableCollector(s.reg, s.table)
 	if cfg.WAL != nil {
@@ -155,6 +182,13 @@ func New(cfg Config) *Server {
 	s.reg.NewGaugeFunc("reactived_draining", "1 while the daemon is draining for shutdown.",
 		func() float64 {
 			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	s.reg.NewGaugeFunc("reactived_replica", "1 while the daemon is a read-only replica.",
+		func() float64 {
+			if s.readOnly.Load() {
 				return 1
 			}
 			return 0
@@ -212,6 +246,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/info", s.handleInfo)
 	mux.HandleFunc("/v1/stream", s.handleStream)
 	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/v1/promote", s.handlePromote)
+	mux.HandleFunc("/v1/cursor", s.handleCursor)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -247,6 +283,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, CodeDraining, "draining")
+		return
+	}
+	if s.readOnly.Load() {
+		writeError(w, http.StatusForbidden, CodeReadOnly,
+			"replica is read-only; ingest on the primary, or promote this replica first")
 		return
 	}
 	q := r.URL.Query()
@@ -348,6 +389,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			}
 			sc.decisions, cur.instr = s.table.ApplyBatch(program, sc.events[f.start:f.end], cur.instr, sc.decisions)
 		}
+		cur.events += uint64(len(sc.events))
 	}
 	cur.mu.Unlock()
 	s.applyMu.RUnlock()
@@ -564,7 +606,7 @@ func (s *Server) exportCursors() []CursorSnapshot {
 	out := make([]CursorSnapshot, 0, len(s.cursors))
 	for name, c := range s.cursors {
 		c.mu.Lock()
-		out = append(out, CursorSnapshot{Program: name, Instr: c.instr})
+		out = append(out, CursorSnapshot{Program: name, Instr: c.instr, Events: c.events})
 		c.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Program < out[j].Program })
@@ -594,7 +636,7 @@ func (s *Server) RestoreFromDisk() (bool, error) {
 	s.table.RestoreEntries(snap.Entries)
 	s.cursorsMu.Lock()
 	for _, cs := range snap.Cursors {
-		s.cursors[cs.Program] = &cursor{instr: cs.Instr}
+		s.cursors[cs.Program] = &cursor{instr: cs.Instr, events: cs.Events}
 	}
 	s.cursorsMu.Unlock()
 	s.restoredWALSeq = snap.WALSeq

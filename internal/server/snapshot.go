@@ -48,10 +48,14 @@ type Snapshot struct {
 	WALSeq uint64
 }
 
-// CursorSnapshot is one program's ingest position.
+// CursorSnapshot is one program's ingest position. Events counts the events
+// applied for the program (gob decodes pre-Events snapshots to zero, so the
+// layout stays at snapshotVersion 1; a restored zero only costs failover
+// clients a full re-verify, never a double apply).
 type CursorSnapshot struct {
 	Program string
 	Instr   uint64
+	Events  uint64
 }
 
 // snapshotPath returns the snapshot file path for dir.

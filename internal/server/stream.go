@@ -221,6 +221,13 @@ func (s *Server) serveStreamConn(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 			"client controller params hash %s != server %s",
 			formatParamsHash(hs.ParamsHash), formatParamsHash(s.paramsHash)))
 		return
+	case s.readOnly.Load():
+		// Both transports (hijacked /v1/stream and the raw TCP listener)
+		// funnel through here, so one check covers replica mode for all
+		// streaming ingest.
+		reject(trace.StreamCodeReadOnly,
+			"replica is read-only; ingest on the primary, or promote this replica first")
+		return
 	}
 	window := hs.Window
 	if window == 0 {

@@ -239,7 +239,7 @@ func newStream(ctx context.Context, conn net.Conn, br *bufio.Reader, bw *bufio.W
 
 // streamTerminalError maps a terminal/ack StreamError onto the package's
 // sentinels: "draining" wraps ErrDraining, "param_mismatch" wraps
-// ErrParamsMismatch, a clean "bye" is io.EOF.
+// ErrParamsMismatch, "read_only" wraps ErrReadOnly, a clean "bye" is io.EOF.
 func streamTerminalError(e trace.StreamError) error {
 	switch e.Code {
 	case trace.StreamCodeBye:
@@ -248,6 +248,8 @@ func streamTerminalError(e trace.StreamError) error {
 		return fmt.Errorf("%w: %s", ErrDraining, e.Error())
 	case trace.StreamCodeParamMismatch:
 		return fmt.Errorf("%w: %s", ErrParamsMismatch, e.Error())
+	case trace.StreamCodeReadOnly:
+		return fmt.Errorf("%w: %s", ErrReadOnly, e.Error())
 	}
 	return &e
 }

@@ -97,6 +97,9 @@ const (
 	// log rejecting an append) that ends the session before the frame's
 	// events were applied.
 	StreamCodeInternal = "internal"
+	// StreamCodeReadOnly rejects ingest on a replica: followers serve
+	// decisions and metrics but writes belong to the primary.
+	StreamCodeReadOnly = "read_only"
 )
 
 // MaxHandshakeProgram caps the program-name length a handshake may carry; a
@@ -343,6 +346,13 @@ func AppendSessionFrame(dst []byte, typ byte, payload []byte) []byte {
 // payload — fails with an error wrapping ErrBadFrame; a clean EOF at a frame
 // boundary returns io.EOF.
 func ReadSessionFrame(r *bufio.Reader, scratch []byte) (typ byte, payload, newScratch []byte, err error) {
+	return readSessionFrameCap(r, scratch, MaxFramePayload)
+}
+
+// readSessionFrameCap is ReadSessionFrame with an explicit payload cap; the
+// replication channel needs a slightly larger one because its record frames
+// wrap a full trace frame payload plus the program name and seq metadata.
+func readSessionFrameCap(r *bufio.Reader, scratch []byte, maxPayload uint64) (typ byte, payload, newScratch []byte, err error) {
 	typ, err = r.ReadByte()
 	if err != nil {
 		if err == io.EOF {
@@ -354,9 +364,9 @@ func ReadSessionFrame(r *bufio.Reader, scratch []byte) (typ byte, payload, newSc
 	if err != nil {
 		return 0, nil, scratch, fmt.Errorf("%w: reading session frame length: %v", ErrBadFrame, err)
 	}
-	if length > MaxFramePayload {
+	if length > maxPayload {
 		return 0, nil, scratch, fmt.Errorf("%w: session frame length %d exceeds the %d-byte cap",
-			ErrBadFrame, length, MaxFramePayload)
+			ErrBadFrame, length, maxPayload)
 	}
 	if uint64(cap(scratch)) < length {
 		scratch = make([]byte, length)

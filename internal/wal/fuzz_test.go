@@ -47,7 +47,7 @@ func scanRecords(t *testing.T, data []byte) (records int, prefix int64) {
 	d := newSegmentDecoder(bytes.NewReader(data), segHeaderSize+int64(len(data)))
 	var dst []trace.Event
 	for {
-		_, events, err := d.next(dst[:0])
+		_, _, events, err := d.next(dst[:0], true)
 		if err != nil {
 			if err == io.EOF && records == 0 && len(data) > 0 && d.off != segHeaderSize {
 				t.Fatalf("EOF with non-boundary offset %d", d.off)

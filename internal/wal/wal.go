@@ -212,6 +212,9 @@ type Stats struct {
 	// [OldestSeq, NextSeq) is replayable.
 	OldestSeq uint64
 	NextSeq   uint64
+	// DurableSeq is the end of the fsynced range: records
+	// [OldestSeq, DurableSeq) are on stable storage.
+	DurableSeq uint64
 }
 
 // Log is the append side of the write-ahead log. Append and Commit are safe
@@ -235,6 +238,15 @@ type Log struct {
 	appendedRecords atomic.Uint64
 	appendedBytes   atomic.Uint64
 	fsyncs          atomic.Uint64
+
+	// durableSeq is the end of the fsynced range: every record with a
+	// sequence number below it is on stable storage. It only advances on a
+	// successful fsync (or when the next sequence is repositioned), so a
+	// tail reader that stays below it never observes a torn record.
+	durableSeq atomic.Uint64
+
+	subMu sync.Mutex
+	subs  map[chan struct{}]struct{}
 
 	// OnFsync, when non-nil, observes every fsync's duration (wired to a
 	// latency histogram by the server). Set it before the first Append.
@@ -308,6 +320,10 @@ func Open(opts Options) (*Log, error) {
 	if len(l.segments) > 0 {
 		l.oldestSeq = l.segments[0].base
 	}
+	// Everything recovery kept is on stable storage (rotation fsyncs
+	// completed segments, and the torn tail was just cut at the last valid
+	// boundary), so the durable range starts out equal to the full range.
+	l.durableSeq.Store(l.nextSeq)
 	go l.syncLoop()
 	return l, nil
 }
@@ -436,6 +452,48 @@ func (l *Log) OldestSeq() uint64 {
 	return l.oldestSeq
 }
 
+// DurableSeq returns the end of the fsynced range: every record with a
+// sequence number below it is on stable storage and safe to read while the
+// log is live. Under SyncNever it only advances on rotation, Sync, and
+// Close — a live tail reader (replication) effectively ships segment by
+// segment under that policy.
+func (l *Log) DurableSeq() uint64 { return l.durableSeq.Load() }
+
+// SubscribeDurable registers for durability advances: the returned channel
+// receives a (coalesced) signal whenever DurableSeq grows. Call cancel to
+// unregister. The channel is never closed; select against it together with
+// the subscriber's own shutdown signal.
+func (l *Log) SubscribeDurable() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	l.subMu.Lock()
+	if l.subs == nil {
+		l.subs = make(map[chan struct{}]struct{})
+	}
+	l.subs[ch] = struct{}{}
+	l.subMu.Unlock()
+	cancel := func() {
+		l.subMu.Lock()
+		delete(l.subs, ch)
+		l.subMu.Unlock()
+	}
+	return ch, cancel
+}
+
+// advanceDurable publishes a new durable boundary and nudges subscribers.
+// Sends are non-blocking: each subscriber channel has one slot, so a slow
+// subscriber coalesces bursts instead of stalling the fsync path.
+func (l *Log) advanceDurable(seq uint64) {
+	l.durableSeq.Store(seq)
+	l.subMu.Lock()
+	for ch := range l.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	l.subMu.Unlock()
+}
+
 // Dir returns the log's segment directory.
 func (l *Log) Dir() string { return l.opts.Dir }
 
@@ -473,6 +531,8 @@ func (l *Log) AlignSeq(seq uint64) error {
 		l.oldestSeq = seq
 	}
 	l.nextSeq = seq
+	// The skipped range holds no records, so durability catches up for free.
+	l.advanceDurable(seq)
 	return nil
 }
 
@@ -571,6 +631,7 @@ func (l *Log) flushSyncLocked() error {
 	}
 	l.fsyncs.Add(1)
 	l.dirty = false
+	l.advanceDurable(l.nextSeq)
 	return nil
 }
 
@@ -632,6 +693,7 @@ func (l *Log) finishSegmentLocked() error {
 	l.f = nil
 	l.dirty = false
 	l.bytes = 0
+	l.advanceDurable(l.nextSeq)
 	return nil
 }
 
@@ -673,6 +735,7 @@ func (l *Log) Stats() Stats {
 		ActiveSegmentBytes: l.bytes,
 		OldestSeq:          l.oldestSeq,
 		NextSeq:            l.nextSeq,
+		DurableSeq:         l.durableSeq.Load(),
 	}
 }
 

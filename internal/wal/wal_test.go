@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -354,6 +355,52 @@ func TestCompaction(t *testing.T) {
 	}
 	if _, err := NewReader(ReaderOptions{Dir: opts.Dir, ParamsHash: testHash, From: st.OldestSeq - 1}); err == nil {
 		t.Fatalf("NewReader below the retained range succeeded")
+	}
+}
+
+// TestReaderReportsCompactionMidPass pins the one live-directory hazard of a
+// point-in-time (non-follow) pass: a segment that was listed at open but
+// compacted away before the reader reaches it fails with an error naming the
+// remedy, not a raw missing-file error.
+func TestReaderReportsCompactionMidPass(t *testing.T) {
+	opts := testOptions(t)
+	opts.SegmentBytes = 1 << 10 // rotate often so compaction has prey
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	appendBatches(t, l, "gcc", 30, 7)
+	if l.OldestSeq() != 0 {
+		t.Fatal("log unexpectedly compacted already")
+	}
+
+	r, err := NewReader(ReaderOptions{Dir: opts.Dir, ParamsHash: testHash})
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	defer r.Close()
+	// The reader holds its first segment open; compact everything else out
+	// from under the snapshot it took of the directory.
+	anchor := l.NextSeq() - 1
+	if _, err := l.CompactTo(anchor); err != nil {
+		t.Fatalf("CompactTo: %v", err)
+	}
+	if l.OldestSeq() == 0 {
+		t.Fatal("CompactTo removed nothing; the hazard is not set up")
+	}
+	for {
+		_, err := r.Next()
+		if err == nil {
+			continue
+		}
+		if err == io.EOF {
+			t.Fatal("pass completed despite segments vanishing mid-pass")
+		}
+		if !strings.Contains(err.Error(), "compacted away mid-replay") {
+			t.Fatalf("error %v does not name the mid-replay compaction", err)
+		}
+		break
 	}
 }
 

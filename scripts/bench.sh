@@ -2,7 +2,10 @@
 # Ingest hot-path benchmark tracker: runs the table, ingest-handler, codec
 # and workload micro-benchmarks and records (name, ns/op, allocs/op,
 # events/sec) in BENCH_ingest.json at the repository root, so hot-path
-# regressions show up as a diff. Run from anywhere inside the repository.
+# regressions show up as a diff; end-to-end daemon sections add
+# BENCH_stream.json (POST vs streaming transports), BENCH_wal.json (WAL
+# fsync policies), and BENCH_replication.json (ingest with one live follower
+# replica attached). Run from anywhere inside the repository.
 #
 #   scripts/bench.sh [benchtime]
 #
@@ -24,11 +27,14 @@ GATE_PCT="${BENCH_GATE_PCT:-15}"
 
 BENCH_DIR=$(mktemp -d)
 DAEMON_PID=""
+REPLICA_PID=""
 cleanup() {
-    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
-        kill "$DAEMON_PID" 2>/dev/null || true
-        wait "$DAEMON_PID" 2>/dev/null || true
-    fi
+    for pid in "$DAEMON_PID" "$REPLICA_PID"; do
+        if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+            kill "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
     rm -rf "$BENCH_DIR"
 }
 trap cleanup EXIT INT TERM
@@ -37,6 +43,7 @@ trap cleanup EXIT INT TERM
 # they are regenerated so the gate at the end can diff against them.
 cp BENCH_ingest.json "$BENCH_DIR/base_ingest.json" 2>/dev/null || true
 cp BENCH_stream.json "$BENCH_DIR/base_stream.json" 2>/dev/null || true
+cp BENCH_replication.json "$BENCH_DIR/base_replication.json" 2>/dev/null || true
 
 echo "==> go test -bench (benchtime=$BENCHTIME)" >&2
 RAW=$(go test -run='^$' -bench="$PATTERN" -benchmem -benchtime="$BENCHTIME" .)
@@ -216,6 +223,101 @@ awk -v off="$WAL_OFF_EPS" -v on="$WAL_INT_EPS" -v limit="$WAL_GATE_PCT" 'BEGIN {
     if (drop > limit) { print "WAL REGRESSION: interval-fsync ingest exceeds the overhead budget"; exit 1 }
 }' >&2
 
+# --- Replication ingest overhead ------------------------------------------
+# Replays the identical seeded POST workload against a WAL'd primary
+# (fsync=interval, the recommended production policy) with one live follower
+# replica attached and applying every shipped record, and records it next to
+# the follower-free wal-interval run from the section above in
+# BENCH_replication.json. Shipping rides the durability notifications off the
+# ingest path, so the overhead of one follower must stay within
+# BENCH_REPL_GATE_PCT percent (default 10) of the WAL-only throughput
+# measured in the same run. The follower is a second full daemon that
+# re-logs and re-applies every shipped record, so on a single-CPU host the
+# two processes split the only core and the measured drop is dominated by
+# CPU contention rather than shipping cost; such hosts get a contention
+# allowance (default 60) instead, and the row records the CPU count so the
+# committed number is interpretable.
+REPL_OUT=BENCH_replication.json
+NCPU=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$NCPU" -gt 1 ]; then
+    REPL_GATE_PCT="${BENCH_REPL_GATE_PCT:-10}"
+else
+    echo "==> single-CPU host: follower shares the primary's core; replication gate relaxed to 75%" >&2
+    REPL_GATE_PCT="${BENCH_REPL_GATE_PCT:-75}"
+fi
+
+rm -rf "$BENCH_DIR/wal" "$BENCH_DIR/wal-replica"
+rm -f "$BENCH_DIR/repl-addr" "$BENCH_DIR/addr-replica"
+start_daemon repl-primary \
+    -wal-dir "$BENCH_DIR/wal" \
+    -wal-fsync interval \
+    -replication-addr 127.0.0.1:0 \
+    -replication-addr-file "$BENCH_DIR/repl-addr"
+i=0
+while [ ! -s "$BENCH_DIR/repl-addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "reactived (repl-primary) never published its replication address" >&2
+        cat "$BENCH_DIR/reactived-repl-primary.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$BENCH_DIR/reactived" \
+    -addr 127.0.0.1:0 \
+    -addr-file "$BENCH_DIR/addr-replica" \
+    -wal-dir "$BENCH_DIR/wal-replica" \
+    -wal-fsync interval \
+    -replica-of "$(cat "$BENCH_DIR/repl-addr")" >"$BENCH_DIR/reactived-repl-replica.log" 2>&1 &
+REPLICA_PID=$!
+i=0
+while [ ! -s "$BENCH_DIR/addr-replica" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "replica reactived never published its address" >&2
+        cat "$BENCH_DIR/reactived-repl-replica.log" >&2
+        exit 1
+    fi
+    kill -0 "$REPLICA_PID" 2>/dev/null || {
+        echo "replica reactived exited early" >&2
+        cat "$BENCH_DIR/reactived-repl-replica.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+
+run_load warmup-repl
+run_load repl-follower
+kill "$REPLICA_PID"
+wait "$REPLICA_PID" 2>/dev/null || true
+REPLICA_PID=""
+stop_daemon
+
+{
+    printf '[\n'
+    printf '  {"name": "wal-interval-alone", "followers": 0, "cpus": %s, "batch": 1024, "events_per_sec": %s, "batch_latency_p99_ms": %s},\n' \
+        "$NCPU" \
+        "$(field wal-interval events_per_sec)" \
+        "$(field wal-interval batch_latency_p99_ms)"
+    printf '  {"name": "repl-follower", "followers": 1, "cpus": %s, "batch": 1024, "events_per_sec": %s, "batch_latency_p99_ms": %s}\n' \
+        "$NCPU" \
+        "$(field repl-follower events_per_sec)" \
+        "$(field repl-follower batch_latency_p99_ms)"
+    printf ']\n'
+} >"$REPL_OUT"
+
+echo "==> wrote $REPL_OUT" >&2
+cat "$REPL_OUT"
+
+REPL_BASE_EPS=$(field wal-interval events_per_sec)
+REPL_EPS=$(field repl-follower events_per_sec)
+awk -v off="$REPL_BASE_EPS" -v on="$REPL_EPS" -v limit="$REPL_GATE_PCT" 'BEGIN {
+    drop = (off - on) / off * 100
+    printf "==> replication overhead (one follower): %.1f%% (limit %.0f%%)\n", drop, limit
+    if (drop > limit) { print "REPLICATION REGRESSION: one attached follower exceeds the ingest overhead budget"; exit 1 }
+}' >&2
+
 # --- Regression gate vs the committed baselines ---------------------------
 # Any benchmark shared by a stashed baseline file and its fresh counterpart
 # must not have lost more than GATE_PCT percent throughput.
@@ -248,4 +350,5 @@ else
     }
     gate "$BENCH_DIR/base_ingest.json" "$OUT"
     gate "$BENCH_DIR/base_stream.json" "$STREAM_OUT"
+    gate "$BENCH_DIR/base_replication.json" "$REPL_OUT"
 fi

@@ -26,19 +26,26 @@ go test -race -count=2 ./internal/obs ./internal/server
 echo "==> serving-mode smoke (reactiveload vs ephemeral reactived)"
 SMOKE_DIR=$(mktemp -d)
 DAEMON_PID=""
-# On failure, preserve the daemon logs and the WAL directory for post-mortem
-# when the caller points CHECK_ARTIFACT_DIR somewhere (CI uploads them).
+REPLICA_PID=""
+# On failure, preserve the daemon logs, the WAL directories, and the failover
+# report for post-mortem when the caller points CHECK_ARTIFACT_DIR somewhere
+# (CI uploads them).
 cleanup() {
     status=$?
     if [ "$status" -ne 0 ] && [ -n "${CHECK_ARTIFACT_DIR:-}" ]; then
         mkdir -p "$CHECK_ARTIFACT_DIR"
         cp "$SMOKE_DIR"/*.log "$CHECK_ARTIFACT_DIR"/ 2>/dev/null || true
-        [ -d "$SMOKE_DIR/wal" ] && cp -r "$SMOKE_DIR/wal" "$CHECK_ARTIFACT_DIR/wal" 2>/dev/null || true
+        cp "$SMOKE_DIR"/*.json "$CHECK_ARTIFACT_DIR"/ 2>/dev/null || true
+        for d in "$SMOKE_DIR"/wal*; do
+            [ -d "$d" ] && cp -r "$d" "$CHECK_ARTIFACT_DIR/$(basename "$d")" 2>/dev/null || true
+        done
     fi
-    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
-        kill "$DAEMON_PID" 2>/dev/null || true
-        wait "$DAEMON_PID" 2>/dev/null || true
-    fi
+    for pid in "$DAEMON_PID" "$REPLICA_PID"; do
+        if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+            kill "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
     rm -rf "$SMOKE_DIR"
 }
 trap cleanup EXIT INT TERM
@@ -220,6 +227,93 @@ fi
 kill "$DAEMON_PID"
 wait "$DAEMON_PID"
 DAEMON_PID=""
+
+# Failover smoke: a WAL-shipping primary with a live read-only replica
+# attached; reactiveload -failover drives the primary, SIGKILLs it mid-run
+# (no drain), promotes the replica over POST /v1/promote, resumes every
+# worker from the replica's /v1/cursor, and requires each decision — before
+# the crash, re-sent overlap, and the surviving tail — to match its
+# in-process mirror bitwise. reactiveload exits nonzero if the kill never
+# landed mid-run, so this smoke cannot silently degrade into a plain load.
+echo "==> failover smoke (SIGKILL primary mid-run, promote replica, verified resume)"
+"$SMOKE_DIR/reactived" \
+    -addr 127.0.0.1:0 \
+    -addr-file "$SMOKE_DIR/addr-primary" \
+    -snapshot-dir "$SMOKE_DIR/snaps-primary" \
+    -snapshot-interval 0 \
+    -wal-dir "$SMOKE_DIR/wal-primary" \
+    -wal-fsync always \
+    -replication-addr 127.0.0.1:0 \
+    -replication-addr-file "$SMOKE_DIR/repl-addr" >"$SMOKE_DIR/reactived-primary.log" 2>&1 &
+DAEMON_PID=$!
+i=0
+while [ ! -s "$SMOKE_DIR/addr-primary" ] || [ ! -s "$SMOKE_DIR/repl-addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "primary reactived never published its addresses" >&2
+        cat "$SMOKE_DIR/reactived-primary.log" >&2
+        exit 1
+    fi
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "primary reactived exited early" >&2
+        cat "$SMOKE_DIR/reactived-primary.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+
+"$SMOKE_DIR/reactived" \
+    -addr 127.0.0.1:0 \
+    -addr-file "$SMOKE_DIR/addr-replica" \
+    -snapshot-dir "$SMOKE_DIR/snaps-replica" \
+    -snapshot-interval 0 \
+    -wal-dir "$SMOKE_DIR/wal-replica" \
+    -wal-fsync always \
+    -replica-of "$(cat "$SMOKE_DIR/repl-addr")" >"$SMOKE_DIR/reactived-replica.log" 2>&1 &
+REPLICA_PID=$!
+i=0
+while [ ! -s "$SMOKE_DIR/addr-replica" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "replica reactived never published its address" >&2
+        cat "$SMOKE_DIR/reactived-replica.log" >&2
+        exit 1
+    fi
+    kill -0 "$REPLICA_PID" 2>/dev/null || {
+        echo "replica reactived exited early" >&2
+        cat "$SMOKE_DIR/reactived-replica.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+
+"$SMOKE_DIR/reactiveload" \
+    -addr "http://$(cat "$SMOKE_DIR/addr-primary")" \
+    -failover "http://$(cat "$SMOKE_DIR/addr-replica")" \
+    -failover-pid "$DAEMON_PID" \
+    -failover-after-batches 6 \
+    -bench crafty \
+    -scale 0.2 \
+    -events 6000 \
+    -concurrency 2 \
+    -batch 256 >"$SMOKE_DIR/failover-report.json"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+# The promoted replica must say so in its own log, and still be alive.
+if ! grep -q "promoted to primary" "$SMOKE_DIR/reactived-replica.log"; then
+    echo "replica log never recorded the promotion" >&2
+    cat "$SMOKE_DIR/reactived-replica.log" >&2
+    exit 1
+fi
+kill -0 "$REPLICA_PID" 2>/dev/null || {
+    echo "promoted replica is not running" >&2
+    cat "$SMOKE_DIR/reactived-replica.log" >&2
+    exit 1
+}
+kill "$REPLICA_PID"
+wait "$REPLICA_PID"
+REPLICA_PID=""
 
 # One iteration of every benchmark, so a bench that rots (compile error,
 # panic, bad setup) fails the gate long before anyone needs its numbers.
