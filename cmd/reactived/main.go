@@ -25,8 +25,13 @@
 //	-replication-addr-file f  write the bound replication address to f once listening
 //	-replica-of a         run as a read-only replica of the primary's replication
 //	                      listener at a (requires -wal-dir)
-//	-debug-addr a         serve net/http/pprof and expvar on a separate listener
+//	-debug-addr a         serve net/http/pprof, expvar and /debug/spans on a
+//	                      separate listener
 //	-debug-addr-file f    write the bound debug address to f once listening
+//	-trace-spans f        append sampled end-to-end batch spans to f as JSONL
+//	                      (analyze with `reactivespec spans`)
+//	-trace-sample n       trace 1 in n ingest batches (0 disables tracing;
+//	                      -trace-spans alone implies 1)
 //
 // With -wal-dir, every ingested frame is appended to a segmented write-ahead
 // log before it is applied, and startup becomes restore-snapshot → replay
@@ -68,11 +73,13 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"os/signal"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"reactivespec/internal/core"
+	"reactivespec/internal/obs"
 	"reactivespec/internal/replica"
 	"reactivespec/internal/server"
 	"reactivespec/internal/wal"
@@ -101,6 +108,31 @@ type replicationVars struct {
 }
 
 var expvarReplication atomic.Pointer[replicationVars]
+
+// debugTracer points /debug/spans at the tracer of the daemon currently
+// running in this process (same re-run-safe shape as expvarServer); nil when
+// tracing is off.
+var debugTracer atomic.Pointer[obs.Tracer]
+
+var debugSpansOnce sync.Once
+
+// publishDebugSpans registers /debug/spans on the default mux once per
+// process: a JSONL dump of the tracer's retained span ring, newest window of
+// DefaultTraceRing spans, in the same byte-deterministic encoding as the
+// -trace-spans file.
+func publishDebugSpans() {
+	debugSpansOnce.Do(func() {
+		http.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+			t := debugTracer.Load()
+			if t == nil {
+				http.Error(w, "span tracing disabled (start with -trace-sample)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			t.WriteJSONL(w)
+		})
+	})
+}
 
 // publishExpvars registers the "reactived" expvar once per process.
 func publishExpvars() {
@@ -140,11 +172,16 @@ func publishExpvars() {
 			}
 			if sh := rv.shipper; sh != nil {
 				records, bytes := sh.Shipped()
-				repl["shipper"] = map[string]any{
+				shipVars := map[string]any{
 					"sessions":        sh.Sessions(),
 					"shipped_records": records,
 					"shipped_bytes":   bytes,
 				}
+				if lagRecords, lagSeconds, ok := sh.FollowerLag(""); ok {
+					shipVars["follower_lag_records"] = lagRecords
+					shipVars["follower_lag_seconds"] = lagSeconds
+				}
+				repl["shipper"] = shipVars
 			}
 			v["replication"] = repl
 		}
@@ -194,6 +231,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"serve net/http/pprof and expvar on this separate listener (use :0 for a random port)")
 	debugAddrFile := fs.String("debug-addr-file", "",
 		"write the bound debug address to this file once listening")
+	traceSpans := fs.String("trace-spans", "",
+		"append sampled end-to-end batch spans to this file as JSONL")
+	traceSample := fs.Int("trace-sample", 0,
+		"trace 1 in n ingest batches (0 disables tracing; -trace-spans alone implies 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -215,6 +256,34 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("-replication-addr requires -wal-dir (replication ships the write-ahead log)")
 	}
 
+	// The span tracer rides every layer (server, WAL, replication), so it is
+	// built first; a nil tracer is the off switch — each instrumented call
+	// site pays one predictable nil-check branch.
+	sampleN := *traceSample
+	if *traceSpans != "" && sampleN == 0 {
+		sampleN = 1
+	}
+	var tracer *obs.Tracer
+	if sampleN > 0 {
+		node := "primary"
+		if *replicaOf != "" {
+			node = "replica"
+		}
+		tracer = obs.NewTracer(node, sampleN)
+		if *traceSpans != "" {
+			f, err := os.OpenFile(*traceSpans, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("opening -trace-spans: %w", err)
+			}
+			defer f.Close()
+			tracer.SetOutput(f)
+			defer tracer.Close()
+		}
+		logf("span tracing enabled (node=%s, 1 in %d batches, spans=%s)",
+			tracer.Node(), sampleN, *traceSpans)
+	}
+	debugTracer.Store(tracer)
+
 	var wlog *wal.Log
 	if *walDir != "" {
 		policy, interval, err := wal.ParseSyncPolicy(*walFsync)
@@ -228,6 +297,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Policy:       policy,
 			Interval:     interval,
 			Logf:         logf,
+			Trace:        tracer,
 		})
 		if err != nil {
 			return fmt.Errorf("opening wal: %w", err)
@@ -243,6 +313,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		WAL:         wlog,
 		Replica:     *replicaOf != "",
 		Logf:        logf,
+		Trace:       tracer,
 	})
 	rec, err := s.Recover()
 	if err != nil {
@@ -262,7 +333,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	var rvars replicationVars
 	var followerDone <-chan struct{}
 	if *replicationAddr != "" {
-		sh := replica.NewShipper(replica.ShipperConfig{Log: wlog, Logf: logf})
+		sh := replica.NewShipper(replica.ShipperConfig{Log: wlog, Logf: logf, Trace: tracer})
 		sh.RegisterMetrics(s.Registry())
 		rln, err := net.Listen("tcp", *replicationAddr)
 		if err != nil {
@@ -286,6 +357,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			NextSeq:    wlog.NextSeq,
 			Apply:      s.ApplyReplicated,
 			Logf:       logf,
+			Trace:      tracer,
 		})
 		s.SetSealFunc(f.Seal)
 		f.RegisterMetrics(s.Registry())
@@ -347,6 +419,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *debugAddr != "" {
 		expvarServer.Store(s)
 		publishExpvars()
+		publishDebugSpans()
 		dln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			return fmt.Errorf("listening on -debug-addr: %w", err)
@@ -357,7 +430,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				return fmt.Errorf("writing -debug-addr-file: %w", err)
 			}
 		}
-		logf("debug listener on %s (/debug/pprof/, /debug/vars)", dln.Addr())
+		logf("debug listener on %s (/debug/pprof/, /debug/vars, /debug/spans)", dln.Addr())
 		go func() {
 			// http.DefaultServeMux carries the pprof and expvar
 			// handlers; the error is expected at shutdown when the

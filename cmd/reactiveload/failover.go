@@ -6,8 +6,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -41,6 +44,14 @@ type failoverCtl struct {
 	killedAt atomic.Uint64
 	killOnce sync.Once
 
+	// debugURL is the primary's -debug-addr base URL; when set, killOnce
+	// snapshots its "reactived" expvar block (replication state, follower
+	// lag) immediately before the SIGKILL. Both fields are written inside
+	// killOnce by a worker goroutine and read only after wg.Wait.
+	debugURL  string
+	debugVars json.RawMessage
+	debugErr  error
+
 	promoteOnce sync.Once
 	promoteErr  error
 	res         server.PromoteResult
@@ -60,9 +71,38 @@ func (fc *failoverCtl) noteBatch() {
 	if fc.pid > 0 && fc.after > 0 && n >= fc.after {
 		fc.killOnce.Do(func() {
 			fc.killedAt.Store(n)
+			if fc.debugURL != "" {
+				// Capture the primary's replication expvars (follower lag
+				// included) in its last instant alive, then kill it.
+				fc.debugVars, fc.debugErr = fetchReplicationVars(fc.debugURL)
+			}
 			syscall.Kill(fc.pid, syscall.SIGKILL)
 		})
 	}
+}
+
+// fetchReplicationVars reads base's /debug/vars and returns the "reactived"
+// block — the daemon's replication/WAL expvar snapshot. The short timeout
+// keeps a wedged debug listener from postponing the kill indefinitely.
+func fetchReplicationVars(base string) (json.RawMessage, error) {
+	hc := &http.Client{Timeout: 2 * time.Second}
+	resp, err := hc.Get(strings.TrimRight(base, "/") + "/debug/vars")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/debug/vars: %s", resp.Status)
+	}
+	var all map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		return nil, fmt.Errorf("decoding /debug/vars: %w", err)
+	}
+	block, ok := all["reactived"]
+	if !ok {
+		return nil, fmt.Errorf(`/debug/vars has no "reactived" block`)
+	}
+	return block, nil
 }
 
 // await promotes the follower exactly once, retrying transient failures;

@@ -57,6 +57,10 @@
 //	-failover-pid n          primary pid to SIGKILL once the batch threshold is acked
 //	-failover-after-batches n  acked batches across all workers before the kill
 //	-dump-metrics    write the load generator's own metrics registry (Prometheus text) to stderr
+//	-trace-spans f   append sampled client-side span records (JSONL) to f; implies -trace-sample 1
+//	-trace-sample n  sample 1 in n ingest batches for span tracing (0 = off)
+//	-failover-debug url  primary -debug-addr base URL; with -dump-metrics, its replication
+//	                 expvars (follower lag) are snapshotted at kill time and echoed to stderr
 //
 // All latency accounting flows through one internal/obs registry: the JSON
 // report's batch quantiles and its per-phase encode / network / decode
@@ -208,6 +212,12 @@ func run(args []string, out io.Writer) error {
 		"acked batches across all workers before -failover-pid is killed")
 	dumpMetrics := fs.Bool("dump-metrics", false,
 		"write the load generator's own metrics registry (Prometheus text) to stderr after the run")
+	traceSpans := fs.String("trace-spans", "",
+		"append sampled client-side span records (JSONL) to this file; implies -trace-sample 1 unless set")
+	traceSample := fs.Int("trace-sample", 0,
+		"sample 1 in N ingest batches for span tracing (0 = off)")
+	failoverDebug := fs.String("failover-debug", "",
+		"primary debug base URL (reactived -debug-addr): snapshot its replication expvars at kill time")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -247,6 +257,12 @@ func run(args []string, out io.Writer) error {
 		}
 		*verify = true
 	}
+	if *failoverDebug != "" && *failoverPid == 0 {
+		return fmt.Errorf("-failover-debug snapshots the primary at kill time; it requires -failover-pid")
+	}
+	if *traceSample < 0 {
+		return fmt.Errorf("-trace-sample must be non-negative")
+	}
 	var inputID workload.InputID
 	switch *input {
 	case "eval":
@@ -261,7 +277,24 @@ func run(args []string, out io.Writer) error {
 	}
 	ctx := context.Background()
 	params := core.DefaultParams().Scaled(*paramScale)
-	client := server.Connect(*addr)
+	sampleN := *traceSample
+	if *traceSpans != "" && sampleN == 0 {
+		sampleN = 1
+	}
+	var tracer *obs.Tracer
+	if sampleN > 0 {
+		tracer = obs.NewTracer("loadgen", sampleN)
+		if *traceSpans != "" {
+			f, err := os.OpenFile(*traceSpans, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("opening -trace-spans: %w", err)
+			}
+			defer f.Close()
+			tracer.SetOutput(f)
+			defer tracer.Close()
+		}
+	}
+	client := server.Connect(*addr, server.WithTracer(tracer))
 	if _, err := client.Healthz(ctx); err != nil {
 		return fmt.Errorf("daemon not reachable at %s: %w", *addr, err)
 	}
@@ -275,7 +308,7 @@ func run(args []string, out io.Writer) error {
 	}
 	var fc *failoverCtl
 	if *failoverURL != "" {
-		follower := server.Connect(*failoverURL)
+		follower := server.Connect(*failoverURL, server.WithTracer(tracer))
 		if _, err := follower.Healthz(ctx); err != nil {
 			return fmt.Errorf("follower not reachable at %s: %w", *failoverURL, err)
 		}
@@ -290,6 +323,7 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-failover target %s is %q, not a replica — it has nothing to promote", *failoverURL, info.Mode)
 		}
 		fc = newFailoverCtl(follower, *failoverPid, *failoverAfter)
+		fc.debugURL = *failoverDebug
 	}
 
 	ins := newInstruments()
@@ -314,6 +348,7 @@ func run(args []string, out io.Writer) error {
 				verify:     *verify,
 				window:     *window,
 				streamAddr: *streamAddr,
+				tracer:     tracer,
 			}
 			switch {
 			case fc != nil:
@@ -397,6 +432,14 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *dumpMetrics {
+		if fc != nil && fc.debugURL != "" {
+			switch {
+			case fc.debugErr != nil:
+				fmt.Fprintf(os.Stderr, "# failover-debug: snapshotting %s at kill time: %v\n", fc.debugURL, fc.debugErr)
+			case len(fc.debugVars) > 0:
+				fmt.Fprintf(os.Stderr, "# primary replication expvars at kill time (%s):\n# %s\n", fc.debugURL, fc.debugVars)
+			}
+		}
 		return ins.reg.WritePrometheus(os.Stderr)
 	}
 	return nil
@@ -416,6 +459,7 @@ type workerConfig struct {
 	verify     bool
 	window     int
 	streamAddr string
+	tracer     *obs.Tracer
 }
 
 // buildEventStream assembles one worker's seeded event source: workload
@@ -587,6 +631,11 @@ func runStreamWorker(ctx context.Context, client *server.Client, ins *instrument
 	var opts []server.StreamOption
 	if cfg.window > 0 {
 		opts = append(opts, server.WithStreamWindow(cfg.window))
+	}
+	if cfg.tracer != nil {
+		// OpenStream inherits the client's tracer; DialStream bypasses the
+		// client, so the raw-listener path needs it passed explicitly.
+		opts = append(opts, server.WithStreamTracer(cfg.tracer))
 	}
 	var st *server.Stream
 	if cfg.streamAddr != "" {

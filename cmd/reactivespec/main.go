@@ -33,6 +33,19 @@
 // a compaction racing the pass (a snapshot on the daemon deleting an unread
 // segment) fails it — with an error saying to retry or raise -wal-from.
 //
+// The spans subcommand analyzes end-to-end batch span files written by
+// reactived -trace-spans (and reactiveload -trace-spans):
+//
+//	reactivespec spans [flags] FILE...
+//
+// Several nodes' files (client, primary, replica) merge into one cross-node
+// report keyed by trace ID: per-stage p50/p99/mean latency, each stage's
+// share of traced batch wall time, how much of the batch window the named
+// stages explain, and how many traces were observed end to end
+// (ingest→wal→ship→follower). -format csv/svg render the same report as CSV
+// or a bar chart; -require-chain makes the command fail unless at least one
+// complete cross-node chain is present (the failover smoke's assertion).
+//
 // Flags:
 //
 //	-scale f        workload scale relative to the calibrated default (1.0)
@@ -46,6 +59,7 @@
 //	-wal-from n     first WAL sequence number to replay (default 0, the oldest)
 //	-wal-to n       stop before this WAL sequence number (default 0, the end)
 //	-param-scale k  the daemon's -param-scale, for WAL replay (default 10)
+//	-require-chain  spans only: exit nonzero without a complete cross-node chain
 //
 // Exit status: 0 on success, 1 when an experiment fails (or the -timeout
 // deadline cancels it), 2 on usage errors. Errors go to stderr.
@@ -63,6 +77,7 @@ import (
 
 	"reactivespec/internal/core"
 	"reactivespec/internal/experiments"
+	"reactivespec/internal/obs"
 	"reactivespec/internal/server"
 	"reactivespec/internal/workload"
 )
@@ -120,17 +135,16 @@ func run(args []string, out io.Writer) error {
 	walFrom := fs.Uint64("wal-from", 0, "first WAL sequence number to replay (0 = oldest retained)")
 	walTo := fs.Uint64("wal-to", 0, "stop the WAL replay before this sequence number (0 = end of log)")
 	paramScale := fs.Uint64("param-scale", 10, "the daemon's -param-scale, for WAL replay")
+	requireChain := fs.Bool("require-chain", false,
+		"spans only: exit nonzero unless at least one complete ingest→wal→ship→follower chain is present")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: reactivespec [flags] <experiment>\n\nexperiments: %s\n\nflags:\n",
+		fmt.Fprintf(fs.Output(), "usage: reactivespec [flags] <experiment>\n"+
+			"       reactivespec [flags] spans FILE...\n\nexperiments: %s\n\nflags:\n",
 			strings.Join(experimentNames(), " "))
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
-	}
-	if fs.NArg() != 1 {
-		fs.Usage()
-		return usagef("expected exactly one experiment, got %d args", fs.NArg())
 	}
 	csv := false
 	svg := false
@@ -142,6 +156,20 @@ func run(args []string, out io.Writer) error {
 		svg = true
 	default:
 		return usagef("unknown format %q", *format)
+	}
+	// `spans` is the one multi-argument subcommand: it analyzes span JSONL
+	// files written by reactived/reactiveload -trace-spans rather than
+	// running an experiment, and several nodes' files are typically
+	// concatenated into one report.
+	if fs.Arg(0) == "spans" {
+		if fs.NArg() < 2 {
+			return usagef("spans: expected at least one span JSONL file (reactived -trace-spans)")
+		}
+		return runSpans(fs.Args()[1:], csv, svg, *requireChain, out)
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return usagef("expected exactly one experiment, got %d args", fs.NArg())
 	}
 	cfg := experiments.Config{Scale: *scale, Seed: *seed}
 	if *timeout > 0 {
@@ -213,6 +241,42 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	return dispatch(name, cfg, csv, intensities, out)
+}
+
+// runSpans loads one or more span JSONL files (several nodes' files combine
+// into one cross-node report), builds the critical-path latency attribution,
+// and renders it as a table, CSV, or SVG. With requireChain it fails unless
+// at least one trace carries the full ingest→wal→ship→follower chain — the
+// check the failover smoke gates on.
+func runSpans(files []string, csv, svg, requireChain bool, out io.Writer) error {
+	var spans []obs.Span
+	dropped := 0
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return usageError{fmt.Errorf("spans: %w", err)}
+		}
+		s, d, err := obs.LoadSpans(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("spans: %s: %w", path, err)
+		}
+		spans = append(spans, s...)
+		dropped += d
+	}
+	rep := obs.BuildSpanReport(spans, dropped)
+	if svg {
+		if err := obs.SVGSpanReport(out, rep); err != nil {
+			return err
+		}
+	} else if err := obs.WriteSpanReport(out, rep, csv); err != nil {
+		return err
+	}
+	if requireChain && rep.CompleteChains == 0 {
+		return fmt.Errorf("spans: no complete ingest→wal→ship→follower chain across %d traces (%d spans)",
+			rep.Traces, rep.Spans)
+	}
+	return nil
 }
 
 // parseIntensities parses the -intensities flag; empty means the experiment

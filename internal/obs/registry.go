@@ -229,6 +229,40 @@ func (r *Registry) RegisterCollector(name string, fn func(e *Emitter)) {
 	r.register(name, fn)
 }
 
+// Names returns every registered metric (and collector) name, sorted. The
+// metrics-conformance test walks this list to pin that registration and
+// exposition never drift apart.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		names = append(names, m.name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// FamiliesByMetric runs every registered metric's exposition in isolation
+// and returns the family names each emits, keyed by registration name. A
+// direct instrument maps to its own single family; a collector maps to every
+// family it computes. The metrics-conformance test uses this to pin that
+// every registered metric exposes at least one family and that no two
+// metrics emit the same family — the check registration-time dedup alone
+// cannot make for collectors.
+func (r *Registry) FamiliesByMetric() map[string][]string {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	out := make(map[string][]string, len(ms))
+	for _, m := range ms {
+		e := &Emitter{}
+		m.expose(e)
+		out[m.name] = e.fams
+	}
+	return out
+}
+
 // WritePrometheus renders every registered metric in the Prometheus text
 // exposition format, sorted by registration name so output is deterministic.
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -249,6 +283,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 type Emitter struct {
 	b       []byte
 	curName string
+	fams    []string // family names in emission order (FamiliesByMetric)
 }
 
 func (e *Emitter) appendf(format string, args ...any) {
@@ -259,6 +294,7 @@ func (e *Emitter) appendf(format string, args ...any) {
 // Subsequent Sample calls emit samples of this family.
 func (e *Emitter) Family(name, typ, help string) {
 	e.curName = name
+	e.fams = append(e.fams, name)
 	e.appendf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
 }
 

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,12 +55,17 @@ type FollowerConfig struct {
 	// resume point is exactly what survived locally.
 	NextSeq func() uint64
 	// Apply applies one shipped record. It must log-then-apply (the replica
-	// server's ApplyReplicated) so NextSeq advances with it.
-	Apply func(program string, events []trace.Event) error
+	// server's ApplyReplicated) so NextSeq advances with it. traceID is the
+	// record's span-trace context (zero when the originating batch was
+	// untraced or the primary speaks replication proto 1).
+	Apply func(program string, events []trace.Event, traceID uint64) error
 	// Window is the requested credit window (0 = primary's default).
 	Window uint32
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// Trace, when non-nil, records trace-less "repl_connect" spans timing
+	// each dial-plus-handshake, so reconnect storms show up in span dumps.
+	Trace *obs.Tracer
 	// Dial, when non-nil, replaces the default TCP dial (tests).
 	Dial func(ctx context.Context) (net.Conn, error)
 }
@@ -108,7 +114,13 @@ func StartFollower(cfg FollowerConfig) *Follower {
 	go func() {
 		defer f.wg.Done()
 		defer close(f.done)
-		f.run()
+		// The pprof labels make follower CPU samples attributable per
+		// transport in -debug-addr profiles.
+		pprof.Do(context.Background(), pprof.Labels(
+			"program", "all", "transport", "replication", "role", "replica",
+		), func(context.Context) {
+			f.run()
+		})
 	}()
 	return f
 }
@@ -256,6 +268,7 @@ func (f *Follower) session() error {
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriterSize(conn, 1<<16)
 
+	connectStart := time.Now()
 	from := f.cfg.NextSeq()
 	conn.SetDeadline(time.Now().Add(followerAckTimeout))
 	hello := trace.AppendReplHello(nil, trace.ReplHello{
@@ -275,11 +288,17 @@ func (f *Follower) session() error {
 	if ack.Err != nil {
 		return f.classify(*ack.Err)
 	}
-	if ack.Proto != trace.ReplicationProtoVersion {
-		return errPermanent{fmt.Errorf("replica: primary acked protocol %d, follower speaks %d",
-			ack.Proto, trace.ReplicationProtoVersion)}
+	// A proto-1 primary acks 1 and ships trace-less records; anything
+	// outside [min, current] is a peer this build cannot speak to.
+	proto := ack.Proto
+	if proto < trace.ReplicationProtoMin || proto > trace.ReplicationProtoVersion {
+		return errPermanent{fmt.Errorf("replica: primary acked protocol %d, follower supports [%d, %d]",
+			proto, trace.ReplicationProtoMin, trace.ReplicationProtoVersion)}
 	}
 	conn.SetDeadline(time.Time{})
+	if f.cfg.Trace.SampleInfra() {
+		f.cfg.Trace.RecordInfra("repl_connect", connectStart, time.Since(connectStart))
+	}
 	if from < ack.Next {
 		f.state.Store(StateCatchup)
 		f.logf("replication: catching up [%d, %d) from %s", from, ack.Next, f.cfg.Addr)
@@ -301,7 +320,7 @@ func (f *Follower) session() error {
 		}
 		switch typ {
 		case trace.ReplFrameRecord:
-			rec, err := trace.DecodeReplRecord(payload)
+			rec, err := trace.DecodeReplRecord(payload, proto)
 			if err != nil {
 				return fmt.Errorf("replica: decoding shipped record: %w", err)
 			}
@@ -315,7 +334,7 @@ func (f *Follower) session() error {
 			if err != nil {
 				return errPermanent{fmt.Errorf("replica: shipped record %d does not decode: %w", rec.Seq, err)}
 			}
-			if err := f.cfg.Apply(rec.Program, events); err != nil {
+			if err := f.cfg.Apply(rec.Program, events, rec.Trace); err != nil {
 				return errPermanent{fmt.Errorf("replica: applying record %d: %w", rec.Seq, err)}
 			}
 			expected = rec.Seq + 1

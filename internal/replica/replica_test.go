@@ -236,7 +236,7 @@ func TestFollowerParamsMismatch(t *testing.T) {
 		Addr:       p.ln.Addr().String(),
 		ParamsHash: server.ParamsHash(testParams()) + 1,
 		NextSeq:    func() uint64 { return 0 },
-		Apply:      func(string, []trace.Event) error { return nil },
+		Apply:      func(string, []trace.Event, uint64) error { return nil },
 		Logf:       t.Logf,
 	})
 	defer f.Seal()
@@ -277,7 +277,7 @@ func TestFollowerBehindCompaction(t *testing.T) {
 		Addr:       p.ln.Addr().String(),
 		ParamsHash: server.ParamsHash(testParams()),
 		NextSeq:    func() uint64 { return 0 },
-		Apply:      func(string, []trace.Event) error { return nil },
+		Apply:      func(string, []trace.Event, uint64) error { return nil },
 		Logf:       t.Logf,
 	})
 	defer f.Seal()
@@ -365,7 +365,7 @@ func TestShipperRejectsFutureFrom(t *testing.T) {
 		Addr:       p.ln.Addr().String(),
 		ParamsHash: server.ParamsHash(testParams()),
 		NextSeq:    func() uint64 { return 999 },
-		Apply:      func(string, []trace.Event) error { return nil },
+		Apply:      func(string, []trace.Event, uint64) error { return nil },
 		Logf:       t.Logf,
 	})
 	defer f.Seal()

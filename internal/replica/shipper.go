@@ -21,10 +21,13 @@ package replica
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"runtime/pprof"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +62,10 @@ type ShipperConfig struct {
 	Log *wal.Log
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// Trace, when non-nil, records a "ship" span for every record whose
+	// ingest batch was traced (the tracer's seq→trace side table re-attaches
+	// the trace ID the WAL does not store).
+	Trace *obs.Tracer
 }
 
 // Shipper serves the primary side of replication sessions: one goroutine per
@@ -69,6 +76,7 @@ type Shipper struct {
 	mu     sync.Mutex
 	lns    map[net.Listener]struct{}
 	conns  map[net.Conn]struct{}
+	states map[*shipSession]struct{}
 	closed bool
 	wg     sync.WaitGroup
 
@@ -78,13 +86,60 @@ type Shipper struct {
 	rejectedHellos atomic.Uint64
 }
 
+// shipSession is one attached follower's live lag state, kept for the
+// per-follower gauges: how many durable records it still lacks, and how old
+// its oldest unacknowledged record is.
+type shipSession struct {
+	addr  string
+	acked atomic.Uint64
+
+	mu       sync.Mutex
+	inflight []shipMark // FIFO: shipped, not yet acked
+}
+
+// shipMark remembers when one record left the primary.
+type shipMark struct {
+	seq uint64
+	at  time.Time
+}
+
+// noteShipped records that seq left the wire now.
+func (ss *shipSession) noteShipped(seq uint64, at time.Time) {
+	ss.mu.Lock()
+	ss.inflight = append(ss.inflight, shipMark{seq: seq, at: at})
+	ss.mu.Unlock()
+}
+
+// noteAcked drops every in-flight mark the cumulative ack covers.
+func (ss *shipSession) noteAcked(ackedSeq uint64) {
+	ss.mu.Lock()
+	i := 0
+	for i < len(ss.inflight) && ss.inflight[i].seq < ackedSeq {
+		i++
+	}
+	ss.inflight = ss.inflight[i:]
+	ss.mu.Unlock()
+}
+
+// lagSeconds is the age of the oldest unacknowledged shipped record, zero
+// when the follower is fully caught up with everything shipped.
+func (ss *shipSession) lagSeconds(now time.Time) float64 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if len(ss.inflight) == 0 {
+		return 0
+	}
+	return now.Sub(ss.inflight[0].at).Seconds()
+}
+
 // NewShipper returns a shipper over cfg.Log. Serve it on one or more
 // listeners; Close stops everything.
 func NewShipper(cfg ShipperConfig) *Shipper {
 	return &Shipper{
-		cfg:   cfg,
-		lns:   make(map[net.Listener]struct{}),
-		conns: make(map[net.Conn]struct{}),
+		cfg:    cfg,
+		lns:    make(map[net.Listener]struct{}),
+		conns:  make(map[net.Conn]struct{}),
+		states: make(map[*shipSession]struct{}),
 	}
 }
 
@@ -166,11 +221,72 @@ func (sh *Shipper) RegisterMetrics(reg *obs.Registry) {
 		e.SampleUint(sh.shippedBytes.Load())
 		e.Family("reactived_replication_rejected_hellos_total", "counter", "Replication hellos rejected at handshake.")
 		e.SampleUint(sh.rejectedHellos.Load())
+
+		// Per-follower lag, in records and in seconds, labeled by the
+		// follower's remote address. Records lag compares the primary's
+		// durable boundary against the follower's cumulative ack; seconds
+		// lag is the age of the oldest record shipped but not yet acked.
+		sh.mu.Lock()
+		states := make([]*shipSession, 0, len(sh.states))
+		for ss := range sh.states {
+			states = append(states, ss)
+		}
+		sh.mu.Unlock()
+		sort.Slice(states, func(i, j int) bool { return states[i].addr < states[j].addr })
+		durable := sh.cfg.Log.DurableSeq()
+		now := time.Now()
+		e.Family("reactived_replication_follower_lag_records", "gauge",
+			"Durable WAL records the follower has not yet acknowledged, per attached follower.")
+		for _, ss := range states {
+			lag := uint64(0)
+			if acked := ss.acked.Load(); durable > acked {
+				lag = durable - acked
+			}
+			e.SampleUint(lag, "follower", ss.addr)
+		}
+		e.Family("reactived_replication_follower_lag_seconds", "gauge",
+			"Age of the oldest shipped-but-unacknowledged record, per attached follower.")
+		for _, ss := range states {
+			e.Sample(ss.lagSeconds(now), "follower", ss.addr)
+		}
 	})
 }
 
-// serveConn runs one replication session: hello, catch-up, live tail.
+// FollowerLag reports one attached follower's lag in records and seconds;
+// ok is false when no follower matches addr ("" matches any single
+// follower). Tests and the expvar block use it without a registry scrape.
+func (sh *Shipper) FollowerLag(addr string) (records uint64, seconds float64, ok bool) {
+	sh.mu.Lock()
+	var match *shipSession
+	for ss := range sh.states {
+		if addr == "" || ss.addr == addr {
+			match = ss
+			break
+		}
+	}
+	sh.mu.Unlock()
+	if match == nil {
+		return 0, 0, false
+	}
+	durable := sh.cfg.Log.DurableSeq()
+	if acked := match.acked.Load(); durable > acked {
+		records = durable - acked
+	}
+	return records, match.lagSeconds(time.Now()), true
+}
+
+// serveConn runs one replication session: hello, catch-up, live tail. The
+// pprof labels make shipper CPU samples attributable per transport in
+// -debug-addr profiles.
 func (sh *Shipper) serveConn(conn net.Conn) {
+	pprof.Do(context.Background(), pprof.Labels(
+		"program", "all", "transport", "replication", "role", "primary",
+	), func(context.Context) {
+		sh.serveConnLabeled(conn)
+	})
+}
+
+func (sh *Shipper) serveConnLabeled(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriterSize(conn, 1<<16)
@@ -196,10 +312,12 @@ func (sh *Shipper) serveConn(conn net.Conn) {
 	}
 	log := sh.cfg.Log
 	oldest, next := log.OldestSeq(), log.NextSeq()
+	proto, protoOK := trace.NegotiateReplProto(hello.Proto)
 	switch {
-	case hello.Proto != trace.ReplicationProtoVersion:
+	case !protoOK:
 		reject(trace.StreamCodeProtoMismatch, fmt.Sprintf(
-			"follower speaks replication protocol %d, primary %d", hello.Proto, trace.ReplicationProtoVersion))
+			"follower speaks replication protocol %d, primary supports [%d, %d]",
+			hello.Proto, trace.ReplicationProtoMin, trace.ReplicationProtoVersion))
 		return
 	case hello.ParamsHash != log.ParamsHash():
 		reject(trace.StreamCodeParamMismatch, fmt.Sprintf(
@@ -240,7 +358,7 @@ func (sh *Shipper) serveConn(conn net.Conn) {
 	defer r.Close()
 
 	wireBuf = trace.AppendReplAck(wireBuf[:0], trace.ReplAck{
-		Proto: trace.ReplicationProtoVersion, Window: window, Oldest: oldest, Next: next,
+		Proto: proto, Window: window, Oldest: oldest, Next: next,
 	})
 	if writeWire(wireBuf) != nil || bw.Flush() != nil {
 		return
@@ -248,7 +366,18 @@ func (sh *Shipper) serveConn(conn net.Conn) {
 	conn.SetReadDeadline(time.Time{})
 	sh.sessions.Add(1)
 	defer sh.sessions.Add(-1)
-	sh.logf("replication: follower %s attached from seq %d (window %d)", conn.RemoteAddr(), hello.From, window)
+	state := &shipSession{addr: conn.RemoteAddr().String()}
+	state.acked.Store(hello.From)
+	sh.mu.Lock()
+	sh.states[state] = struct{}{}
+	sh.mu.Unlock()
+	defer func() {
+		sh.mu.Lock()
+		delete(sh.states, state)
+		sh.mu.Unlock()
+	}()
+	sh.logf("replication: follower %s attached from seq %d (window %d, proto %d)",
+		conn.RemoteAddr(), hello.From, window, proto)
 
 	terminal := func(code, msg string) {
 		wireBuf = trace.AppendSessionFrame(wireBuf[:0], trace.StreamFrameTerminal,
@@ -282,7 +411,9 @@ func (sh *Shipper) serveConn(conn net.Conn) {
 				}
 				if seq > acked.Load() {
 					acked.Store(seq)
+					state.acked.Store(seq)
 				}
+				state.noteAcked(seq)
 				select {
 				case ackNotify <- struct{}{}:
 				default:
@@ -348,16 +479,21 @@ func (sh *Shipper) serveConn(conn net.Conn) {
 			sh.logf("replication: follower %s session failed: %v", conn.RemoteAddr(), err)
 			return
 		}
+		now := time.Now()
+		traceID := sh.cfg.Trace.TraceForSeq(rec.Seq)
 		frameBuf = trace.AppendReplRecord(frameBuf[:0], trace.ReplRecord{
 			Seq:              rec.Seq,
 			Durable:          log.DurableSeq(),
-			ShippedUnixNanos: uint64(time.Now().UnixNano()),
+			ShippedUnixNanos: uint64(now.UnixNano()),
+			Trace:            traceID,
 			Program:          rec.Program,
 			Frame:            rec.Frame,
-		})
+		}, proto)
 		if writeWire(frameBuf) != nil {
 			return
 		}
+		sh.cfg.Trace.RecordStage(traceID, 0, "ship", rec.Program, 0, rec.Seq, now, time.Since(now))
+		state.noteShipped(rec.Seq, now)
 		nextShip = rec.Seq + 1
 		sh.shippedRecords.Add(1)
 		sh.shippedBytes.Add(uint64(len(frameBuf)))

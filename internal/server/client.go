@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"reactivespec/internal/obs"
 	"reactivespec/internal/trace"
 )
 
@@ -37,6 +38,10 @@ type Client struct {
 	// paramsPin, when non-empty, is appended as the params= query pin on
 	// every ingest request and checked against /v1/info by VerifyParams.
 	paramsPin string
+	// tracer, when non-nil, samples ingest batches into client-side spans
+	// (client_encode, client_network) and propagates the trace ID to the
+	// server via the X-Reactive-Trace header.
+	tracer *obs.Tracer
 }
 
 // Option configures a Client.
@@ -83,6 +88,14 @@ func WithRetry(n int, backoff time.Duration) Option {
 // decisions.
 func WithParamsHash(h uint64) Option {
 	return func(c *Client) { c.paramsPin = formatParamsHash(h) }
+}
+
+// WithTracer samples this client's ingest batches into t: a sampled batch
+// records client_encode and client_network spans and ships its trace ID to
+// the server (X-Reactive-Trace header on POST, trace context on stream
+// frames), so the server's batch spans join the client's trace.
+func WithTracer(t *obs.Tracer) Option {
+	return func(c *Client) { c.tracer = t }
 }
 
 // Connect returns a client for the daemon at base (e.g.
@@ -245,15 +258,19 @@ func (c *Client) ingestURL(program string) string {
 // IngestFramesTimed is IngestFrames with a per-phase latency breakdown.
 func (c *Client) IngestFramesTimed(ctx context.Context, program string, frames [][]trace.Event) ([]IngestResult, IngestTiming, error) {
 	var tm IngestTiming
+	traceID := c.tracer.SampleBatch()
+	nEvents := 0
 	encodeStart := time.Now()
 	bufp := encodeBufPool.Get().(*[]byte)
 	defer func() { encodeBufPool.Put(bufp) }()
 	body := (*bufp)[:0]
 	for _, events := range frames {
 		body = trace.AppendFrame(body, events)
+		nEvents += len(events)
 	}
 	*bufp = body
 	tm.Encode = time.Since(encodeStart)
+	c.tracer.RecordStage(traceID, 0, "client_encode", program, nEvents, 0, encodeStart, tm.Encode)
 
 	netStart := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.ingestURL(program), bytes.NewReader(body))
@@ -261,6 +278,9 @@ func (c *Client) IngestFramesTimed(ctx context.Context, program string, frames [
 		return nil, tm, fmt.Errorf("server: ingest: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if traceID != 0 {
+		req.Header.Set(TraceHeader, strconv.FormatUint(traceID, 10))
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, tm, err
@@ -272,6 +292,7 @@ func (c *Client) IngestFramesTimed(ctx context.Context, program string, frames [
 	}
 	raw, err := io.ReadAll(resp.Body)
 	tm.Network = time.Since(netStart)
+	c.tracer.RecordStage(traceID, 0, "client_network", program, nEvents, 0, netStart, tm.Network)
 	if err != nil {
 		return nil, tm, fmt.Errorf("server: reading ingest response: %w", err)
 	}

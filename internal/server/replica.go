@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"time"
 
 	"reactivespec/internal/trace"
 )
@@ -60,6 +61,7 @@ func (s *Server) Promote() (PromoteResult, error) {
 	if !s.readOnly.Load() {
 		return PromoteResult{}, ErrNotReplica
 	}
+	start := time.Now()
 	var last uint64
 	if s.sealFn != nil {
 		var err error
@@ -69,6 +71,9 @@ func (s *Server) Promote() (PromoteResult, error) {
 	}
 	s.readOnly.Store(false)
 	s.ins.promotions.Inc()
+	// Promotion is rare and operationally interesting: record it whenever a
+	// tracer is attached, without burning a sampling slot.
+	s.cfg.Trace.RecordInfra("promote", start, time.Since(start))
 	s.logf("replica: promoted to primary at wal seq %d", last)
 	return PromoteResult{Mode: "primary", LastAppliedSeq: last}, nil
 }
@@ -79,19 +84,23 @@ func (s *Server) Promote() (PromoteResult, error) {
 // snapshots taken on the replica carry exact WAL anchors and replay after a
 // replica crash reproduces the same decisions. Callers (the replication
 // follower) deliver records in WAL-sequence order; the per-program cursor
-// lock preserves that order against the table.
-func (s *Server) ApplyReplicated(program string, events []trace.Event) error {
+// lock preserves that order against the table. traceID, when non-zero, is the
+// trace the record's originating batch was sampled into on the primary; the
+// replica closes the cross-node chain with a follower_apply span under it.
+func (s *Server) ApplyReplicated(program string, events []trace.Event, traceID uint64) error {
 	if !s.readOnly.Load() {
 		return ErrNotReplica
 	}
+	start := time.Now()
 	cur := s.cursorFor(program)
 	s.replicaMu.Lock()
 	defer s.replicaMu.Unlock()
 	s.applyMu.RLock()
 	cur.mu.Lock()
 	var walErr error
+	var seq uint64
 	if wlog := s.cfg.WAL; wlog != nil {
-		if _, walErr = wlog.Append(program, events); walErr == nil {
+		if seq, walErr = wlog.Append(program, events); walErr == nil {
 			walErr = wlog.Commit()
 		}
 	}
@@ -107,6 +116,8 @@ func (s *Server) ApplyReplicated(program string, events []trace.Event) error {
 	}
 	s.ins.replicatedRecords.Inc()
 	s.ins.replicatedEvents.Add(uint64(len(events)))
+	s.cfg.Trace.NoteSeq(seq, traceID)
+	s.cfg.Trace.RecordStage(traceID, 0, "follower_apply", program, len(events), seq, start, time.Since(start))
 	return nil
 }
 

@@ -1,12 +1,14 @@
 package server
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"sync"
@@ -72,6 +74,12 @@ const (
 // respMagic introduces an ingest response.
 var respMagic = [4]byte{'R', 'S', 'P', 'D'}
 
+// TraceHeader is the optional POST /v1/ingest request header carrying a
+// client-minted trace ID (decimal). A batch arriving with it joins that trace
+// instead of rolling the server's sampler, so client-side encode/network
+// spans and the server's batch spans line up under one ID.
+const TraceHeader = "X-Reactive-Trace"
+
 // Config configures a Server.
 type Config struct {
 	// Params are the reactive-controller parameters every table entry is
@@ -95,6 +103,10 @@ type Config struct {
 	Replica bool
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// Trace, when non-nil, records sampled end-to-end batch spans (obs.Tracer).
+	// A nil tracer is the off switch: every call site nil-checks and pays one
+	// predictable branch.
+	Trace *obs.Tracer
 }
 
 // Server is the speculation-control service. Create with New, expose via
@@ -309,7 +321,29 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// pprof labels let a CPU profile split ingest work by program, transport
+	// and role; the body runs inside the labeled region so decode/apply
+	// samples carry them.
+	pprof.Do(r.Context(), pprof.Labels(
+		"program", program, "transport", "post", "role", s.Mode(),
+	), func(context.Context) {
+		s.ingestBatch(w, r, program)
+	})
+}
+
+// ingestBatch is handleIngest's validated body: decode, log, apply, respond.
+func (s *Server) ingestBatch(w http.ResponseWriter, r *http.Request, program string) {
 	start := time.Now()
+
+	// An X-Reactive-Trace header joins this batch to a trace the client
+	// started (its encode and network spans share the ID); otherwise the
+	// server's own 1-in-N sampler decides.
+	traceID := s.cfg.Trace.SampleBatch()
+	if h := r.Header.Get(TraceHeader); h != "" {
+		if id, err := strconv.ParseUint(h, 10, 64); err == nil && id != 0 {
+			traceID = id
+		}
+	}
 
 	sc := ingestScratchPool.Get().(*ingestScratch)
 	defer func() {
@@ -369,19 +403,35 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.applyMu.RLock()
 	cur.mu.Lock()
 	var walErr error
+	var firstSeq uint64
+	walStart := time.Now()
+	fsyncStart := walStart
+	var fsyncDur time.Duration
 	if wlog := s.cfg.WAL; wlog != nil {
 		for _, f := range sc.frames {
 			if f.errMsg != "" {
 				continue
 			}
-			if _, walErr = wlog.Append(program, sc.events[f.start:f.end]); walErr != nil {
+			var seq uint64
+			if seq, walErr = wlog.Append(program, sc.events[f.start:f.end]); walErr != nil {
 				break
 			}
+			if firstSeq == 0 {
+				firstSeq = seq
+			}
+			// The WAL stores no trace context; the seq→trace side table is
+			// how the replication shipper re-attaches the trace when it
+			// reads this record back off the log.
+			s.cfg.Trace.NoteSeq(seq, traceID)
 		}
+		fsyncStart = time.Now()
 		if walErr == nil {
 			walErr = wlog.Commit()
 		}
+		fsyncDur = time.Since(fsyncStart)
 	}
+	walDur := fsyncStart.Sub(walStart)
+	tableStart := time.Now()
 	if walErr == nil {
 		for _, f := range sc.frames {
 			if f.errMsg != "" {
@@ -391,6 +441,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		cur.events += uint64(len(sc.events))
 	}
+	tableDur := time.Since(tableStart)
 	cur.mu.Unlock()
 	s.applyMu.RUnlock()
 	if walErr != nil {
@@ -441,13 +492,30 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// are already applied, so all we can do is count it.
 		s.ins.responseErrors.Inc()
 	}
+	respondDur := time.Since(respondStart)
+	end := time.Now()
 
 	s.ins.batches.Inc()
-	s.ins.batchLat.Observe(time.Since(start).Seconds())
+	s.ins.batchLat.Observe(end.Sub(start).Seconds())
 	s.ins.decodeLat.Observe(decodeDur.Seconds())
 	s.ins.applyLat.Observe(applyDur.Seconds())
-	s.ins.respondLat.Observe(time.Since(respondStart).Seconds())
+	s.ins.respondLat.Observe(respondDur.Seconds())
 	s.ins.batchEvents.Observe(float64(len(sc.events)))
+
+	if traceID != 0 {
+		// The batch root plus its contiguous children (decode through
+		// respond) is what `reactivespec spans` attributes wall time over;
+		// the children cover the root by construction.
+		tr := s.cfg.Trace
+		root := tr.SpanID()
+		tr.Record(obs.Span{Trace: traceID, Span: root, Stage: "batch", Program: program,
+			Events: len(sc.events), Seq: firstSeq, Start: start.UnixNano(), Dur: int64(end.Sub(start))})
+		tr.RecordStage(traceID, root, "decode", program, len(sc.events), 0, decodeStart, decodeDur)
+		tr.RecordStage(traceID, root, "wal_append", program, len(sc.events), firstSeq, walStart, walDur)
+		tr.RecordStage(traceID, root, "fsync", program, 0, firstSeq, fsyncStart, fsyncDur)
+		tr.RecordStage(traceID, root, "apply", program, len(sc.events), 0, tableStart, tableDur)
+		tr.RecordStage(traceID, root, "respond", program, 0, 0, respondStart, respondDur)
+	}
 }
 
 // DecideResponse is the JSON answer of /v1/decide.
@@ -565,6 +633,7 @@ func (s *Server) SnapshotNow() (SnapshotResult, error) {
 	}
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
+	snapStart := time.Now()
 	if s.cfg.WAL != nil {
 		s.applyMu.Lock()
 	}
@@ -589,6 +658,9 @@ func (s *Server) SnapshotNow() (SnapshotResult, error) {
 			s.logf("wal: compaction after snapshot: %v", err)
 		}
 	}
+	// Snapshots are rare and stall-prone (they hold applyMu): always span
+	// them when a tracer is attached, no sampling.
+	s.cfg.Trace.RecordInfra("snapshot", snapStart, time.Since(snapStart))
 	s.logf("snapshot: %d entries, %d programs, wal seq %d -> %s",
 		len(snap.Entries), len(snap.Cursors), snap.WALSeq, snapshotPath(s.cfg.SnapshotDir))
 	return SnapshotResult{

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"reactivespec/internal/obs"
 	"reactivespec/internal/trace"
 )
 
@@ -208,10 +210,12 @@ func (s *Server) serveStreamConn(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 			bw.Flush()
 		}
 	}
+	proto, protoOK := trace.NegotiateStreamProto(hs.Proto)
 	switch {
-	case hs.Proto != trace.StreamProtoVersion:
+	case !protoOK:
 		reject(trace.StreamCodeProtoMismatch, fmt.Sprintf(
-			"client speaks stream protocol %d, server %d", hs.Proto, trace.StreamProtoVersion))
+			"client speaks stream protocol %d, server supports %d..%d",
+			hs.Proto, trace.StreamProtoMin, trace.StreamProtoVersion))
 		return
 	case hs.Program == "":
 		reject(trace.StreamCodeMalformed, "missing program name")
@@ -246,16 +250,32 @@ func (s *Server) serveStreamConn(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 	s.ins.streamSessions.Inc()
 
 	wireBuf = trace.AppendAck(wireBuf[:0], trace.Ack{
-		Proto: trace.StreamProtoVersion, Window: window, ParamsHash: s.paramsHash,
+		Proto: proto, Window: window, ParamsHash: s.paramsHash,
 	})
 	if writeWire(wireBuf) != nil || bw.Flush() != nil {
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
 
+	// The frame loop runs inside a pprof-labeled region so profiles split
+	// stream ingest work by program and role.
+	pprof.Do(context.Background(), pprof.Labels(
+		"program", hs.Program, "transport", "stream", "role", s.Mode(),
+	), func(context.Context) {
+		s.streamFrameLoop(conn, br, bw, ss, hs.Program, proto, writeWire)
+	})
+}
+
+// streamFrameLoop runs one established session's event/decision loop to
+// completion: event frames in, decision (or reject) frames out, terminal
+// frame last. proto is the negotiated session protocol; at 2 every event
+// frame payload starts with a trace context.
+func (s *Server) streamFrameLoop(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
+	ss *streamSession, program string, proto uint32, writeWire func([]byte) error) {
 	// terminal ends the session with a typed frame; the client surfaces
 	// the code (ErrDraining for "draining", io.EOF for "bye") instead of a
 	// bare connection reset.
+	var wireBuf []byte
 	terminal := func(code, msg string) {
 		wireBuf = trace.AppendSessionFrame(wireBuf[:0], trace.StreamFrameTerminal,
 			trace.AppendStreamError(nil, trace.StreamError{Code: code, Msg: msg}))
@@ -271,7 +291,8 @@ func (s *Server) serveStreamConn(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 		events         []trace.Event
 		decisions      []byte
 		payload        []byte
-		cur            = s.cursorFor(hs.Program)
+		err            error
+		cur            = s.cursorFor(program)
 	)
 	for {
 		var typ byte
@@ -290,7 +311,23 @@ func (s *Server) serveStreamConn(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 		switch typ {
 		case trace.StreamFrameEvents:
 			s.ins.streamFrames.Inc()
-			events, err = trace.DecodeFrameAppend(payload, events[:0])
+			batchStart := time.Now()
+			// At proto 2 the payload leads with a trace context: a non-zero
+			// ID joins the frame to the client's trace, zero means untraced
+			// and the server's own sampler gets its say.
+			var traceID uint64
+			body := payload
+			if proto >= 2 {
+				traceID, body, err = trace.CutTraceContext(payload)
+			}
+			if err == nil && traceID == 0 {
+				traceID = s.cfg.Trace.SampleBatch()
+			}
+			decodeStart := time.Now()
+			if err == nil {
+				events, err = trace.DecodeFrameAppend(body, events[:0])
+			}
+			decodeDur := time.Since(decodeStart)
 			if err != nil {
 				// The session framing is intact — reject this frame
 				// alone and keep the session, mirroring the POST
@@ -298,6 +335,7 @@ func (s *Server) serveStreamConn(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 				s.ins.rejectedFrames.Inc()
 				wireBuf = trace.AppendSessionFrame(wireBuf[:0], trace.StreamFrameReject,
 					[]byte(err.Error()))
+				err = nil
 				if writeWire(wireBuf) != nil {
 					return
 				}
@@ -306,17 +344,30 @@ func (s *Server) serveStreamConn(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 				s.applyMu.RLock()
 				cur.mu.Lock()
 				var walErr error
+				var seq uint64
+				walStart := time.Now()
+				fsyncStart := walStart
+				var fsyncDur time.Duration
 				if wlog := s.cfg.WAL; wlog != nil {
 					// Same contract as the POST path: the frame is logged
 					// under the cursor lock (WAL order == apply order) and
 					// committed before it trains the table.
-					if _, walErr = wlog.Append(hs.Program, events); walErr == nil {
+					seq, walErr = wlog.Append(program, events)
+					if walErr == nil {
+						s.cfg.Trace.NoteSeq(seq, traceID)
+					}
+					fsyncStart = time.Now()
+					if walErr == nil {
 						walErr = wlog.Commit()
 					}
+					fsyncDur = time.Since(fsyncStart)
 				}
+				walDur := fsyncStart.Sub(walStart)
+				tableStart := time.Now()
 				if walErr == nil {
-					decisions, cur.instr = s.table.ApplyBatch(hs.Program, events, cur.instr, decisions[:0])
+					decisions, cur.instr = s.table.ApplyBatch(program, events, cur.instr, decisions[:0])
 				}
+				tableDur := time.Since(tableStart)
 				cur.mu.Unlock()
 				s.applyMu.RUnlock()
 				if walErr != nil {
@@ -329,9 +380,22 @@ func (s *Server) serveStreamConn(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 				}
 				s.ins.applyLat.Observe(time.Since(applyStart).Seconds())
 				s.ins.batchEvents.Observe(float64(len(events)))
+				respondStart := time.Now()
 				wireBuf = appendDecisionsFrame(wireBuf[:0], decisions)
 				if writeWire(wireBuf) != nil {
 					return
+				}
+				if traceID != 0 {
+					tr := s.cfg.Trace
+					end := time.Now()
+					root := tr.SpanID()
+					tr.Record(obs.Span{Trace: traceID, Span: root, Stage: "batch", Program: program,
+						Events: len(events), Seq: seq, Start: batchStart.UnixNano(), Dur: int64(end.Sub(batchStart))})
+					tr.RecordStage(traceID, root, "decode", program, len(events), 0, decodeStart, decodeDur)
+					tr.RecordStage(traceID, root, "wal_append", program, len(events), seq, walStart, walDur)
+					tr.RecordStage(traceID, root, "fsync", program, 0, seq, fsyncStart, fsyncDur)
+					tr.RecordStage(traceID, root, "apply", program, len(events), 0, tableStart, tableDur)
+					tr.RecordStage(traceID, root, "respond", program, 0, 0, respondStart, end.Sub(respondStart))
 				}
 			}
 			// Flush only when no further frame is already buffered: a

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"reactivespec/internal/obs"
 	"reactivespec/internal/trace"
 )
 
@@ -29,6 +30,9 @@ type Stream struct {
 	bw   *bufio.Writer
 
 	window  int
+	proto   uint32      // negotiated session protocol version
+	program string      // handshake program, stamped on client spans
+	tracer  *obs.Tracer // nil when the session is untraced
 	credits chan struct{}     // capacity window; a token = permission to send one frame
 	results chan streamResult // capacity window; reader never blocks on it
 
@@ -51,6 +55,7 @@ type streamResult struct {
 type streamConfig struct {
 	window     uint32
 	paramsHash *uint64
+	tracer     *obs.Tracer
 }
 
 // StreamOption configures OpenStream.
@@ -71,6 +76,13 @@ func WithStreamWindow(n int) StreamOption {
 // hash, overriding the client's WithParamsHash pin and the /v1/info lookup.
 func WithStreamParams(h uint64) StreamOption {
 	return func(sc *streamConfig) { sc.paramsHash = &h }
+}
+
+// WithStreamTracer samples this session's Send calls into t: a sampled frame
+// records client_encode and client_network spans and, at stream protocol 2,
+// carries its trace ID to the server in the frame's trace context.
+func WithStreamTracer(t *obs.Tracer) StreamOption {
+	return func(sc *streamConfig) { sc.tracer = t }
 }
 
 // OpenStream upgrades a POST /v1/stream request into a streaming ingest
@@ -130,12 +142,15 @@ func (c *Client) OpenStream(ctx context.Context, program string, opts ...StreamO
 		defer resp.Body.Close()
 		return nil, httpError("stream", resp)
 	}
+	if sc.tracer == nil {
+		sc.tracer = c.tracer
+	}
 	return newStream(ctx, conn, br, bw, trace.Handshake{
 		Proto:      trace.StreamProtoVersion,
 		ParamsHash: hash,
 		Window:     sc.window,
 		Program:    program,
-	})
+	}, sc.tracer)
 }
 
 // DialStream opens a streaming session on a raw stream listener
@@ -163,7 +178,7 @@ func DialStream(ctx context.Context, addr, program string, paramsHash uint64, op
 			ParamsHash: paramsHash,
 			Window:     sc.window,
 			Program:    program,
-		})
+		}, sc.tracer)
 }
 
 // streamParamsHash resolves the handshake hash: explicit option, client pin,
@@ -192,7 +207,7 @@ func applyDeadline(ctx context.Context, conn net.Conn) {
 
 // newStream performs the session handshake on an established connection and
 // starts the reader goroutine. It owns conn and closes it on failure.
-func newStream(ctx context.Context, conn net.Conn, br *bufio.Reader, bw *bufio.Writer, hs trace.Handshake) (*Stream, error) {
+func newStream(ctx context.Context, conn net.Conn, br *bufio.Reader, bw *bufio.Writer, hs trace.Handshake, tracer *obs.Tracer) (*Stream, error) {
 	applyDeadline(ctx, conn)
 	_, err := bw.Write(trace.AppendHandshake(nil, hs))
 	if err == nil {
@@ -211,10 +226,13 @@ func newStream(ctx context.Context, conn net.Conn, br *bufio.Reader, bw *bufio.W
 		conn.Close()
 		return nil, streamTerminalError(*ack.Err)
 	}
-	if ack.Proto != trace.StreamProtoVersion {
+	// An older server acks a lower protocol version and the session speaks
+	// it (dropping the trace context); anything outside the supported range
+	// is a broken peer.
+	if ack.Proto < trace.StreamProtoMin || ack.Proto > trace.StreamProtoVersion {
 		conn.Close()
-		return nil, fmt.Errorf("server: stream: server acked protocol %d, client speaks %d",
-			ack.Proto, trace.StreamProtoVersion)
+		return nil, fmt.Errorf("server: stream: server acked protocol %d, client supports %d..%d",
+			ack.Proto, trace.StreamProtoMin, trace.StreamProtoVersion)
 	}
 	if ack.Window == 0 {
 		conn.Close()
@@ -226,6 +244,9 @@ func newStream(ctx context.Context, conn net.Conn, br *bufio.Reader, bw *bufio.W
 		conn:       conn,
 		bw:         bw,
 		window:     int(ack.Window),
+		proto:      ack.Proto,
+		program:    hs.Program,
+		tracer:     tracer,
 		credits:    make(chan struct{}, ack.Window),
 		results:    make(chan streamResult, ack.Window),
 		readerDone: make(chan struct{}),
@@ -340,16 +361,35 @@ func (st *Stream) Send(ctx context.Context, events []trace.Event) error {
 	if st.closed {
 		return fmt.Errorf("server: stream: send after Close")
 	}
+	// Sampling happens per frame; at proto 2 every event payload leads with
+	// a trace context (zero = untraced) so the wire shape is uniform.
+	var traceID uint64
+	if st.proto >= 2 {
+		traceID = st.tracer.SampleBatch()
+	}
+	encodeStart := time.Now()
 	// The session frame carries its own length, so the payload is the bare
 	// trace frame (no AppendFrame length prefix).
-	st.evBuf = trace.EncodeFrameAppend(st.evBuf[:0], events)
+	st.evBuf = st.evBuf[:0]
+	if st.proto >= 2 {
+		st.evBuf = trace.AppendTraceContext(st.evBuf, traceID)
+	}
+	st.evBuf = trace.EncodeFrameAppend(st.evBuf, events)
 	st.sendBuf = trace.AppendSessionFrame(st.sendBuf[:0], trace.StreamFrameEvents, st.evBuf)
+	netStart := time.Now()
 	_, err := st.bw.Write(st.sendBuf)
 	if err == nil {
 		err = st.bw.Flush()
 	}
 	if err != nil {
 		return st.sendFailed(err)
+	}
+	if traceID != 0 {
+		// client_network here is the send-side write+flush only: the
+		// pipelined response lands in Recv on another goroutine, so the
+		// round trip is not attributable to one frame from here.
+		st.tracer.RecordStage(traceID, 0, "client_encode", st.program, len(events), 0, encodeStart, netStart.Sub(encodeStart))
+		st.tracer.RecordStage(traceID, 0, "client_network", st.program, len(events), 0, netStart, time.Since(netStart))
 	}
 	return nil
 }

@@ -253,7 +253,9 @@ func TestStreamHandshakeProtoMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	hs := trace.Handshake{Proto: 99, ParamsHash: s.paramsHash, Program: "p"}
+	// A peer newer than us negotiates down (NegotiateStreamProto), so the
+	// reject only fires below the supported minimum.
+	hs := trace.Handshake{Proto: trace.StreamProtoMin - 1, ParamsHash: s.paramsHash, Program: "p"}
 	if _, err := conn.Write(trace.AppendHandshake(nil, hs)); err != nil {
 		t.Fatal(err)
 	}
@@ -309,8 +311,10 @@ func TestStreamRejectFrameKeepsSession(t *testing.T) {
 	if typ != trace.StreamFrameReject {
 		t.Fatalf("frame type %q, want reject", typ)
 	}
-	// The session survived the rejection: a valid frame still applies.
-	good := trace.EncodeFrameAppend(nil, synthEvents(10, 4))
+	// The session survived the rejection: a valid frame still applies. The
+	// handshake negotiated proto 2, so the payload leads with a trace
+	// context (zero = untraced).
+	good := trace.EncodeFrameAppend(trace.AppendTraceContext(nil, 0), synthEvents(10, 4))
 	if _, err := raw.Write(trace.AppendSessionFrame(nil, trace.StreamFrameEvents, good)); err != nil {
 		t.Fatal(err)
 	}

@@ -51,40 +51,93 @@ func TestReplRecordRoundTrip(t *testing.T) {
 		Seq:              1 << 40,
 		Durable:          (1 << 40) + 17,
 		ShippedUnixNanos: 1754550000123456789,
+		Trace:            0xbeef0001,
 		Program:          "gzip",
 		Frame:            frame,
 	}
-	wire := AppendReplRecord(nil, want)
+	for _, proto := range []uint32{1, 2} {
+		wire := AppendReplRecord(nil, want, proto)
 
-	br := bufio.NewReader(bytes.NewReader(wire))
-	typ, payload, _, err := ReadReplFrame(br, nil)
-	if err != nil {
-		t.Fatalf("ReadReplFrame: %v", err)
-	}
-	if typ != ReplFrameRecord {
-		t.Fatalf("frame type %q, want %q", typ, ReplFrameRecord)
-	}
-	got, err := DecodeReplRecord(payload)
-	if err != nil {
-		t.Fatalf("DecodeReplRecord: %v", err)
-	}
-	if got.Seq != want.Seq || got.Durable != want.Durable ||
-		got.ShippedUnixNanos != want.ShippedUnixNanos || got.Program != want.Program {
-		t.Fatalf("record header round trip: got %+v", got)
-	}
-	if !reflect.DeepEqual(got.Frame, frame) {
-		t.Fatal("frame payload diverges")
-	}
-	// Malformed payloads must be rejected, not misparsed.
-	for cut := 0; cut < len(payload); cut++ {
-		if rec, err := DecodeReplRecord(payload[:cut]); err == nil {
-			// Shorter prefixes can still parse if the frame payload is
-			// merely shortened — the trace decode happens later — but the
-			// program field must never read out of bounds.
-			if len(rec.Program) > len(payload) {
-				t.Fatalf("cut %d produced an out-of-bounds program", cut)
+		br := bufio.NewReader(bytes.NewReader(wire))
+		typ, payload, _, err := ReadReplFrame(br, nil)
+		if err != nil {
+			t.Fatalf("proto %d: ReadReplFrame: %v", proto, err)
+		}
+		if typ != ReplFrameRecord {
+			t.Fatalf("proto %d: frame type %q, want %q", proto, typ, ReplFrameRecord)
+		}
+		got, err := DecodeReplRecord(payload, proto)
+		if err != nil {
+			t.Fatalf("proto %d: DecodeReplRecord: %v", proto, err)
+		}
+		if got.Seq != want.Seq || got.Durable != want.Durable ||
+			got.ShippedUnixNanos != want.ShippedUnixNanos || got.Program != want.Program {
+			t.Fatalf("proto %d: record header round trip: got %+v", proto, got)
+		}
+		// The trace context is a proto-2 field: proto 1 never carries it.
+		wantTrace := uint64(0)
+		if proto >= 2 {
+			wantTrace = want.Trace
+		}
+		if got.Trace != wantTrace {
+			t.Fatalf("proto %d: trace = %#x, want %#x", proto, got.Trace, wantTrace)
+		}
+		if !reflect.DeepEqual(got.Frame, frame) {
+			t.Fatalf("proto %d: frame payload diverges", proto)
+		}
+		// Malformed payloads must be rejected, not misparsed.
+		for cut := 0; cut < len(payload); cut++ {
+			if rec, err := DecodeReplRecord(payload[:cut], proto); err == nil {
+				// Shorter prefixes can still parse if the frame payload is
+				// merely shortened — the trace decode happens later — but the
+				// program field must never read out of bounds.
+				if len(rec.Program) > len(payload) {
+					t.Fatalf("proto %d: cut %d produced an out-of-bounds program", proto, cut)
+				}
 			}
 		}
+	}
+}
+
+func TestNegotiateProtos(t *testing.T) {
+	cases := []struct {
+		peer uint32
+		want uint32
+		ok   bool
+	}{
+		{0, 0, false},
+		{1, 1, true},
+		{2, 2, true},
+		{3, 2, true}, // a newer peer speaks down to us
+	}
+	for _, c := range cases {
+		if got, ok := NegotiateStreamProto(c.peer); got != c.want || ok != c.ok {
+			t.Fatalf("NegotiateStreamProto(%d) = %d,%v want %d,%v", c.peer, got, ok, c.want, c.ok)
+		}
+		if got, ok := NegotiateReplProto(c.peer); got != c.want || ok != c.ok {
+			t.Fatalf("NegotiateReplProto(%d) = %d,%v want %d,%v", c.peer, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	blob := EncodeFrameAppend(nil, []Event{{Branch: 1, Taken: true, Gap: 2}})
+	for _, id := range []uint64{0, 1, 0xdeadbeefcafe} {
+		payload := AppendTraceContext(nil, id)
+		payload = append(payload, blob...)
+		got, rest, err := CutTraceContext(payload)
+		if err != nil {
+			t.Fatalf("CutTraceContext(id=%#x): %v", id, err)
+		}
+		if got != id {
+			t.Fatalf("trace id round trip: got %#x want %#x", got, id)
+		}
+		if !bytes.Equal(rest, blob) {
+			t.Fatal("trace blob diverges after trace context")
+		}
+	}
+	if _, _, err := CutTraceContext(nil); err == nil {
+		t.Fatal("empty payload accepted as trace context")
 	}
 }
 

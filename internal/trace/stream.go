@@ -57,9 +57,19 @@ import (
 // sends when the window is exhausted; every 'D'/'R' frame implicitly returns
 // exactly one credit. The server never answers out of order.
 const (
-	// StreamProtoVersion is the session protocol version spoken by both
-	// sides; the handshake rejects a mismatch.
-	StreamProtoVersion = 1
+	// StreamProtoVersion is the newest session protocol version this build
+	// speaks. The handshake negotiates down: the server acks
+	// min(client, server), and both sides speak the acked version, so a
+	// proto-1 peer talks to a proto-2 one exactly as before.
+	//
+	// Version history:
+	//
+	//	1  the original session format
+	//	2  'E' frame payloads gain a leading uvarint trace ID (0 = the
+	//	   batch is untraced); everything else is unchanged
+	StreamProtoVersion = 2
+	// StreamProtoMin is the oldest protocol version still accepted.
+	StreamProtoMin = 1
 
 	// StreamFrameEvents carries one trace blob of events (client → server).
 	StreamFrameEvents = byte('E')
@@ -328,6 +338,36 @@ func readStreamError(r *bufio.Reader) (StreamError, error) {
 		return se, err
 	}
 	return se, nil
+}
+
+// NegotiateStreamProto picks the session protocol both sides will speak:
+// the older of the client's and this build's versions. ok is false when the
+// client is older than StreamProtoMin.
+func NegotiateStreamProto(clientProto uint32) (proto uint32, ok bool) {
+	if clientProto < StreamProtoMin {
+		return 0, false
+	}
+	if clientProto < StreamProtoVersion {
+		return clientProto, true
+	}
+	return StreamProtoVersion, true
+}
+
+// AppendTraceContext appends the proto-2 trace context — one uvarint trace
+// ID, zero meaning untraced — that prefixes an 'E' frame payload.
+func AppendTraceContext(dst []byte, traceID uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return append(dst, tmp[:binary.PutUvarint(tmp[:], traceID)]...)
+}
+
+// CutTraceContext splits a proto-2 'E' frame payload into its trace ID and
+// the trace blob that follows.
+func CutTraceContext(payload []byte) (traceID uint64, rest []byte, err error) {
+	traceID, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: events frame trace context is malformed", ErrBadFrame)
+	}
+	return traceID, payload[n:], nil
 }
 
 // AppendSessionFrame appends one typed session frame (type byte, uvarint

@@ -52,6 +52,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"reactivespec/internal/obs"
 	"reactivespec/internal/trace"
 )
 
@@ -149,6 +150,10 @@ type Options struct {
 	// Logf, when non-nil, receives operational log lines (recovery
 	// truncation, compaction).
 	Logf func(format string, args ...any)
+	// Trace, when non-nil, records sampled trace-less infrastructure spans
+	// (wal_fsync, wal_rotate) so span files show where the fsync barrier's
+	// time goes. Nil disables with a single branch per fsync.
+	Trace *obs.Tracer
 }
 
 // TailTruncation describes a torn or corrupt tail Open cut off: the segment,
@@ -629,6 +634,9 @@ func (l *Log) flushSyncLocked() error {
 	if l.OnFsync != nil {
 		l.OnFsync(time.Since(start))
 	}
+	if l.opts.Trace.SampleInfra() {
+		l.opts.Trace.RecordInfra("wal_fsync", start, time.Since(start))
+	}
 	l.fsyncs.Add(1)
 	l.dirty = false
 	l.advanceDurable(l.nextSeq)
@@ -676,6 +684,7 @@ func (l *Log) finishSegmentLocked() error {
 	if l.f == nil {
 		return nil
 	}
+	rotStart := time.Now()
 	if err := l.bw.Flush(); err != nil {
 		return fmt.Errorf("wal: flushing segment: %w", err)
 	}
@@ -689,6 +698,11 @@ func (l *Log) finishSegmentLocked() error {
 	l.fsyncs.Add(1)
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: closing segment: %w", err)
+	}
+	// Rotation is infrequent; a rotate span covers the whole flush + fsync
+	// + close of the finished segment.
+	if l.opts.Trace.SampleInfra() {
+		l.opts.Trace.RecordInfra("wal_rotate", rotStart, time.Since(rotStart))
 	}
 	l.f = nil
 	l.dirty = false

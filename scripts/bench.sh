@@ -4,8 +4,9 @@
 # events/sec) in BENCH_ingest.json at the repository root, so hot-path
 # regressions show up as a diff; end-to-end daemon sections add
 # BENCH_stream.json (POST vs streaming transports), BENCH_wal.json (WAL
-# fsync policies), and BENCH_replication.json (ingest with one live follower
-# replica attached). Run from anywhere inside the repository.
+# fsync policies), BENCH_replication.json (ingest with one live follower
+# replica attached), and BENCH_trace.json (span-tracing sampling overhead).
+# Run from anywhere inside the repository.
 #
 #   scripts/bench.sh [benchtime]
 #
@@ -44,6 +45,7 @@ trap cleanup EXIT INT TERM
 cp BENCH_ingest.json "$BENCH_DIR/base_ingest.json" 2>/dev/null || true
 cp BENCH_stream.json "$BENCH_DIR/base_stream.json" 2>/dev/null || true
 cp BENCH_replication.json "$BENCH_DIR/base_replication.json" 2>/dev/null || true
+cp BENCH_trace.json "$BENCH_DIR/base_trace.json" 2>/dev/null || true
 
 echo "==> go test -bench (benchtime=$BENCHTIME)" >&2
 RAW=$(go test -run='^$' -bench="$PATTERN" -benchmem -benchtime="$BENCHTIME" .)
@@ -318,6 +320,55 @@ awk -v off="$REPL_BASE_EPS" -v on="$REPL_EPS" -v limit="$REPL_GATE_PCT" 'BEGIN {
     if (drop > limit) { print "REPLICATION REGRESSION: one attached follower exceeds the ingest overhead budget"; exit 1 }
 }' >&2
 
+# --- Span-tracing overhead -------------------------------------------------
+# Replays the identical seeded POST workload against a fresh daemon with
+# span tracing off, sampling 1 in 128 batches, and sampling every batch, and
+# records the three in BENCH_trace.json. Each mode gets its own daemon (the
+# sample rate is fixed at startup) and an unrecorded warmup. The production
+# recommendation — 1 in 128 — must stay within BENCH_TRACE_GATE_PCT percent
+# (default 3) of the tracing-off throughput measured in the same run; the
+# sample-every-batch row is recorded for context, not gated.
+TRACE_OUT=BENCH_trace.json
+TRACE_GATE_PCT="${BENCH_TRACE_GATE_PCT:-3}"
+
+run_trace_mode() { # $1 = report label; rest = extra reactived flags
+    mode=$1
+    shift
+    start_daemon "$mode" "$@"
+    run_load "warmup-$mode"
+    run_load "$mode"
+    stop_daemon
+}
+
+run_trace_mode trace-off
+run_trace_mode trace-1in128 -trace-spans "$BENCH_DIR/spans-128.jsonl" -trace-sample 128
+run_trace_mode trace-1in1 -trace-spans "$BENCH_DIR/spans-1.jsonl" -trace-sample 1
+
+{
+    printf '[\n'
+    printf '  {"name": "trace-off", "sample": 0, "batch": 1024, "events_per_sec": %s, "batch_latency_p99_ms": %s},\n' \
+        "$(field trace-off events_per_sec)" \
+        "$(field trace-off batch_latency_p99_ms)"
+    printf '  {"name": "trace-1in128", "sample": 128, "batch": 1024, "events_per_sec": %s, "batch_latency_p99_ms": %s},\n' \
+        "$(field trace-1in128 events_per_sec)" \
+        "$(field trace-1in128 batch_latency_p99_ms)"
+    printf '  {"name": "trace-1in1", "sample": 1, "batch": 1024, "events_per_sec": %s, "batch_latency_p99_ms": %s}\n' \
+        "$(field trace-1in1 events_per_sec)" \
+        "$(field trace-1in1 batch_latency_p99_ms)"
+    printf ']\n'
+} >"$TRACE_OUT"
+
+echo "==> wrote $TRACE_OUT" >&2
+cat "$TRACE_OUT"
+
+TRACE_OFF_EPS=$(field trace-off events_per_sec)
+TRACE_128_EPS=$(field trace-1in128 events_per_sec)
+awk -v off="$TRACE_OFF_EPS" -v on="$TRACE_128_EPS" -v limit="$TRACE_GATE_PCT" 'BEGIN {
+    drop = (off - on) / off * 100
+    printf "==> span-tracing overhead (1 in 128): %.1f%% (limit %.0f%%)\n", drop, limit
+    if (drop > limit) { print "TRACING REGRESSION: 1-in-128 sampling exceeds the overhead budget"; exit 1 }
+}' >&2
+
 # --- Regression gate vs the committed baselines ---------------------------
 # Any benchmark shared by a stashed baseline file and its fresh counterpart
 # must not have lost more than GATE_PCT percent throughput.
@@ -351,4 +402,5 @@ else
     gate "$BENCH_DIR/base_ingest.json" "$OUT"
     gate "$BENCH_DIR/base_stream.json" "$STREAM_OUT"
     gate "$BENCH_DIR/base_replication.json" "$REPL_OUT"
+    gate "$BENCH_DIR/base_trace.json" "$TRACE_OUT"
 fi

@@ -36,6 +36,8 @@ cleanup() {
         mkdir -p "$CHECK_ARTIFACT_DIR"
         cp "$SMOKE_DIR"/*.log "$CHECK_ARTIFACT_DIR"/ 2>/dev/null || true
         cp "$SMOKE_DIR"/*.json "$CHECK_ARTIFACT_DIR"/ 2>/dev/null || true
+        cp "$SMOKE_DIR"/*.jsonl "$CHECK_ARTIFACT_DIR"/ 2>/dev/null || true
+        cp "$SMOKE_DIR"/*.txt "$CHECK_ARTIFACT_DIR"/ 2>/dev/null || true
         for d in "$SMOKE_DIR"/wal*; do
             [ -d "$d" ] && cp -r "$d" "$CHECK_ARTIFACT_DIR/$(basename "$d")" 2>/dev/null || true
         done
@@ -52,15 +54,20 @@ trap cleanup EXIT INT TERM
 
 go build -o "$SMOKE_DIR/reactived" ./cmd/reactived
 go build -o "$SMOKE_DIR/reactiveload" ./cmd/reactiveload
+go build -o "$SMOKE_DIR/reactivespec" ./cmd/reactivespec
 
 # Random port; the daemon publishes the bound address through -addr-file.
+# This smoke runs with span tracing at 1-in-1 so every batch leaves a full
+# server-side span tree; reactivespec spans must parse it afterwards.
 "$SMOKE_DIR/reactived" \
     -addr 127.0.0.1:0 \
     -addr-file "$SMOKE_DIR/addr" \
     -stream-addr 127.0.0.1:0 \
     -stream-addr-file "$SMOKE_DIR/stream-addr" \
     -snapshot-dir "$SMOKE_DIR/snaps" \
-    -snapshot-interval 0 >"$SMOKE_DIR/reactived.log" 2>&1 &
+    -snapshot-interval 0 \
+    -trace-spans "$SMOKE_DIR/spans-serve.jsonl" \
+    -trace-sample 1 >"$SMOKE_DIR/reactived.log" 2>&1 &
 DAEMON_PID=$!
 
 i=0
@@ -87,6 +94,7 @@ ADDR=$(cat "$SMOKE_DIR/addr")
     -concurrency 2 \
     -batch 512 \
     -frames 2 \
+    -trace-spans "$SMOKE_DIR/spans-load.jsonl" \
     -verify
 
 # A verified workload over a streaming session (POST /v1/stream upgrade):
@@ -121,6 +129,20 @@ wait "$DAEMON_PID"
 DAEMON_PID=""
 if [ ! -f "$SMOKE_DIR/snaps/current.snap" ]; then
     echo "reactived shutdown left no snapshot" >&2
+    exit 1
+fi
+
+# The traced smoke must have left parseable span files on both sides, and
+# the analyzer must see traced batches in them (client spans join the same
+# traces via the propagated trace IDs).
+echo "==> span-trace smoke (reactivespec spans over the serving-smoke files)"
+"$SMOKE_DIR/reactivespec" spans \
+    "$SMOKE_DIR/spans-serve.jsonl" \
+    "$SMOKE_DIR/spans-load.jsonl" >"$SMOKE_DIR/spans-serve-report.txt"
+if ! grep -q "traced batches" "$SMOKE_DIR/spans-serve-report.txt" ||
+    grep -q "traced batches: 0" "$SMOKE_DIR/spans-serve-report.txt"; then
+    echo "span report has no traced batches" >&2
+    cat "$SMOKE_DIR/spans-serve-report.txt" >&2
     exit 1
 fi
 
@@ -244,10 +266,14 @@ echo "==> failover smoke (SIGKILL primary mid-run, promote replica, verified res
     -wal-dir "$SMOKE_DIR/wal-primary" \
     -wal-fsync always \
     -replication-addr 127.0.0.1:0 \
-    -replication-addr-file "$SMOKE_DIR/repl-addr" >"$SMOKE_DIR/reactived-primary.log" 2>&1 &
+    -replication-addr-file "$SMOKE_DIR/repl-addr" \
+    -debug-addr 127.0.0.1:0 \
+    -debug-addr-file "$SMOKE_DIR/debug-addr" \
+    -trace-spans "$SMOKE_DIR/spans-primary.jsonl" \
+    -trace-sample 1 >"$SMOKE_DIR/reactived-primary.log" 2>&1 &
 DAEMON_PID=$!
 i=0
-while [ ! -s "$SMOKE_DIR/addr-primary" ] || [ ! -s "$SMOKE_DIR/repl-addr" ]; do
+while [ ! -s "$SMOKE_DIR/addr-primary" ] || [ ! -s "$SMOKE_DIR/repl-addr" ] || [ ! -s "$SMOKE_DIR/debug-addr" ]; do
     i=$((i + 1))
     if [ "$i" -gt 100 ]; then
         echo "primary reactived never published its addresses" >&2
@@ -269,6 +295,8 @@ done
     -snapshot-interval 0 \
     -wal-dir "$SMOKE_DIR/wal-replica" \
     -wal-fsync always \
+    -trace-spans "$SMOKE_DIR/spans-replica.jsonl" \
+    -trace-sample 1 \
     -replica-of "$(cat "$SMOKE_DIR/repl-addr")" >"$SMOKE_DIR/reactived-replica.log" 2>&1 &
 REPLICA_PID=$!
 i=0
@@ -292,13 +320,24 @@ done
     -failover "http://$(cat "$SMOKE_DIR/addr-replica")" \
     -failover-pid "$DAEMON_PID" \
     -failover-after-batches 6 \
+    -failover-debug "http://$(cat "$SMOKE_DIR/debug-addr")" \
+    -dump-metrics \
+    -trace-spans "$SMOKE_DIR/spans-loadgen.jsonl" \
     -bench crafty \
     -scale 0.2 \
     -events 6000 \
     -concurrency 2 \
-    -batch 256 >"$SMOKE_DIR/failover-report.json"
+    -batch 256 >"$SMOKE_DIR/failover-report.json" 2>"$SMOKE_DIR/failover-metrics.txt"
 wait "$DAEMON_PID" 2>/dev/null || true
 DAEMON_PID=""
+
+# -failover-debug must have captured the primary's replication expvars (the
+# follower-lag snapshot) in its last instant alive.
+if ! grep -q "primary replication expvars at kill time" "$SMOKE_DIR/failover-metrics.txt"; then
+    echo "failover run captured no kill-time replication expvars" >&2
+    cat "$SMOKE_DIR/failover-metrics.txt" >&2
+    exit 1
+fi
 
 # The promoted replica must say so in its own log, and still be alive.
 if ! grep -q "promoted to primary" "$SMOKE_DIR/reactived-replica.log"; then
@@ -314,6 +353,17 @@ kill -0 "$REPLICA_PID" 2>/dev/null || {
 kill "$REPLICA_PID"
 wait "$REPLICA_PID"
 REPLICA_PID=""
+
+# The concatenated primary + replica span files must contain at least one
+# complete cross-node chain — a traced batch observed through its WAL
+# append, the replication ship, and the follower's apply. -require-chain
+# makes the analyzer itself fail otherwise, so propagation cannot silently
+# rot into single-node traces.
+echo "==> cross-node span chain (reactivespec -require-chain spans)"
+"$SMOKE_DIR/reactivespec" -require-chain spans \
+    "$SMOKE_DIR/spans-primary.jsonl" \
+    "$SMOKE_DIR/spans-replica.jsonl" \
+    "$SMOKE_DIR/spans-loadgen.jsonl" >"$SMOKE_DIR/spans-failover-report.txt"
 
 # One iteration of every benchmark, so a bench that rots (compile error,
 # panic, bad setup) fails the gate long before anyone needs its numbers.
