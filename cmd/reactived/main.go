@@ -14,6 +14,11 @@
 //	-addr-file f          write the bound address to f once listening (for scripts)
 //	-stream-addr a        also accept raw-TCP streaming ingest sessions on this address
 //	-stream-addr-file f   write the bound stream address to f once listening
+//	-stream-unix p        also accept streaming ingest sessions on a unix-domain
+//	                      socket at path p (co-located producers skip the TCP stack;
+//	                      a stale socket file from a crashed daemon is removed if
+//	                      nothing is listening, and the file is unlinked on shutdown)
+//	-stream-unix-file f   write the stream socket target (unix://p) to f once listening
 //	-shards n             lock-stripe count for the controller table (default 16)
 //	-param-scale k        divide the paper's Table 2 parameters by k (default 10)
 //	-snapshot-dir d       enable snapshot/restore under directory d
@@ -211,6 +216,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"also accept raw-TCP streaming ingest sessions on this address (use :0 for a random port)")
 	streamAddrFile := fs.String("stream-addr-file", "",
 		"write the bound stream address to this file once listening")
+	streamUnix := fs.String("stream-unix", "",
+		"also accept streaming ingest sessions on a unix-domain socket at this path")
+	streamUnixFile := fs.String("stream-unix-file", "",
+		"write the stream socket target (unix://path) to this file once listening")
 	shards := fs.Int("shards", 16, "lock-stripe count for the controller table")
 	paramScale := fs.Uint64("param-scale", 10, "divide the paper's Table 2 parameters by this factor")
 	snapshotDir := fs.String("snapshot-dir", "", "enable snapshot/restore under this directory")
@@ -413,6 +422,27 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}()
 	}
 
+	// The unix-domain stream listener: same session loop again, minus the
+	// TCP stack, for producers on the same host.
+	if *streamUnix != "" {
+		uln, err := listenUnixStream(*streamUnix)
+		if err != nil {
+			return fmt.Errorf("listening on -stream-unix: %w", err)
+		}
+		// *net.UnixListener unlinks the socket file on Close, so the
+		// deferred Close doubles as the graceful-shutdown cleanup.
+		defer uln.Close()
+		if *streamUnixFile != "" {
+			if err := os.WriteFile(*streamUnixFile, []byte("unix://"+*streamUnix), 0o644); err != nil {
+				return fmt.Errorf("writing -stream-unix-file: %w", err)
+			}
+		}
+		logf("stream listener on unix:%s", *streamUnix)
+		go func() {
+			s.ServeStream(uln)
+		}()
+	}
+
 	// The runtime profiling surface: pprof and expvar register themselves
 	// on the default mux, which we serve on a separate listener so debug
 	// traffic never shares a port with ingest.
@@ -497,4 +527,30 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return nil
 		}
 	}
+}
+
+// listenUnixStream binds the -stream-unix listener at path. A socket file
+// left behind by a crashed daemon (SIGKILL skips the unlink) would make a
+// plain Listen fail with "address already in use", so on that failure the
+// pre-existing file is probed: if something answers a dial the path is
+// genuinely taken and the bind error stands; if nothing is listening the
+// stale file is removed and the bind retried, so a restart reuses its path
+// without manual cleanup. Files that are not sockets are never touched.
+func listenUnixStream(path string) (net.Listener, error) {
+	ln, err := net.Listen("unix", path)
+	if err == nil {
+		return ln, nil
+	}
+	fi, statErr := os.Lstat(path)
+	if statErr != nil || fi.Mode()&os.ModeSocket == 0 {
+		return nil, err
+	}
+	if probe, dialErr := net.DialTimeout("unix", path, 500*time.Millisecond); dialErr == nil {
+		probe.Close()
+		return nil, fmt.Errorf("socket is in use by a live listener: %w", err)
+	}
+	if rmErr := os.Remove(path); rmErr != nil {
+		return nil, fmt.Errorf("removing stale socket: %w", rmErr)
+	}
+	return net.Listen("unix", path)
 }

@@ -52,7 +52,11 @@
 //	-verify          cross-check every decision against an in-process controller
 //	-stream          use streaming ingest sessions instead of per-batch POSTs
 //	-window n        requested stream pipeline window in frames (0 = server default)
-//	-stream-addr a   dial the daemon's raw stream listener instead of upgrading over HTTP
+//	-decisions e     stream decision-frame encoding: rle (default), plain or change
+//	-stream-addr a   dial the daemon's raw stream listener instead of upgrading over HTTP;
+//	                 accepts host:port or unix:///path/to.sock
+//	-preencode       generate + encode every batch before the timed run (stream modes only),
+//	                 so the measurement isolates transport and serving cost
 //	-failover url            follower base URL: verify failover by resuming against it (implies -verify)
 //	-failover-pid n          primary pid to SIGKILL once the batch threshold is acked
 //	-failover-after-batches n  acked batches across all workers before the kill
@@ -92,15 +96,17 @@ import (
 
 // Report is the JSON result written to stdout.
 type Report struct {
-	Benchmark   string  `json:"benchmark"`
-	Input       string  `json:"input"`
-	Mode        string  `json:"mode"` // "post", "stream" or "failover"
-	Concurrency int     `json:"concurrency"`
-	Batch       int     `json:"batch"`
-	Frames      int     `json:"frames_per_batch"`
-	Window      int     `json:"window,omitempty"` // granted stream window
-	Intensity   float64 `json:"intensity"`
-	Verified    bool    `json:"verified"`
+	Benchmark     string  `json:"benchmark"`
+	Input         string  `json:"input"`
+	Mode          string  `json:"mode"` // "post", "stream" or "failover"
+	Concurrency   int     `json:"concurrency"`
+	Batch         int     `json:"batch"`
+	Frames        int     `json:"frames_per_batch"`
+	Window        int     `json:"window,omitempty"`           // granted stream window
+	DecisionsWire string  `json:"stream_decisions,omitempty"` // requested decision-frame encoding (stream modes)
+	Preencode     bool    `json:"preencode,omitempty"`        // batches were encoded before the timed run
+	Intensity     float64 `json:"intensity"`
+	Verified      bool    `json:"verified"`
 
 	Events     uint64  `json:"events"`
 	Batches    uint64  `json:"batches"`
@@ -202,8 +208,12 @@ func run(args []string, out io.Writer) error {
 	verify := fs.Bool("verify", false, "cross-check every decision against an in-process controller")
 	streamMode := fs.Bool("stream", false, "use streaming ingest sessions instead of per-batch POSTs")
 	window := fs.Int("window", 0, "requested stream pipeline window in frames (0 = server default)")
+	decisionsMode := fs.String("decisions", "rle",
+		"stream decision-frame encoding: rle, plain or change (stream modes only)")
 	streamAddr := fs.String("stream-addr", "",
 		"dial the daemon's raw stream listener at this address instead of upgrading over HTTP (implies -stream)")
+	preencode := fs.Bool("preencode", false,
+		"generate and encode every batch before the timed run (stream modes only): the measured loop ships ready wire frames, isolating transport and serving cost from workload generation")
 	failoverURL := fs.String("failover", "",
 		"follower base URL: verify failover by promoting it when the primary dies and resuming against it (implies -verify)")
 	failoverPid := fs.Int("failover-pid", 0,
@@ -239,8 +249,22 @@ func run(args []string, out io.Writer) error {
 	if *streamAddr != "" {
 		*streamMode = true
 	}
+	var streamDecisions server.StreamDecisions
+	switch *decisionsMode {
+	case "rle":
+		streamDecisions = server.StreamDecisionsRLE
+	case "plain":
+		streamDecisions = server.StreamDecisionsPlain
+	case "change":
+		streamDecisions = server.StreamDecisionsChangeOnly
+	default:
+		return fmt.Errorf("unknown -decisions %q (want rle, plain or change)", *decisionsMode)
+	}
 	if *frames != 1 && *streamMode {
 		return fmt.Errorf("-frames does not apply to -stream (each batch is one frame on the session)")
+	}
+	if *preencode && !*streamMode {
+		return fmt.Errorf("-preencode applies to stream modes only")
 	}
 	if *failoverURL == "" && (*failoverPid != 0 || *failoverAfter != 0) {
 		return fmt.Errorf("-failover-pid and -failover-after-batches require -failover")
@@ -328,28 +352,44 @@ func run(args []string, out io.Writer) error {
 
 	ins := newInstruments()
 	results := make([]workerResult, *concurrency)
+	cfgs := make([]workerConfig, *concurrency)
+	for w := range cfgs {
+		cfgs[w] = workerConfig{
+			program:    fmt.Sprintf("%s@%d", *bench, w),
+			bench:      *bench,
+			input:      inputID,
+			scale:      *scale,
+			events:     *events,
+			batch:      *batch,
+			frames:     *frames,
+			seed:       *seed + uint64(w),
+			intensity:  *intensity,
+			params:     params,
+			verify:     *verify,
+			window:     *window,
+			streamAddr: *streamAddr,
+			decisions:  streamDecisions,
+			tracer:     tracer,
+		}
+	}
+	if *preencode {
+		// Materialize every worker's batches and their wire frames outside
+		// the timed section, so elapsed measures transport + serving only.
+		for w := range cfgs {
+			pre, err := prebuildBatches(cfgs[w])
+			if err != nil {
+				return err
+			}
+			cfgs[w].pre = pre
+		}
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			cfg := workerConfig{
-				program:    fmt.Sprintf("%s@%d", *bench, w),
-				bench:      *bench,
-				input:      inputID,
-				scale:      *scale,
-				events:     *events,
-				batch:      *batch,
-				frames:     *frames,
-				seed:       *seed + uint64(w),
-				intensity:  *intensity,
-				params:     params,
-				verify:     *verify,
-				window:     *window,
-				streamAddr: *streamAddr,
-				tracer:     tracer,
-			}
+			cfg := cfgs[w]
 			switch {
 			case fc != nil:
 				results[w] = runFailoverWorker(ctx, client, ins, cfg, fc)
@@ -382,6 +422,10 @@ func run(args []string, out io.Writer) error {
 		ElapsedSec:  elapsed.Seconds(),
 		Verdicts:    map[string]uint64{},
 		Decisions:   map[string]uint64{},
+	}
+	if *streamMode {
+		rep.DecisionsWire = *decisionsMode
+		rep.Preencode = *preencode
 	}
 	for w, r := range results {
 		if r.err != nil {
@@ -459,7 +503,50 @@ type workerConfig struct {
 	verify     bool
 	window     int
 	streamAddr string
+	decisions  server.StreamDecisions
 	tracer     *obs.Tracer
+	pre        *prebuilt // non-nil under -preencode
+}
+
+// prebuilt is one worker's pre-generated workload: the event batches and
+// their encoded wire frames, built before the timed run starts.
+type prebuilt struct {
+	batches [][]trace.Event
+	frames  [][]byte
+}
+
+// prebuildBatches materializes a worker's entire seeded event stream into
+// batch-sized chunks and encodes each one into the exact frame payload
+// Stream.Send would produce.
+func prebuildBatches(cfg workerConfig) (*prebuilt, error) {
+	stream, err := buildEventStream(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pre := &prebuilt{}
+	batch := make([]trace.Event, 0, cfg.batch)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		evs := make([]trace.Event, len(batch))
+		copy(evs, batch)
+		pre.batches = append(pre.batches, evs)
+		pre.frames = append(pre.frames, trace.EncodeFrameAppend(nil, evs))
+		batch = batch[:0]
+	}
+	for {
+		ev, ok := stream.Next()
+		if !ok {
+			break
+		}
+		batch = append(batch, ev)
+		if len(batch) == cfg.batch {
+			flush()
+		}
+	}
+	flush()
+	return pre, nil
 }
 
 // buildEventStream assembles one worker's seeded event source: workload
@@ -621,10 +708,13 @@ func runWorker(ctx context.Context, client *server.Client, ins *instruments, cfg
 // against the mirror, and measures per-frame send-to-decision latency.
 func runStreamWorker(ctx context.Context, client *server.Client, ins *instruments, cfg workerConfig) workerResult {
 	var res workerResult
-	stream, err := buildEventStream(cfg)
-	if err != nil {
-		res.err = err
-		return res
+	var stream trace.Stream
+	var err error
+	if cfg.pre == nil {
+		if stream, err = buildEventStream(cfg); err != nil {
+			res.err = err
+			return res
+		}
 	}
 	mir := newMirror(cfg)
 
@@ -632,6 +722,7 @@ func runStreamWorker(ctx context.Context, client *server.Client, ins *instrument
 	if cfg.window > 0 {
 		opts = append(opts, server.WithStreamWindow(cfg.window))
 	}
+	opts = append(opts, server.WithStreamDecisions(cfg.decisions))
 	if cfg.tracer != nil {
 		// OpenStream inherits the client's tracer; DialStream bypasses the
 		// client, so the raw-listener path needs it passed explicitly.
@@ -672,6 +763,21 @@ func runStreamWorker(ctx context.Context, client *server.Client, ins *instrument
 	sendErr := make(chan error, 1)
 	go func() {
 		defer close(pending)
+		if cfg.pre != nil {
+			// Pre-encoded run: the loop ships ready wire frames; no
+			// generation or encoding happens inside the measurement.
+			for i, frame := range cfg.pre.frames {
+				evs := cfg.pre.batches[i]
+				t0 := time.Now()
+				if err := st.SendEncoded(ctx, frame, len(evs)); err != nil {
+					sendErr <- err
+					return
+				}
+				pending <- inflight{events: evs, sentAt: t0}
+			}
+			sendErr <- nil
+			return
+		}
 		batch := make([]trace.Event, 0, cfg.batch)
 		flush := func() error {
 			if len(batch) == 0 {

@@ -178,3 +178,53 @@ func TestApplyBatchConcurrentWithReaders(t *testing.T) {
 		t.Fatalf("total events %d, want %d", concurrentTotal.Events, programs*events)
 	}
 }
+
+// TestApplyShardedMatchesApply pins the two-pass shard schedule directly,
+// bypassing the hop-density heuristic that normally routes batches to it:
+// for branch-hopping and run-heavy traces alike it must produce the
+// byte-identical decision stream, final instruction count, and shard
+// metrics as per-event Apply. (TestApplyBatchMatchesApply covers the
+// dispatcher; this covers the schedule the heuristic might not pick.)
+func TestApplyShardedMatchesApply(t *testing.T) {
+	runs := make([]trace.Event, 0, 20_000)
+	for i := 0; len(runs) < 20_000; i++ {
+		b := trace.BranchID(i % 7)
+		for j := 0; j < 500 && len(runs) < 20_000; j++ {
+			runs = append(runs, trace.Event{Branch: b, Taken: j%3 != 0, Gap: uint32(1 + j%5)})
+		}
+	}
+	traces := map[string][]trace.Event{
+		"hopping": synthEvents(20_000, 3),
+		"runs":    runs,
+	}
+	for name, evs := range traces {
+		for _, shards := range []int{2, 16} {
+			t.Run(fmt.Sprintf("%s/shards=%d", name, shards), func(t *testing.T) {
+				perEvent := NewTable(testParams(), shards)
+				var instrA uint64
+				want := applyAll(perEvent, "prog", evs, &instrA)
+
+				sharded := NewTable(testParams(), shards)
+				got, instrB := sharded.applySharded(programHash("prog"), "prog", evs, 0, nil)
+
+				if instrA != instrB {
+					t.Fatalf("final instruction count %d, want %d", instrB, instrA)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%d decisions, want %d", len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						gd, _ := DecodeDecision(got[i])
+						wd, _ := DecodeDecision(want[i])
+						t.Fatalf("event %d (branch %d): sharded %v, per-event %v",
+							i, evs[i].Branch, gd, wd)
+					}
+				}
+				if gm, wm := sharded.Metrics(), perEvent.Metrics(); !reflect.DeepEqual(gm, wm) {
+					t.Fatalf("shard metrics diverge:\nsharded:   %+v\nper-event: %+v", gm, wm)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which makes sync.Pool drop items on purpose and so voids
+// steady-state allocation pins.
+const raceEnabled = true

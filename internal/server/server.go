@@ -265,21 +265,26 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// frameSpan locates one frame of a batch inside the shared event and
-// decision buffers: applied frames own [start, end) of both; rejected frames
-// are empty spans carrying the rejection diagnostic.
+// frameSpan locates one frame of a batch inside the shared payload and
+// decision buffers: applied frames own [pstart, pend) of the raw payload
+// bytes and [dstart, dend) of the decisions, with events counting the
+// frame's validated records; rejected frames are empty spans carrying the
+// rejection diagnostic.
 type frameSpan struct {
-	start, end int
-	errMsg     string
+	pstart, pend int
+	dstart, dend int
+	events       int
+	errMsg       string
 }
 
 // ingestScratch is the pooled per-request working set of the ingest hot
-// path: the decoded events of every applied frame (one shared buffer, frames
-// as spans over it), the per-event decision bytes (parallel to events), and
-// the encoded response. Pooling these — plus the FrameReader's internal
-// payload buffer — makes the steady-state handler allocation-free.
+// path: the validated raw payload bytes of every applied frame (one shared
+// buffer, frames as spans over it — events are never materialized into
+// structs; ApplyFrame decodes them in place), the per-event decision bytes,
+// and the encoded response. Pooling these — plus the FrameReader's internal
+// read buffer — makes the steady-state handler allocation-free.
 type ingestScratch struct {
-	events    []trace.Event
+	payload   []byte
 	frames    []frameSpan
 	decisions []byte
 	resp      []byte
@@ -347,17 +352,20 @@ func (s *Server) ingestBatch(w http.ResponseWriter, r *http.Request, program str
 
 	sc := ingestScratchPool.Get().(*ingestScratch)
 	defer func() {
-		sc.events = sc.events[:0]
+		sc.payload = sc.payload[:0]
 		sc.frames = sc.frames[:0]
 		sc.decisions = sc.decisions[:0]
 		sc.resp = sc.resp[:0]
 		ingestScratchPool.Put(sc)
 	}()
 
-	// Stage 1 — read + decode, no locks held. The whole body is consumed
+	// Stage 1 — read + validate, no locks held. The whole body is consumed
 	// into pooled buffers before the program cursor is taken, so a client
 	// trickling bytes over a slow socket cannot stall other ingesters for
-	// the same program the way the old decode-under-lock loop could.
+	// the same program the way the old decode-under-lock loop could. Frames
+	// are validated (same accept/reject set and diagnostics as decoding) but
+	// kept as raw payload bytes: the WAL splices them in verbatim and
+	// ApplyFrame decodes them in place, so no []trace.Event is materialized.
 	decodeStart := time.Now()
 	var truncated error
 	if sc.fr == nil {
@@ -367,8 +375,8 @@ func (s *Server) ingestBatch(w http.ResponseWriter, r *http.Request, program str
 	}
 	fr := sc.fr
 	for {
-		n0 := len(sc.events)
-		events, err := fr.NextAppend(sc.events)
+		p0 := len(sc.payload)
+		payload, nEvents, err := fr.NextPayloadAppend(sc.payload)
 		if err == io.EOF {
 			break
 		}
@@ -377,7 +385,7 @@ func (s *Server) ingestBatch(w http.ResponseWriter, r *http.Request, program str
 			// The frame is corrupt but the framing survived: reject
 			// this frame only and keep consuming the batch.
 			s.ins.rejectedFrames.Inc()
-			sc.frames = append(sc.frames, frameSpan{start: n0, end: n0, errMsg: fe.Error()})
+			sc.frames = append(sc.frames, frameSpan{pstart: p0, pend: p0, errMsg: fe.Error()})
 			continue
 		}
 		if err != nil {
@@ -387,8 +395,8 @@ func (s *Server) ingestBatch(w http.ResponseWriter, r *http.Request, program str
 			truncated = err
 			break
 		}
-		sc.events = events
-		sc.frames = append(sc.frames, frameSpan{start: n0, end: len(events)})
+		sc.payload = payload
+		sc.frames = append(sc.frames, frameSpan{pstart: p0, pend: len(payload), events: nEvents})
 	}
 	decodeDur := time.Since(decodeStart)
 
@@ -413,7 +421,7 @@ func (s *Server) ingestBatch(w http.ResponseWriter, r *http.Request, program str
 				continue
 			}
 			var seq uint64
-			if seq, walErr = wlog.Append(program, sc.events[f.start:f.end]); walErr != nil {
+			if seq, walErr = wlog.AppendPayload(program, sc.payload[f.pstart:f.pend]); walErr != nil {
 				break
 			}
 			if firstSeq == 0 {
@@ -432,14 +440,19 @@ func (s *Server) ingestBatch(w http.ResponseWriter, r *http.Request, program str
 	}
 	walDur := fsyncStart.Sub(walStart)
 	tableStart := time.Now()
+	var totalEvents int
 	if walErr == nil {
-		for _, f := range sc.frames {
+		for i := range sc.frames {
+			f := &sc.frames[i]
 			if f.errMsg != "" {
 				continue
 			}
-			sc.decisions, cur.instr = s.table.ApplyBatch(program, sc.events[f.start:f.end], cur.instr, sc.decisions)
+			f.dstart = len(sc.decisions)
+			sc.decisions, cur.instr = s.table.ApplyFrame(program, sc.payload[f.pstart:f.pend], cur.instr, sc.decisions)
+			f.dend = len(sc.decisions)
+			totalEvents += f.events
 		}
-		cur.events += uint64(len(sc.events))
+		cur.events += uint64(totalEvents)
 	}
 	tableDur := time.Since(tableStart)
 	cur.mu.Unlock()
@@ -456,10 +469,9 @@ func (s *Server) ingestBatch(w http.ResponseWriter, r *http.Request, program str
 	}
 	applyDur := time.Since(applyStart)
 
-	// Stage 3 — encode and write the response from a pooled buffer.
-	// Rejected frames contributed no events, so the decision buffer's
-	// indices line up with the event buffer's and each applied frame's
-	// decisions are exactly sc.decisions[f.start:f.end].
+	// Stage 3 — encode and write the response from a pooled buffer. Each
+	// applied frame recorded its span of the shared decision buffer while
+	// applying, one byte per event.
 	respondStart := time.Now()
 	resp := sc.resp[:0]
 	resp = append(resp, respMagic[:]...)
@@ -469,8 +481,8 @@ func (s *Server) ingestBatch(w http.ResponseWriter, r *http.Request, program str
 	for _, f := range sc.frames {
 		if f.errMsg == "" {
 			resp = append(resp, ingestApplied)
-			putUvarint(uint64(f.end - f.start))
-			resp = append(resp, sc.decisions[f.start:f.end]...)
+			putUvarint(uint64(f.events))
+			resp = append(resp, sc.decisions[f.dstart:f.dend]...)
 		} else {
 			resp = append(resp, ingestRejected)
 			putUvarint(uint64(len(f.errMsg)))
@@ -500,7 +512,7 @@ func (s *Server) ingestBatch(w http.ResponseWriter, r *http.Request, program str
 	s.ins.decodeLat.Observe(decodeDur.Seconds())
 	s.ins.applyLat.Observe(applyDur.Seconds())
 	s.ins.respondLat.Observe(respondDur.Seconds())
-	s.ins.batchEvents.Observe(float64(len(sc.events)))
+	s.ins.batchEvents.Observe(float64(totalEvents))
 
 	if traceID != 0 {
 		// The batch root plus its contiguous children (decode through
@@ -509,11 +521,11 @@ func (s *Server) ingestBatch(w http.ResponseWriter, r *http.Request, program str
 		tr := s.cfg.Trace
 		root := tr.SpanID()
 		tr.Record(obs.Span{Trace: traceID, Span: root, Stage: "batch", Program: program,
-			Events: len(sc.events), Seq: firstSeq, Start: start.UnixNano(), Dur: int64(end.Sub(start))})
-		tr.RecordStage(traceID, root, "decode", program, len(sc.events), 0, decodeStart, decodeDur)
-		tr.RecordStage(traceID, root, "wal_append", program, len(sc.events), firstSeq, walStart, walDur)
+			Events: totalEvents, Seq: firstSeq, Start: start.UnixNano(), Dur: int64(end.Sub(start))})
+		tr.RecordStage(traceID, root, "decode", program, totalEvents, 0, decodeStart, decodeDur)
+		tr.RecordStage(traceID, root, "wal_append", program, totalEvents, firstSeq, walStart, walDur)
 		tr.RecordStage(traceID, root, "fsync", program, 0, firstSeq, fsyncStart, fsyncDur)
-		tr.RecordStage(traceID, root, "apply", program, len(sc.events), 0, tableStart, tableDur)
+		tr.RecordStage(traceID, root, "apply", program, totalEvents, 0, tableStart, tableDur)
 		tr.RecordStage(traceID, root, "respond", program, 0, 0, respondStart, respondDur)
 	}
 }

@@ -27,9 +27,10 @@ import (
 //   - a dedicated raw TCP listener (reactived -stream-addr) where the
 //     session protocol starts immediately after connect.
 //
-// Decisions are byte-identical to the /v1/ingest path: both run
-// Table.ApplyBatch under the same per-program cursor lock, so a program's
-// event order — and therefore its decision sequence — is independent of the
+// Decisions are byte-identical to the /v1/ingest path: both train the same
+// Table under the same per-program cursor lock — the stream side through
+// ApplyFrame, pinned bit-identical to ApplyBatch — so a program's event
+// order, and therefore its decision sequence, is independent of the
 // transport (TestStreamMatchesIngest pins this).
 //
 // Backpressure is window-based: the handshake ack advertises how many event
@@ -211,6 +212,7 @@ func (s *Server) serveStreamConn(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 		}
 	}
 	proto, protoOK := trace.NegotiateStreamProto(hs.Proto)
+	flags := trace.NegotiateStreamFlags(proto, hs.Flags)
 	switch {
 	case !protoOK:
 		reject(trace.StreamCodeProtoMismatch, fmt.Sprintf(
@@ -250,7 +252,7 @@ func (s *Server) serveStreamConn(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 	s.ins.streamSessions.Inc()
 
 	wireBuf = trace.AppendAck(wireBuf[:0], trace.Ack{
-		Proto: proto, Window: window, ParamsHash: s.paramsHash,
+		Proto: proto, Flags: flags, Window: window, ParamsHash: s.paramsHash,
 	})
 	if writeWire(wireBuf) != nil || bw.Flush() != nil {
 		return
@@ -262,16 +264,26 @@ func (s *Server) serveStreamConn(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 	pprof.Do(context.Background(), pprof.Labels(
 		"program", hs.Program, "transport", "stream", "role", s.Mode(),
 	), func(context.Context) {
-		s.streamFrameLoop(conn, br, bw, ss, hs.Program, proto, writeWire)
+		s.streamFrameLoop(conn, br, bw, ss, hs.Program, proto, flags, writeWire)
 	})
 }
 
 // streamFrameLoop runs one established session's event/decision loop to
 // completion: event frames in, decision (or reject) frames out, terminal
 // frame last. proto is the negotiated session protocol; at 2 every event
-// frame payload starts with a trace context.
+// frame payload starts with a trace context; at 3 decision frames may be
+// coalesced per flags.
+//
+// The read path is zero-copy at the byte level: ReadSessionFrameBuffered
+// hands back a payload aliasing the connection read buffer, the frame is
+// validated in place (trace.ValidateFrame — identical accept/reject set
+// and diagnostics to the old decode), the WAL splices the validated bytes
+// verbatim (wal.AppendPayload writes the same record bytes Append would),
+// and Table.ApplyFrame decodes into a pooled scratch that never escapes
+// it. Steady state allocates nothing per frame, and the payload is fully
+// consumed before the next read invalidates it.
 func (s *Server) streamFrameLoop(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
-	ss *streamSession, program string, proto uint32, writeWire func([]byte) error) {
+	ss *streamSession, program string, proto, flags uint32, writeWire func([]byte) error) {
 	// terminal ends the session with a typed frame; the client surfaces
 	// the code (ErrDraining for "draining", io.EOF for "bye") instead of a
 	// bare connection reset.
@@ -288,15 +300,15 @@ func (s *Server) streamFrameLoop(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 	// allocates nothing.
 	var (
 		payloadScratch []byte
-		events         []trace.Event
 		decisions      []byte
+		decScratch     []byte
 		payload        []byte
 		err            error
 		cur            = s.cursorFor(program)
 	)
 	for {
 		var typ byte
-		typ, payload, payloadScratch, err = trace.ReadSessionFrame(br, payloadScratch)
+		typ, payload, payloadScratch, err = trace.ReadSessionFrameBuffered(br, payloadScratch)
 		if err != nil {
 			if ss.draining.Load() {
 				conn.SetReadDeadline(time.Time{})
@@ -324,8 +336,9 @@ func (s *Server) streamFrameLoop(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 				traceID = s.cfg.Trace.SampleBatch()
 			}
 			decodeStart := time.Now()
+			var nEvents int
 			if err == nil {
-				events, err = trace.DecodeFrameAppend(body, events[:0])
+				nEvents, err = trace.ValidateFrame(body)
 			}
 			decodeDur := time.Since(decodeStart)
 			if err != nil {
@@ -351,8 +364,11 @@ func (s *Server) streamFrameLoop(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 				if wlog := s.cfg.WAL; wlog != nil {
 					// Same contract as the POST path: the frame is logged
 					// under the cursor lock (WAL order == apply order) and
-					// committed before it trains the table.
-					seq, walErr = wlog.Append(program, events)
+					// committed before it trains the table. The validated
+					// wire payload is spliced in verbatim — the record
+					// bytes match what Append would have written for the
+					// decoded events.
+					seq, walErr = wlog.AppendPayload(program, body)
 					if walErr == nil {
 						s.cfg.Trace.NoteSeq(seq, traceID)
 					}
@@ -365,7 +381,7 @@ func (s *Server) streamFrameLoop(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 				walDur := fsyncStart.Sub(walStart)
 				tableStart := time.Now()
 				if walErr == nil {
-					decisions, cur.instr = s.table.ApplyBatch(program, events, cur.instr, decisions[:0])
+					decisions, cur.instr = s.table.ApplyFrame(program, body, cur.instr, decisions[:0])
 				}
 				tableDur := time.Since(tableStart)
 				cur.mu.Unlock()
@@ -379,9 +395,9 @@ func (s *Server) streamFrameLoop(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 					return
 				}
 				s.ins.applyLat.Observe(time.Since(applyStart).Seconds())
-				s.ins.batchEvents.Observe(float64(len(events)))
+				s.ins.batchEvents.Observe(float64(nEvents))
 				respondStart := time.Now()
-				wireBuf = appendDecisionsFrame(wireBuf[:0], decisions)
+				wireBuf, decScratch = appendDecisionsFrameCoalesced(wireBuf[:0], decisions, proto, flags, decScratch)
 				if writeWire(wireBuf) != nil {
 					return
 				}
@@ -390,11 +406,11 @@ func (s *Server) streamFrameLoop(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 					end := time.Now()
 					root := tr.SpanID()
 					tr.Record(obs.Span{Trace: traceID, Span: root, Stage: "batch", Program: program,
-						Events: len(events), Seq: seq, Start: batchStart.UnixNano(), Dur: int64(end.Sub(batchStart))})
-					tr.RecordStage(traceID, root, "decode", program, len(events), 0, decodeStart, decodeDur)
-					tr.RecordStage(traceID, root, "wal_append", program, len(events), seq, walStart, walDur)
+						Events: nEvents, Seq: seq, Start: batchStart.UnixNano(), Dur: int64(end.Sub(batchStart))})
+					tr.RecordStage(traceID, root, "decode", program, nEvents, 0, decodeStart, decodeDur)
+					tr.RecordStage(traceID, root, "wal_append", program, nEvents, seq, walStart, walDur)
 					tr.RecordStage(traceID, root, "fsync", program, 0, seq, fsyncStart, fsyncDur)
-					tr.RecordStage(traceID, root, "apply", program, len(events), 0, tableStart, tableDur)
+					tr.RecordStage(traceID, root, "apply", program, nEvents, 0, tableStart, tableDur)
 					tr.RecordStage(traceID, root, "respond", program, 0, 0, respondStart, end.Sub(respondStart))
 				}
 			}
@@ -417,13 +433,49 @@ func (s *Server) streamFrameLoop(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 }
 
 // appendDecisionsFrame appends one 'D' session frame carrying the decision
-// bytes (count uvarint + one byte per event) to dst.
+// bytes (count uvarint + one byte per event) to dst. The header is built in
+// place — the payload length is computable without staging the payload — so
+// the hot respond path allocates nothing.
 func appendDecisionsFrame(dst, decisions []byte) []byte {
-	// Build the payload in place after the header: type byte, payload
-	// length, count, decisions.
-	payload := appendUvarint(nil, uint64(len(decisions)))
-	payload = append(payload, decisions...)
-	return trace.AppendSessionFrame(dst, trace.StreamFrameDecisions, payload)
+	dst = append(dst, trace.StreamFrameDecisions)
+	countLen := uvarintLen(uint64(len(decisions)))
+	dst = appendUvarint(dst, uint64(countLen+len(decisions)))
+	dst = appendUvarint(dst, uint64(len(decisions)))
+	return append(dst, decisions...)
+}
+
+// appendDecisionsFrameCoalesced appends the session frame answering one
+// applied event frame, in the encoding the session negotiated: plain 'D'
+// below proto 3, run-length 'd' at proto 3, change-list 'x' when the
+// change-only flag was granted. Either coalesced form falls back to the
+// plain frame whenever it does not strictly shrink the payload, so the wire
+// cost is bounded by today's encoding. scratch stages the candidate payload
+// and is returned for reuse.
+func appendDecisionsFrameCoalesced(dst, decisions []byte, proto, flags uint32, scratch []byte) (wire, newScratch []byte) {
+	if proto < 3 {
+		return appendDecisionsFrame(dst, decisions), scratch
+	}
+	typ := trace.StreamFrameDecisionsRLE
+	if flags&trace.StreamFlagChangeOnly != 0 {
+		typ = trace.StreamFrameDecisionsChanges
+		scratch = trace.AppendDecisionsChanges(scratch[:0], decisions)
+	} else {
+		scratch = trace.AppendDecisionsRLE(scratch[:0], decisions)
+	}
+	if len(scratch) >= uvarintLen(uint64(len(decisions)))+len(decisions) {
+		return appendDecisionsFrame(dst, decisions), scratch
+	}
+	return trace.AppendSessionFrame(dst, typ, scratch), scratch
+}
+
+// uvarintLen returns how many bytes v's uvarint encoding takes.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // appendUvarint appends v's uvarint encoding to dst.

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"strings"
 	"sync"
 	"time"
 
@@ -56,10 +57,55 @@ type streamConfig struct {
 	window     uint32
 	paramsHash *uint64
 	tracer     *obs.Tracer
+	decisions  StreamDecisions
 }
 
 // StreamOption configures OpenStream.
 type StreamOption func(*streamConfig)
+
+// StreamDecisions selects the decision-frame encoding a session negotiates.
+// Every mode yields identical per-event decisions from Recv — the encoding
+// only changes the wire bytes carrying them.
+type StreamDecisions int
+
+const (
+	// StreamDecisionsRLE (the default) negotiates stream proto 3: the
+	// server coalesces each decision frame with run-length encoding,
+	// falling back to the plain form per frame whenever RLE would not
+	// shrink it. The client decodes transparently.
+	StreamDecisionsRLE StreamDecisions = iota
+	// StreamDecisionsPlain pins the handshake to stream proto 2 — the
+	// pre-coalescing protocol, byte-for-byte: every decision frame
+	// arrives as a plain 'D' frame.
+	StreamDecisionsPlain
+	// StreamDecisionsChangeOnly negotiates proto 3 with the change-only
+	// session flag: the server sends (index, decision) deltas per frame
+	// and the client reconstructs the full vector.
+	StreamDecisionsChangeOnly
+)
+
+// streamProtoPlainDecisions is the newest protocol version whose decision
+// frames are always plain; StreamDecisionsPlain pins the handshake to it.
+const streamProtoPlainDecisions = 2
+
+// handshakeProtoFlags maps the requested decision mode onto the handshake's
+// protocol version and session flags.
+func (sc *streamConfig) handshakeProtoFlags() (proto, flags uint32) {
+	switch sc.decisions {
+	case StreamDecisionsPlain:
+		return streamProtoPlainDecisions, 0
+	case StreamDecisionsChangeOnly:
+		return trace.StreamProtoVersion, trace.StreamFlagChangeOnly
+	default:
+		return trace.StreamProtoVersion, 0
+	}
+}
+
+// WithStreamDecisions selects the session's decision-frame encoding; see the
+// StreamDecisions constants. The default is StreamDecisionsRLE.
+func WithStreamDecisions(mode StreamDecisions) StreamOption {
+	return func(sc *streamConfig) { sc.decisions = mode }
+}
 
 // WithStreamWindow requests a pipeline window of n in-flight event frames.
 // The server clamps the grant to [1, MaxStreamWindow]; 0 (the default)
@@ -107,12 +153,19 @@ func (c *Client) OpenStream(ctx context.Context, program string, opts ...StreamO
 	if u.Scheme != "http" {
 		return nil, fmt.Errorf("server: stream: unsupported scheme %q (http only)", u.Scheme)
 	}
-	host := u.Host
-	if u.Port() == "" {
-		host = net.JoinHostPort(u.Hostname(), "80")
-	}
 	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", host)
+	var conn net.Conn
+	if c.unixPath != "" {
+		// A unix:// client reaches the same /v1/stream upgrade over the
+		// socket file every other request uses.
+		conn, err = d.DialContext(ctx, "unix", c.unixPath)
+	} else {
+		host := u.Host
+		if u.Port() == "" {
+			host = net.JoinHostPort(u.Hostname(), "80")
+		}
+		conn, err = d.DialContext(ctx, "tcp", host)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("server: stream: %w", err)
 	}
@@ -145,19 +198,22 @@ func (c *Client) OpenStream(ctx context.Context, program string, opts ...StreamO
 	if sc.tracer == nil {
 		sc.tracer = c.tracer
 	}
+	proto, flags := sc.handshakeProtoFlags()
 	return newStream(ctx, conn, br, bw, trace.Handshake{
-		Proto:      trace.StreamProtoVersion,
+		Proto:      proto,
+		Flags:      flags,
 		ParamsHash: hash,
 		Window:     sc.window,
 		Program:    program,
 	}, sc.tracer)
 }
 
-// DialStream opens a streaming session on a raw stream listener
-// (reactived -stream-addr), no HTTP preamble. The controller-parameter hash
-// must be supplied explicitly — a raw listener has no /v1/info to consult
-// (compute it with ParamsHash, or copy it from an Info lookup on the HTTP
-// address).
+// DialStream opens a streaming session on a raw stream listener, no HTTP
+// preamble: either a TCP one (reactived -stream-addr, addr is host:port) or
+// a unix-domain one (reactived -stream-unix, addr is "unix:///path/to.sock"
+// or "unix:/path/to.sock"). The controller-parameter hash must be supplied
+// explicitly — a raw listener has no /v1/info to consult (compute it with
+// ParamsHash, or copy it from an Info lookup on the HTTP address).
 func DialStream(ctx context.Context, addr, program string, paramsHash uint64, opts ...StreamOption) (*Stream, error) {
 	var sc streamConfig
 	for _, opt := range opts {
@@ -166,19 +222,38 @@ func DialStream(ctx context.Context, addr, program string, paramsHash uint64, op
 	if sc.paramsHash != nil {
 		paramsHash = *sc.paramsHash
 	}
+	network, target := "tcp", addr
+	if path, ok := cutUnixTarget(addr); ok {
+		network, target = "unix", path
+	}
 	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
+	conn, err := d.DialContext(ctx, network, target)
 	if err != nil {
 		return nil, fmt.Errorf("server: stream: %w", err)
 	}
+	proto, flags := sc.handshakeProtoFlags()
 	return newStream(ctx, conn,
 		bufio.NewReaderSize(conn, 1<<16), bufio.NewWriterSize(conn, 1<<16),
 		trace.Handshake{
-			Proto:      trace.StreamProtoVersion,
+			Proto:      proto,
+			Flags:      flags,
 			ParamsHash: paramsHash,
 			Window:     sc.window,
 			Program:    program,
 		}, sc.tracer)
+}
+
+// cutUnixTarget recognizes a unix-domain target — "unix:///path/to.sock" or
+// "unix:/path/to.sock" — and returns the socket path.
+func cutUnixTarget(addr string) (path string, ok bool) {
+	rest, found := strings.CutPrefix(addr, "unix://")
+	if !found {
+		rest, found = strings.CutPrefix(addr, "unix:")
+	}
+	if !found || rest == "" {
+		return "", false
+	}
+	return rest, true
 }
 
 // streamParamsHash resolves the handshake hash: explicit option, client pin,
@@ -229,10 +304,16 @@ func newStream(ctx context.Context, conn net.Conn, br *bufio.Reader, bw *bufio.W
 	// An older server acks a lower protocol version and the session speaks
 	// it (dropping the trace context); anything outside the supported range
 	// is a broken peer.
-	if ack.Proto < trace.StreamProtoMin || ack.Proto > trace.StreamProtoVersion {
+	if ack.Proto < trace.StreamProtoMin || ack.Proto > hs.Proto {
 		conn.Close()
 		return nil, fmt.Errorf("server: stream: server acked protocol %d, client supports %d..%d",
-			ack.Proto, trace.StreamProtoMin, trace.StreamProtoVersion)
+			ack.Proto, trace.StreamProtoMin, hs.Proto)
+	}
+	// The server may grant fewer flags than requested (or none, below proto
+	// 3) — never more.
+	if ack.Flags&^hs.Flags != 0 {
+		conn.Close()
+		return nil, fmt.Errorf("server: stream: server granted unrequested session flags %#x", ack.Flags&^hs.Flags)
 	}
 	if ack.Window == 0 {
 		conn.Close()
@@ -281,7 +362,7 @@ func streamTerminalError(e trace.StreamError) error {
 func (st *Stream) readLoop(br *bufio.Reader) {
 	defer close(st.readerDone)
 	defer close(st.results)
-	var scratch []byte
+	var scratch, decScratch []byte
 	finish := func(err error) { st.termErr = err }
 	for {
 		typ, payload, newScratch, err := trace.ReadSessionFrame(br, scratch)
@@ -293,6 +374,26 @@ func (st *Stream) readLoop(br *bufio.Reader) {
 		switch typ {
 		case trace.StreamFrameDecisions:
 			decisions, err := decodeDecisionsPayload(payload)
+			if err != nil {
+				finish(err)
+				return
+			}
+			st.results <- streamResult{decisions: decisions}
+			st.credits <- struct{}{}
+		case trace.StreamFrameDecisionsRLE, trace.StreamFrameDecisionsChanges:
+			// Coalesced forms decode to exactly the bytes a plain 'D'
+			// frame would have carried; Recv callers never see the
+			// difference.
+			if typ == trace.StreamFrameDecisionsRLE {
+				decScratch, err = trace.DecodeDecisionsRLE(payload, decScratch[:0])
+			} else {
+				decScratch, err = trace.DecodeDecisionsChanges(payload, decScratch[:0])
+			}
+			if err != nil {
+				finish(fmt.Errorf("server: stream: decoding coalesced decisions frame: %w", err))
+				return
+			}
+			decisions, err := decisionsFromBytes(decScratch)
 			if err != nil {
 				finish(err)
 				return
@@ -325,9 +426,14 @@ func decodeDecisionsPayload(payload []byte) ([]Decision, error) {
 		return nil, fmt.Errorf("server: stream: malformed decisions frame (%d bytes for %d decisions)",
 			len(payload)-used, n)
 	}
-	decisions := make([]Decision, n)
+	return decisionsFromBytes(payload[used:])
+}
+
+// decisionsFromBytes decodes one Decision per raw wire byte.
+func decisionsFromBytes(raw []byte) ([]Decision, error) {
+	decisions := make([]Decision, len(raw))
 	var err error
-	for i, b := range payload[used:] {
+	for i, b := range raw {
 		if decisions[i], err = DecodeDecision(b); err != nil {
 			return nil, fmt.Errorf("server: stream: decision %d: %w", i, err)
 		}
@@ -342,6 +448,21 @@ func (st *Stream) Window() int { return st.window }
 // while the window is exhausted, until the receiver frees a slot, ctx ends,
 // or the session terminates. Each successful Send owes exactly one Recv.
 func (st *Stream) Send(ctx context.Context, events []trace.Event) error {
+	return st.send(ctx, events, nil, len(events))
+}
+
+// SendEncoded ships one pre-encoded event frame — the exact bytes
+// trace.EncodeFrameAppend produces for a batch — without re-encoding. It is
+// the client-side mirror of the server's zero-copy ingest: callers that
+// already hold wire frames (benchmark drivers isolating transport cost, WAL
+// replayers) skip the per-event encode entirely. nevents must be the
+// frame's event count; it feeds span metadata only. Blocking and credit
+// semantics are identical to Send.
+func (st *Stream) SendEncoded(ctx context.Context, frame []byte, nevents int) error {
+	return st.send(ctx, nil, frame, nevents)
+}
+
+func (st *Stream) send(ctx context.Context, events []trace.Event, frame []byte, nevents int) error {
 	// A terminated session fails fast even when credits are available (the
 	// local socket write could otherwise "succeed" into the kernel buffer).
 	select {
@@ -374,7 +495,11 @@ func (st *Stream) Send(ctx context.Context, events []trace.Event) error {
 	if st.proto >= 2 {
 		st.evBuf = trace.AppendTraceContext(st.evBuf, traceID)
 	}
-	st.evBuf = trace.EncodeFrameAppend(st.evBuf, events)
+	if frame != nil {
+		st.evBuf = append(st.evBuf, frame...)
+	} else {
+		st.evBuf = trace.EncodeFrameAppend(st.evBuf, events)
+	}
 	st.sendBuf = trace.AppendSessionFrame(st.sendBuf[:0], trace.StreamFrameEvents, st.evBuf)
 	netStart := time.Now()
 	_, err := st.bw.Write(st.sendBuf)
@@ -388,8 +513,8 @@ func (st *Stream) Send(ctx context.Context, events []trace.Event) error {
 		// client_network here is the send-side write+flush only: the
 		// pipelined response lands in Recv on another goroutine, so the
 		// round trip is not attributable to one frame from here.
-		st.tracer.RecordStage(traceID, 0, "client_encode", st.program, len(events), 0, encodeStart, netStart.Sub(encodeStart))
-		st.tracer.RecordStage(traceID, 0, "client_network", st.program, len(events), 0, netStart, time.Since(netStart))
+		st.tracer.RecordStage(traceID, 0, "client_encode", st.program, nevents, 0, encodeStart, netStart.Sub(encodeStart))
+		st.tracer.RecordStage(traceID, 0, "client_network", st.program, nevents, 0, netStart, time.Since(netStart))
 	}
 	return nil
 }

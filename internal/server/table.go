@@ -142,10 +142,19 @@ func (t *Table) Apply(program string, ev trace.Event, instr uint64) Decision {
 // The decisions are bit-for-bit the ones len(events) successive Apply calls
 // would produce, and the shard counters advance identically
 // (TestApplyBatchMatchesApply pins both); only the constant-factor work
-// changes. Three costs are amortized across the batch instead of being paid
-// per event: the program-name hash is computed once, each run of consecutive
-// same-shard events takes the shard lock once, and a run of instances of one
-// branch (a tight loop) resolves the map entry once and reuses it.
+// changes. The program-name hash is computed once per batch, and locks are
+// amortized one of two ways depending on batch size. Small batches (or a
+// single-shard table) walk the events in order, taking each shard's lock
+// once per run of consecutive same-shard events. Large batches switch to a
+// two-pass schedule (applySharded): pass one prefix-sums the instruction
+// cursor and counting-sorts the event indices by shard without any locks,
+// pass two visits each touched shard exactly once and applies its events
+// while holding the lock for the whole sub-batch. On branch-hopping traces
+// the run-grouped walk degenerates to a lock cycle per event; the two-pass
+// schedule bounds lock traffic at one acquisition per shard per batch.
+// Within a shard the original event order is preserved, and a branch never
+// spans shards, so every controller still sees its events in trace order at
+// the same instruction counts — the schedule is invisible in the output.
 //
 // Events for the same program must not be applied concurrently (the caller's
 // cursor lock already guarantees this on the ingest path); batches for
@@ -156,6 +165,9 @@ func (t *Table) ApplyBatch(program string, events []trace.Event, startInstr uint
 		return dst, instr
 	}
 	ph := programHash(program)
+	if len(events) >= applyShardedMin && len(t.shards) > 1 && t.shardHopHeavy(ph, events) {
+		return t.applySharded(ph, program, events, startInstr, dst)
+	}
 	for i := 0; i < len(events); {
 		si := t.shardIndex(ph, events[i].Branch)
 		j := i + 1
@@ -196,6 +208,190 @@ func (t *Table) ApplyBatch(program string, events []trace.Event, startInstr uint
 		sh.mu.Unlock()
 		i = j
 	}
+	return dst, instr
+}
+
+// applyShardedMin is the batch size below which the two-pass shard
+// partition costs more than the run-grouped walk's locks.
+const applyShardedMin = 96
+
+// shardHopHeavy samples the head of the batch and reports whether the
+// trace hops between shards often enough that applySharded's partition
+// overhead beats the run-grouped walk's lock cycling. A run-grouped walk
+// pays one lock acquisition per same-shard run (~25ns), the two-pass
+// schedule pays a flat few ns per event for the counting sort, so the
+// crossover sits at an average run length of about four events. Loop-heavy
+// traces (long runs) stay on the run-grouped walk; branch-hopping traces
+// (the expensive case) switch. The sample can misjudge a trace whose
+// character shifts mid-batch, but both schedules produce bit-identical
+// output, so the choice only moves constant factors.
+func (t *Table) shardHopHeavy(ph uint64, events []trace.Event) bool {
+	sample := len(events)
+	if sample > 256 {
+		sample = 256
+	}
+	trans := 0
+	prev := t.shardIndex(ph, events[0].Branch)
+	for i := 1; i < sample; i++ {
+		si := t.shardIndex(ph, events[i].Branch)
+		if si != prev {
+			trans++
+			prev = si
+		}
+	}
+	return trans*4 >= sample
+}
+
+// applyScratch is the per-batch workspace applySharded needs: the absolute
+// instruction count at each event, the counting-sort of event indices by
+// shard, and the per-shard bucket cursors.
+type applyScratch struct {
+	instr  []uint64
+	shard  []int32
+	idx    []int32
+	bucket []int32
+}
+
+var applyScratchPool = sync.Pool{New: func() any { return new(applyScratch) }}
+
+// applyOne advances entry e by one event whose absolute instruction count
+// is instr, bumps the shard counters, and returns the encoded decision.
+// The caller holds the entry's shard lock.
+func applyOne(e *tableEntry, m *ShardMetrics, ev trace.Event, instr uint64) byte {
+	gap := uint64(ev.Gap)
+	e.ctl.AddInstrs(gap)
+	v := e.ctl.OnBranch(0, ev.Taken, instr)
+	st := e.ctl.BranchState(0)
+	dir, live := e.ctl.Speculating(0)
+	m.Events++
+	m.Instrs += gap
+	switch v {
+	case core.Correct:
+		m.Correct++
+	case core.Misspec:
+		m.Misspec++
+	default:
+		m.NotSpec++
+	}
+	return Decision{Verdict: v, State: st, Dir: dir, Live: live}.Encode()
+}
+
+// applySharded is ApplyBatch's large-batch schedule: one lock acquisition
+// per touched shard instead of one per same-shard run. Pass one walks the
+// events lock-free, recording each event's absolute instruction count (the
+// prefix sum of gaps over the whole batch — a controller only needs its own
+// events' counts, which don't depend on when other shards apply) and
+// counting-sorting the event indices by shard, preserving original order
+// within each shard. Pass two applies each shard's sub-batch under a single
+// lock hold, writing every decision byte to its event's original position.
+func (t *Table) applySharded(ph uint64, program string, events []trace.Event, startInstr uint64, dst []byte) ([]byte, uint64) {
+	n := len(events)
+	ns := len(t.shards)
+	sc := applyScratchPool.Get().(*applyScratch)
+	if cap(sc.instr) < n {
+		sc.instr = make([]uint64, n)
+		sc.shard = make([]int32, n)
+		sc.idx = make([]int32, n)
+	}
+	sc.instr = sc.instr[:n]
+	sc.shard = sc.shard[:n]
+	sc.idx = sc.idx[:n]
+	if cap(sc.bucket) < ns {
+		sc.bucket = make([]int32, ns)
+	}
+	sc.bucket = sc.bucket[:ns]
+	for i := range sc.bucket {
+		sc.bucket[i] = 0
+	}
+
+	instr := startInstr
+	for i := range events {
+		instr += uint64(events[i].Gap)
+		sc.instr[i] = instr
+		si := int32(t.shardIndex(ph, events[i].Branch))
+		sc.shard[i] = si
+		sc.bucket[si]++
+	}
+	off := int32(0)
+	for s := range sc.bucket {
+		c := sc.bucket[s]
+		sc.bucket[s] = off
+		off += c
+	}
+	for i := 0; i < n; i++ {
+		s := sc.shard[i]
+		sc.idx[sc.bucket[s]] = int32(i)
+		sc.bucket[s]++
+	}
+
+	// Reserve the decision bytes up front so pass two can write each one at
+	// its event's original position; after the counting sort, bucket[s] is
+	// shard s's end offset in idx.
+	base := len(dst)
+	if cap(dst) < base+n {
+		nd := make([]byte, base, base+n)
+		copy(nd, dst)
+		dst = nd
+	}
+	dst = dst[:base+n]
+	out := dst[base:]
+
+	start := int32(0)
+	for s := 0; s < ns; s++ {
+		end := sc.bucket[s]
+		if end == start {
+			continue
+		}
+		sh := &t.shards[s]
+		sh.mu.Lock()
+		var (
+			lastBranch trace.BranchID
+			lastEntry  *tableEntry
+		)
+		m := &sh.metrics
+		for _, i := range sc.idx[start:end] {
+			ev := events[i]
+			e := lastEntry
+			if e == nil || ev.Branch != lastBranch {
+				e = sh.getLocked(tableKey{program, ev.Branch}, t.params)
+				lastBranch, lastEntry = ev.Branch, e
+			}
+			out[i] = applyOne(e, m, ev, sc.instr[i])
+		}
+		sh.mu.Unlock()
+		start = end
+	}
+	applyScratchPool.Put(sc)
+	return dst, instr
+}
+
+// frameEventsPool holds the reusable []trace.Event scratch ApplyFrame
+// decodes payloads into; steady state it allocates nothing.
+var frameEventsPool = sync.Pool{New: func() any { return new([]trace.Event) }}
+
+// ApplyFrame is ApplyBatch over a validated wire frame payload: it decodes
+// the payload into a pooled scratch slice (amortized zero-alloc — the
+// events never escape the call) and applies it as one batch, so large
+// frames get ApplyBatch's two-pass shard schedule instead of a lock cycle
+// per branch hop. The payload must already have passed trace.ValidateFrame
+// — rejection happens before any state mutates, exactly like the decoding
+// path.
+//
+// The decisions, the final instruction count, and every shard counter are
+// bit-for-bit what ApplyBatch(program, DecodeFrame(payload), ...) would
+// produce (TestApplyFrameMatchesApplyBatch pins this).
+func (t *Table) ApplyFrame(program string, payload []byte, startInstr uint64, dst []byte) ([]byte, uint64) {
+	evp := frameEventsPool.Get().(*[]trace.Event)
+	evs, err := trace.DecodeFrameAppend(payload, (*evp)[:0])
+	if err != nil {
+		// Unreachable for validated payloads; fail loudly rather than
+		// apply a prefix of a corrupt frame.
+		frameEventsPool.Put(evp)
+		panic("server: ApplyFrame on unvalidated payload: " + err.Error())
+	}
+	dst, instr := t.ApplyBatch(program, evs, startInstr, dst)
+	*evp = evs[:0]
+	frameEventsPool.Put(evp)
 	return dst, instr
 }
 

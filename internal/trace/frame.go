@@ -190,6 +190,112 @@ func DecodeFrameAppend(payload []byte, dst []Event) ([]Event, error) {
 	return dst, nil
 }
 
+// ValidateFrame walks one frame payload performing exactly the checks
+// DecodeFrameAppend performs — magic, version, declared count, every
+// record's varint shape and ranges, trailing bytes — without materializing
+// any Event, and returns the event count. It accepts exactly the payloads
+// DecodeFrameAppend accepts and fails with the identical diagnostics, so a
+// zero-copy reader can reject a corrupt frame before applying it and still
+// report the same error text the decoding path always has.
+func ValidateFrame(payload []byte) (int, error) {
+	d := frameDecoder{buf: payload}
+	if len(payload) < len(traceMagic) {
+		return 0, fmt.Errorf("%w: truncated header: %d bytes (file shorter than the %d-byte magic)",
+			ErrBadTrace, len(payload), len(traceMagic))
+	}
+	if *(*[4]byte)(payload) != traceMagic {
+		return 0, fmt.Errorf("%w: bad magic %q at byte offset 0 (want %q)",
+			ErrBadTrace, payload[:4], traceMagic[:])
+	}
+	d.off = len(traceMagic)
+	version, err := d.uvarint()
+	if err != nil {
+		return 0, fmt.Errorf("%w: reading version at byte offset %d: %v", ErrBadTrace, d.off, err)
+	}
+	if version != traceVersion {
+		return 0, fmt.Errorf("%w: unsupported version %d (want %d)", ErrBadTrace, version, traceVersion)
+	}
+	total, err := d.uvarint()
+	if err != nil {
+		return 0, fmt.Errorf("%w: reading event count at byte offset %d: %v", ErrBadTrace, d.off, err)
+	}
+	var prevID int64
+	for i := uint64(0); i < total; i++ {
+		delta, err := d.varint()
+		if err != nil {
+			return 0, d.fail("branch delta", i, total, err)
+		}
+		gapTaken, err := d.uvarint()
+		if err != nil {
+			return 0, d.fail("gap/outcome", i, total, err)
+		}
+		prevID += delta
+		if prevID < 0 || prevID > int64(^uint32(0)) {
+			return 0, fmt.Errorf("%w: branch id %d out of range at byte offset %d (event %d of %d)",
+				ErrBadTrace, prevID, d.off, i, total)
+		}
+		if gapTaken>>1 > uint64(^uint32(0)) {
+			return 0, fmt.Errorf("%w: gap %d out of range at byte offset %d (event %d of %d)",
+				ErrBadTrace, gapTaken>>1, d.off, i, total)
+		}
+	}
+	if d.off != len(payload) {
+		return 0, fmt.Errorf("%w: %d trailing bytes after event %d",
+			ErrBadTrace, len(payload)-d.off, total)
+	}
+	return int(total), nil
+}
+
+// FrameIter iterates a frame payload's events in place, one at a time,
+// without building an []Event. It assumes the payload already passed
+// ValidateFrame: Next stops at the declared count and performs no per-record
+// validation of its own (an unvalidated payload yields truncated or
+// undefined events, never a panic).
+type FrameIter struct {
+	d      frameDecoder
+	prevID int64
+	n      uint64
+	total  uint64
+}
+
+// NewFrameIter returns an iterator over a validated frame payload.
+func NewFrameIter(payload []byte) FrameIter {
+	d := frameDecoder{buf: payload, off: len(traceMagic)}
+	d.uvarint() // version; already validated
+	total, err := d.uvarint()
+	if err != nil {
+		total = 0
+	}
+	return FrameIter{d: d, total: total}
+}
+
+// Events returns the payload's declared event count.
+func (it *FrameIter) Events() int { return int(it.total) }
+
+// Next returns the next event; ok is false after the last one.
+func (it *FrameIter) Next() (ev Event, ok bool) {
+	if it.n >= it.total {
+		return Event{}, false
+	}
+	it.n++
+	delta, err := it.d.varint()
+	if err != nil {
+		it.n = it.total
+		return Event{}, false
+	}
+	gapTaken, err := it.d.uvarint()
+	if err != nil {
+		it.n = it.total
+		return Event{}, false
+	}
+	it.prevID += delta
+	return Event{
+		Branch: BranchID(it.prevID),
+		Taken:  gapTaken&1 == 1,
+		Gap:    uint32(gapTaken >> 1),
+	}, true
+}
+
 // frameDecoder walks one frame payload in place, mirroring Reader's varint
 // handling (truncation and overflow detection) without its buffering.
 type frameDecoder struct {
@@ -330,6 +436,58 @@ func (fr *FrameReader) NextAppend(dst []Event) ([]Event, error) {
 		return dst, &FrameError{Index: index, Err: err}
 	}
 	return events, nil
+}
+
+// NextPayloadAppend reads the next frame's raw payload bytes, appends them
+// to dst, validates them, and returns the extended slice plus the frame's
+// event count. It is the zero-materialization sibling of NextAppend: the
+// payload is checked with ValidateFrame (same accept/reject set, same
+// diagnostics) but no Event structs are built — callers iterate the bytes in
+// place (FrameIter) or splice them onward verbatim. On any error (including
+// a rejected frame) dst is returned unchanged; a rejected frame is reported
+// as a *FrameError and the reader stays positioned at the next frame.
+func (fr *FrameReader) NextPayloadAppend(dst []byte) ([]byte, int, error) {
+	if fr.err != nil {
+		return dst, 0, fr.err
+	}
+	length, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		if err == io.EOF {
+			fr.err = io.EOF
+		} else {
+			fr.err = fmt.Errorf("%w: reading length of frame %d: %v", ErrBadFrame, fr.index, err)
+		}
+		return dst, 0, fr.err
+	}
+	if length > MaxFramePayload {
+		fr.err = fmt.Errorf("%w: frame %d length %d exceeds the %d-byte cap",
+			ErrBadFrame, fr.index, length, MaxFramePayload)
+		return dst, 0, fr.err
+	}
+	base := len(dst)
+	need := base + int(length)
+	if cap(dst) < need {
+		newCap := 2 * cap(dst)
+		if newCap < need {
+			newCap = need
+		}
+		grown := make([]byte, base, newCap)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:need]
+	if _, err := io.ReadFull(fr.r, dst[base:]); err != nil {
+		fr.err = fmt.Errorf("%w: frame %d truncated (%d-byte payload): %v",
+			ErrBadFrame, fr.index, length, err)
+		return dst[:base], 0, fr.err
+	}
+	index := fr.index
+	fr.index++
+	events, err := ValidateFrame(dst[base:])
+	if err != nil {
+		return dst[:base], 0, &FrameError{Index: index, Err: err}
+	}
+	return dst, events, nil
 }
 
 // Frames returns how many frames have been consumed (including rejected

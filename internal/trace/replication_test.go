@@ -100,7 +100,23 @@ func TestReplRecordRoundTrip(t *testing.T) {
 }
 
 func TestNegotiateProtos(t *testing.T) {
-	cases := []struct {
+	streamCases := []struct {
+		peer uint32
+		want uint32
+		ok   bool
+	}{
+		{0, 0, false},
+		{1, 1, true},
+		{2, 2, true},
+		{3, 3, true},
+		{4, 3, true}, // a newer peer speaks down to us
+	}
+	for _, c := range streamCases {
+		if got, ok := NegotiateStreamProto(c.peer); got != c.want || ok != c.ok {
+			t.Fatalf("NegotiateStreamProto(%d) = %d,%v want %d,%v", c.peer, got, ok, c.want, c.ok)
+		}
+	}
+	replCases := []struct {
 		peer uint32
 		want uint32
 		ok   bool
@@ -110,10 +126,7 @@ func TestNegotiateProtos(t *testing.T) {
 		{2, 2, true},
 		{3, 2, true}, // a newer peer speaks down to us
 	}
-	for _, c := range cases {
-		if got, ok := NegotiateStreamProto(c.peer); got != c.want || ok != c.ok {
-			t.Fatalf("NegotiateStreamProto(%d) = %d,%v want %d,%v", c.peer, got, ok, c.want, c.ok)
-		}
+	for _, c := range replCases {
 		if got, ok := NegotiateReplProto(c.peer); got != c.want || ok != c.ok {
 			t.Fatalf("NegotiateReplProto(%d) = %d,%v want %d,%v", c.peer, got, ok, c.want, c.ok)
 		}

@@ -49,6 +49,9 @@ import (
 // Server → client frame types:
 //
 //	'D'  decisions  one applied event frame's results; returns one credit
+//	'd'  decisions  same results, run-length encoded (proto >= 3)
+//	'x'  decisions  same results as a change list (proto >= 3, change-only
+//	                flag granted); both coalesced forms return one credit
 //	'R'  reject     one corrupt event frame's diagnostic; returns one credit
 //	'T'  terminal   code + msg (StreamError layout); the session is over
 //
@@ -67,9 +70,33 @@ const (
 	//	1  the original session format
 	//	2  'E' frame payloads gain a leading uvarint trace ID (0 = the
 	//	   batch is untraced); everything else is unchanged
-	StreamProtoVersion = 2
+	//	3  decision frames may be coalesced: the server may answer with a
+	//	   run-length-encoded 'd' frame, or — when the change-only session
+	//	   flag was negotiated — a change-list 'x' frame; 'D' stays valid,
+	//	   and the proto/flag uvarints in RSHS/RSHA carry session flags in
+	//	   their high bits (see StreamFlagChangeOnly)
+	StreamProtoVersion = 3
 	// StreamProtoMin is the oldest protocol version still accepted.
 	StreamProtoMin = 1
+
+	// streamFlagShift is where session flags sit inside the handshake and
+	// ack proto uvarints: raw = version | flags<<16. A pre-proto-3 server
+	// reads the whole raw value as one big version number and negotiates
+	// down to its own, so flags degrade to "not granted" without a wire
+	// change; a pre-proto-3 client never sets flags and sees today's exact
+	// bytes back (a zero flags field leaves the uvarint unchanged).
+	streamFlagShift = 16
+
+	// StreamFlagChangeOnly asks for the decisions-on-change-only session
+	// mode: the server answers applied frames with 'x' change-list frames
+	// (first decision byte + (gap, byte) deltas) instead of the full
+	// decision vector. Only honored at negotiated proto >= 3; the server
+	// echoes the granted flags in the ack.
+	StreamFlagChangeOnly = uint32(1) << 0
+
+	// streamFlagsKnown is the set of flags this build understands; a server
+	// grants at most the intersection of the client's request and this set.
+	streamFlagsKnown = StreamFlagChangeOnly
 
 	// StreamFrameEvents carries one trace blob of events (client → server).
 	StreamFrameEvents = byte('E')
@@ -78,6 +105,15 @@ const (
 	// StreamFrameDecisions carries one applied frame's decision bytes
 	// (server → client).
 	StreamFrameDecisions = byte('D')
+	// StreamFrameDecisionsRLE carries one applied frame's decisions
+	// run-length encoded (server → client, proto >= 3). Equivalent to a
+	// 'D' frame after DecodeDecisionsRLE; returns one credit.
+	StreamFrameDecisionsRLE = byte('d')
+	// StreamFrameDecisionsChanges carries one applied frame's decisions as
+	// a change list (server → client, proto >= 3 with the change-only flag
+	// granted). Equivalent to a 'D' frame after DecodeDecisionsChanges;
+	// returns one credit.
+	StreamFrameDecisionsChanges = byte('x')
 	// StreamFrameReject carries one rejected frame's diagnostic text
 	// (server → client).
 	StreamFrameReject = byte('R')
@@ -126,21 +162,24 @@ var (
 )
 
 // Handshake opens a stream session: who is speaking (Program), under which
-// controller parameters (ParamsHash), with which protocol revision and
-// requested pipeline window.
+// controller parameters (ParamsHash), with which protocol revision, session
+// flags (StreamFlag*; proto >= 3), and requested pipeline window.
 type Handshake struct {
 	Proto      uint32
+	Flags      uint32
 	ParamsHash uint64
 	Window     uint32
 	Program    string
 }
 
-// AppendHandshake appends h's wire form to dst.
+// AppendHandshake appends h's wire form to dst. Flags ride in the high bits
+// of the proto uvarint, so a zero Flags field produces exactly the pre-flag
+// wire bytes.
 func AppendHandshake(dst []byte, h Handshake) []byte {
 	dst = append(dst, handshakeMagic[:]...)
 	var tmp [binary.MaxVarintLen64]byte
 	put := func(v uint64) { dst = append(dst, tmp[:binary.PutUvarint(tmp[:], v)]...) }
-	put(uint64(h.Proto))
+	put(uint64(h.Proto) | uint64(h.Flags)<<streamFlagShift)
 	put(h.ParamsHash)
 	put(uint64(h.Window))
 	put(uint64(len(h.Program)))
@@ -165,6 +204,8 @@ func ReadHandshake(r *bufio.Reader) (Handshake, error) {
 	if proto > uint64(^uint32(0)) {
 		return h, fmt.Errorf("%w: protocol version %d out of range", ErrBadHandshake, proto)
 	}
+	h.Flags = uint32(proto >> streamFlagShift)
+	proto &= (1 << streamFlagShift) - 1
 	if h.ParamsHash, err = binary.ReadUvarint(r); err != nil {
 		return h, fmt.Errorf("%w: reading params hash: %v", ErrBadHandshake, err)
 	}
@@ -193,17 +234,21 @@ func ReadHandshake(r *bufio.Reader) (Handshake, error) {
 	return h, nil
 }
 
-// Ack answers a handshake: either a grant (protocol version, window, and the
-// server's parameter hash echoed back) or a rejection carrying a StreamError.
+// Ack answers a handshake: either a grant (protocol version, granted session
+// flags, window, and the server's parameter hash echoed back) or a rejection
+// carrying a StreamError.
 type Ack struct {
 	Proto      uint32
+	Flags      uint32
 	Window     uint32
 	ParamsHash uint64
 	// Err is non-nil on a rejected handshake; the grant fields are zero.
 	Err *StreamError
 }
 
-// AppendAck appends a's wire form to dst.
+// AppendAck appends a's wire form to dst. Like the handshake, granted flags
+// ride in the high bits of the proto uvarint: a server granting no flags
+// (every pre-proto-3 negotiation) emits exactly the pre-flag wire bytes.
 func AppendAck(dst []byte, a Ack) []byte {
 	dst = append(dst, handshakeAck[:]...)
 	var tmp [binary.MaxVarintLen64]byte
@@ -216,7 +261,7 @@ func AppendAck(dst []byte, a Ack) []byte {
 		return dst
 	}
 	dst = append(dst, 0)
-	put(uint64(a.Proto))
+	put(uint64(a.Proto) | uint64(a.Flags)<<streamFlagShift)
 	put(uint64(a.Window))
 	put(a.ParamsHash)
 	return dst
@@ -254,7 +299,8 @@ func ReadAck(r *bufio.Reader) (Ack, error) {
 		if a.ParamsHash, err = binary.ReadUvarint(r); err != nil {
 			return a, fmt.Errorf("%w: reading ack params hash: %v", ErrBadHandshake, err)
 		}
-		a.Proto = uint32(proto)
+		a.Flags = uint32(proto >> streamFlagShift)
+		a.Proto = uint32(proto) & (1<<streamFlagShift - 1)
 		a.Window = uint32(window)
 		return a, nil
 	case 1:
@@ -353,6 +399,17 @@ func NegotiateStreamProto(clientProto uint32) (proto uint32, ok bool) {
 	return StreamProtoVersion, true
 }
 
+// NegotiateStreamFlags picks the session flags a server grants: the
+// intersection of what the client requested and what this build understands,
+// and nothing at all below proto 3 — pre-flag peers must see byte-identical
+// acks.
+func NegotiateStreamFlags(proto, requested uint32) uint32 {
+	if proto < 3 {
+		return 0
+	}
+	return requested & streamFlagsKnown
+}
+
 // AppendTraceContext appends the proto-2 trace context — one uvarint trace
 // ID, zero meaning untraced — that prefixes an 'E' frame payload.
 func AppendTraceContext(dst []byte, traceID uint64) []byte {
@@ -407,6 +464,54 @@ func readSessionFrameCap(r *bufio.Reader, scratch []byte, maxPayload uint64) (ty
 	if length > maxPayload {
 		return 0, nil, scratch, fmt.Errorf("%w: session frame length %d exceeds the %d-byte cap",
 			ErrBadFrame, length, maxPayload)
+	}
+	if uint64(cap(scratch)) < length {
+		scratch = make([]byte, length)
+	}
+	payload = scratch[:length]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, scratch, fmt.Errorf("%w: session frame truncated (%d-byte payload): %v",
+			ErrBadFrame, length, err)
+	}
+	return typ, payload, scratch, nil
+}
+
+// ReadSessionFrameBuffered is ReadSessionFrame minus the payload copy: when
+// the frame's payload fits inside r's internal buffer, the returned slice
+// aliases that buffer directly (Peek + Discard) and no bytes are copied out.
+// The payload is valid only until the next read from r — the same "until the
+// next call" lifetime as the scratch-backed variant, tightened to any read.
+// Frames larger than r's buffer fall back to scratch exactly like
+// ReadSessionFrame, and every error matches its wire diagnostics.
+func ReadSessionFrameBuffered(r *bufio.Reader, scratch []byte) (typ byte, payload, newScratch []byte, err error) {
+	typ, err = r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return 0, nil, scratch, io.EOF
+		}
+		return 0, nil, scratch, fmt.Errorf("%w: reading session frame type: %v", ErrBadFrame, err)
+	}
+	length, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, nil, scratch, fmt.Errorf("%w: reading session frame length: %v", ErrBadFrame, err)
+	}
+	if length > MaxFramePayload {
+		return 0, nil, scratch, fmt.Errorf("%w: session frame length %d exceeds the %d-byte cap",
+			ErrBadFrame, length, MaxFramePayload)
+	}
+	if length <= uint64(r.Size()) {
+		buf, perr := r.Peek(int(length))
+		if perr != nil {
+			// Mirror io.ReadFull's truncation semantics: EOF after a
+			// partial payload is an unexpected EOF.
+			if perr == io.EOF && len(buf) > 0 {
+				perr = io.ErrUnexpectedEOF
+			}
+			return 0, nil, scratch, fmt.Errorf("%w: session frame truncated (%d-byte payload): %v",
+				ErrBadFrame, length, perr)
+		}
+		r.Discard(int(length))
+		return typ, buf, scratch, nil
 	}
 	if uint64(cap(scratch)) < length {
 		scratch = make([]byte, length)

@@ -1,0 +1,303 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestValidateFrameMatchesDecode pins ValidateFrame's contract: same
+// accept/reject set and identical diagnostics as DecodeFrameAppend, plus the
+// correct event count on acceptance.
+func TestValidateFrameMatchesDecode(t *testing.T) {
+	valid := EncodeFrameAppend(nil, mkEvents(40))
+	inputs := map[string][]byte{
+		"valid":     valid,
+		"empty":     {},
+		"bad magic": []byte("XXXXrest"),
+		"truncated": valid[:len(valid)-2],
+		"trailing":  append(append([]byte{}, valid...), 0),
+	}
+	for name, payload := range inputs {
+		want, wantErr := DecodeFrameAppend(payload, nil)
+		count, gotErr := ValidateFrame(payload)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s: DecodeFrameAppend err=%v, ValidateFrame err=%v", name, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if gotErr.Error() != wantErr.Error() {
+				t.Fatalf("%s: diagnostics differ:\n decode:   %v\n validate: %v", name, wantErr, gotErr)
+			}
+			continue
+		}
+		if count != len(want) {
+			t.Fatalf("%s: ValidateFrame count %d, decode produced %d events", name, count, len(want))
+		}
+	}
+}
+
+// FuzzValidateFrame differentially checks ValidateFrame against
+// DecodeFrameAppend for arbitrary payloads: identical accept/reject,
+// identical error text, matching counts.
+func FuzzValidateFrame(f *testing.F) {
+	valid := EncodeFrameAppend(nil, mkEvents(30))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(append([]byte{}, valid...), 0))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		want, wantErr := DecodeFrameAppend(data, nil)
+		count, gotErr := ValidateFrame(data)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("disagreement: decode err=%v, validate err=%v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if gotErr.Error() != wantErr.Error() {
+				t.Fatalf("diagnostics differ:\n decode:   %v\n validate: %v", wantErr, gotErr)
+			}
+			if !errors.Is(gotErr, ErrBadTrace) {
+				t.Fatalf("validate error %v does not wrap ErrBadTrace", gotErr)
+			}
+			return
+		}
+		if count != len(want) {
+			t.Fatalf("validate count %d, decode produced %d events", count, len(want))
+		}
+	})
+}
+
+// TestFrameIterMatchesDecode pins FrameIter: over a validated payload it
+// yields exactly the events DecodeFrameAppend materializes, in order.
+func TestFrameIterMatchesDecode(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 500} {
+		payload := EncodeFrameAppend(nil, mkEvents(n))
+		want, err := DecodeFrameAppend(payload, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it := NewFrameIter(payload)
+		if it.Events() != n {
+			t.Fatalf("n=%d: Events() = %d", n, it.Events())
+		}
+		for i := 0; ; i++ {
+			ev, ok := it.Next()
+			if !ok {
+				if i != len(want) {
+					t.Fatalf("n=%d: iterator stopped after %d of %d events", n, i, len(want))
+				}
+				break
+			}
+			if ev != want[i] {
+				t.Fatalf("n=%d event %d: %+v != %+v", n, i, ev, want[i])
+			}
+		}
+		// Exhausted iterators stay exhausted.
+		if _, ok := it.Next(); ok {
+			t.Fatalf("n=%d: Next succeeded after exhaustion", n)
+		}
+	}
+}
+
+// TestNextPayloadAppendMatchesNextAppend pins the zero-materialization frame
+// reader against the decoding one: same payload bytes, same counts, same
+// accept/reject decisions, same buffer-append semantics.
+func TestNextPayloadAppendMatchesNextAppend(t *testing.T) {
+	var wire bytes.Buffer
+	batches := [][]Event{mkEvents(10), mkEvents(100), mkEvents(3)}
+	for _, b := range batches {
+		if err := WriteFrame(&wire, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(bytes.NewReader(wire.Bytes()))
+	var buf []byte
+	var spans [][2]int
+	for i := range batches {
+		start := len(buf)
+		var n int
+		var err error
+		buf, n, err = fr.NextPayloadAppend(buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if n != len(batches[i]) {
+			t.Fatalf("frame %d: count %d, want %d", i, n, len(batches[i]))
+		}
+		spans = append(spans, [2]int{start, len(buf)})
+	}
+	if _, _, err := fr.NextPayloadAppend(buf); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+	// Each accumulated span decodes to its batch.
+	for i, sp := range spans {
+		got, err := DecodeFrameAppend(buf[sp[0]:sp[1]], nil)
+		if err != nil {
+			t.Fatalf("span %d: %v", i, err)
+		}
+		if len(got) != len(batches[i]) {
+			t.Fatalf("span %d: %d events, want %d", i, len(got), len(batches[i]))
+		}
+		for j := range got {
+			if got[j] != batches[i][j] {
+				t.Fatalf("span %d event %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+// TestNextPayloadAppendRejectsCorruptPayload checks the reject-and-continue
+// contract: a frame whose payload fails validation comes back as *FrameError
+// with dst unchanged, and the reader resumes at the following frame.
+func TestNextPayloadAppendRejectsCorruptPayload(t *testing.T) {
+	var wire bytes.Buffer
+	if err := WriteFrame(&wire, mkEvents(5)); err != nil {
+		t.Fatal(err)
+	}
+	// A well-framed garbage payload.
+	garbage := []byte("not a trace blob")
+	wire.Write(appendUvarint(nil, uint64(len(garbage))))
+	wire.Write(garbage)
+	if err := WriteFrame(&wire, mkEvents(7)); err != nil {
+		t.Fatal(err)
+	}
+
+	fr := NewFrameReader(bytes.NewReader(wire.Bytes()))
+	buf, n, err := fr.NextPayloadAppend(nil)
+	if err != nil || n != 5 {
+		t.Fatalf("frame 0: n=%d err=%v", n, err)
+	}
+	mark := len(buf)
+	buf, _, err = fr.NextPayloadAppend(buf)
+	var fe *FrameError
+	if !errors.As(err, &fe) || fe.Index != 1 {
+		t.Fatalf("frame 1: err = %v, want *FrameError index 1", err)
+	}
+	if len(buf) != mark {
+		t.Fatalf("rejected frame extended dst by %d bytes", len(buf)-mark)
+	}
+	buf, n, err = fr.NextPayloadAppend(buf)
+	if err != nil || n != 7 {
+		t.Fatalf("frame 2 after reject: n=%d err=%v", n, err)
+	}
+	if _, _, err := fr.NextPayloadAppend(buf); err != io.EOF {
+		t.Fatalf("tail: err = %v, want io.EOF", err)
+	}
+}
+
+// TestReadSessionFrameBufferedMatches pins the zero-copy session-frame reader
+// against the copying one: identical frames, and the fast path's payload
+// aliases the bufio buffer rather than scratch.
+func TestReadSessionFrameBufferedMatches(t *testing.T) {
+	var wire []byte
+	payloads := [][]byte{bytes.Repeat([]byte{1}, 100), {}, bytes.Repeat([]byte{2}, 4000)}
+	for i, p := range payloads {
+		wire = AppendSessionFrame(wire, byte('A'+i), p)
+	}
+
+	br := bufio.NewReaderSize(bytes.NewReader(wire), 1<<16)
+	var scratch []byte
+	for i, want := range payloads {
+		typ, payload, newScratch, err := ReadSessionFrameBuffered(br, scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != byte('A'+i) || !bytes.Equal(payload, want) {
+			t.Fatalf("frame %d: type %q payload %d bytes", i, typ, len(payload))
+		}
+		if len(newScratch) != len(scratch) || (len(scratch) > 0 && &newScratch[0] != &scratch[0]) {
+			// The buffered fast path must not have grown scratch.
+			t.Fatalf("frame %d: scratch changed on the zero-copy path", i)
+		}
+		scratch = newScratch
+	}
+	if _, _, _, err := ReadSessionFrameBuffered(br, scratch); err != io.EOF {
+		t.Fatalf("tail: err = %v, want io.EOF", err)
+	}
+
+	// A frame larger than the bufio buffer falls back to scratch and still
+	// round-trips.
+	big := bytes.Repeat([]byte{9}, 8000)
+	wire = AppendSessionFrame(nil, StreamFrameDecisions, big)
+	small := bufio.NewReaderSize(bytes.NewReader(wire), 1<<9) // bufio min size is 16; 512 < 8000
+	typ, payload, _, err := ReadSessionFrameBuffered(small, nil)
+	if err != nil || typ != StreamFrameDecisions || !bytes.Equal(payload, big) {
+		t.Fatalf("fallback path: type %q len %d err %v", typ, len(payload), err)
+	}
+}
+
+// TestReadSessionFrameBufferedRejectsDamage checks the zero-copy reader
+// reports the same ErrBadFrame-wrapped failures as ReadSessionFrame.
+func TestReadSessionFrameBufferedRejectsDamage(t *testing.T) {
+	good := AppendSessionFrame(nil, StreamFrameEvents, []byte("payload"))
+	for name, wire := range map[string][]byte{
+		"truncated payload": good[:len(good)-2],
+		"length only":       good[:2],
+		"over-cap length": {StreamFrameEvents,
+			0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+	} {
+		_, _, _, err := ReadSessionFrameBuffered(bufio.NewReader(bytes.NewReader(wire)), nil)
+		if !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
+		}
+		// The copying reader must agree on accept/reject.
+		_, _, _, refErr := ReadSessionFrame(bufio.NewReader(bytes.NewReader(wire)), nil)
+		if (err == nil) != (refErr == nil) {
+			t.Errorf("%s: buffered err=%v, copying err=%v", name, err, refErr)
+		}
+	}
+}
+
+// FuzzReadSessionFrameBuffered differentially checks the zero-copy session
+// reader against ReadSessionFrame over arbitrary byte streams, at both a
+// large buffer (fast path) and the minimum one (fallback path).
+func FuzzReadSessionFrameBuffered(f *testing.F) {
+	events := AppendSessionFrame(nil, StreamFrameEvents, EncodeFrameAppend(nil, mkEvents(10)))
+	f.Add(events)
+	f.Add(events[:len(events)-4])
+	f.Add(AppendSessionFrame(events, StreamFrameClose, nil))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, size := range []int{16, 1 << 16} {
+			ref := bufio.NewReader(bytes.NewReader(data))
+			zc := bufio.NewReaderSize(bytes.NewReader(data), size)
+			var refScratch, zcScratch []byte
+			for n := 0; ; n++ {
+				refTyp, refPayload, rs, refErr := ReadSessionFrame(ref, refScratch)
+				zcTyp, zcPayload, zs, zcErr := ReadSessionFrameBuffered(zc, zcScratch)
+				refScratch, zcScratch = rs, zs
+				if (refErr == nil) != (zcErr == nil) {
+					t.Fatalf("size %d frame %d: ref err=%v, zc err=%v", size, n, refErr, zcErr)
+				}
+				if refErr != nil {
+					if zcErr != io.EOF && !errors.Is(zcErr, ErrBadFrame) {
+						t.Fatalf("size %d: zc error %v is neither EOF nor ErrBadFrame", size, zcErr)
+					}
+					if (refErr == io.EOF) != (zcErr == io.EOF) {
+						t.Fatalf("size %d frame %d: EOF disagreement: ref %v, zc %v", size, n, refErr, zcErr)
+					}
+					break
+				}
+				if refTyp != zcTyp || !bytes.Equal(refPayload, zcPayload) {
+					t.Fatalf("size %d frame %d: type %q/%q payloads %d/%d bytes",
+						size, n, refTyp, zcTyp, len(refPayload), len(zcPayload))
+				}
+				if n > len(data) {
+					t.Fatal("more frames than the input could encode")
+				}
+			}
+		}
+	})
+}
+
+// appendUvarint is a tiny test helper for hand-building wire bytes.
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}

@@ -567,7 +567,39 @@ func (l *Log) Append(program string, events []trace.Event) (uint64, error) {
 	payload = append(payload, program...)
 	payload = trace.EncodeFrameAppend(payload, events)
 	l.scratch = payload
+	return l.appendRecordLocked(payload)
+}
 
+// AppendPayload is Append for a pre-encoded event frame: framePayload must
+// hold one complete trace frame payload (the bytes trace.EncodeFrameAppend
+// produces; any frame that passed trace.ValidateFrame qualifies). The record
+// stores the frame payload verbatim — exactly the bytes Append would have
+// written for the decoded events — so the zero-copy ingest path can splice
+// client wire bytes straight into the log without re-materializing events.
+func (l *Log) AppendPayload(program string, framePayload []byte) (uint64, error) {
+	if len(program) > maxProgramLen {
+		return 0, fmt.Errorf("wal: program name %d bytes exceeds the %d-byte cap", len(program), maxProgramLen)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.f == nil {
+		if err := l.createSegmentLocked(); err != nil {
+			return 0, err
+		}
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	payload := l.scratch[:0]
+	payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(len(program)))]...)
+	payload = append(payload, program...)
+	payload = append(payload, framePayload...)
+	l.scratch = payload
+	return l.appendRecordLocked(payload)
+}
+
+func (l *Log) appendRecordLocked(payload []byte) (uint64, error) {
 	var hdr [binary.MaxVarintLen64 + 4]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[n:], crc32.ChecksumIEEE(payload))

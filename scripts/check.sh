@@ -64,6 +64,8 @@ go build -o "$SMOKE_DIR/reactivespec" ./cmd/reactivespec
     -addr-file "$SMOKE_DIR/addr" \
     -stream-addr 127.0.0.1:0 \
     -stream-addr-file "$SMOKE_DIR/stream-addr" \
+    -stream-unix "$SMOKE_DIR/reactived.sock" \
+    -stream-unix-file "$SMOKE_DIR/stream-unix.txt" \
     -snapshot-dir "$SMOKE_DIR/snaps" \
     -snapshot-interval 0 \
     -trace-spans "$SMOKE_DIR/spans-serve.jsonl" \
@@ -123,12 +125,46 @@ echo "==> streaming-mode smoke (reactiveload -stream -verify)"
     -batch 512 \
     -verify
 
+# And over the unix-domain stream listener: the daemon published its dial
+# target ("unix://<path>") through -stream-unix-file, and reactiveload's
+# -stream-addr accepts it directly. The .txt target file doubles as the
+# post-mortem artifact naming the socket path on failure.
+echo "==> unix-socket smoke (reactiveload -verify over unix://)"
+"$SMOKE_DIR/reactiveload" \
+    -addr "http://$ADDR" \
+    -stream-addr "$(cat "$SMOKE_DIR/stream-unix.txt")" \
+    -bench bzip2 \
+    -scale 0.02 \
+    -concurrency 2 \
+    -batch 512 \
+    -verify
+
+# Mixed-proto smoke: -decisions plain pins the client handshake to stream
+# proto 2 — the wire an old build speaks — so this run proves the proto-3
+# server still hands pre-coalescing clients byte-correct decisions.
+echo "==> mixed-proto smoke (proto-2 client vs proto-3 server)"
+"$SMOKE_DIR/reactiveload" \
+    -addr "http://$ADDR" \
+    -bench vortex \
+    -scale 0.02 \
+    -concurrency 2 \
+    -batch 512 \
+    -stream \
+    -window 8 \
+    -decisions plain \
+    -verify
+
 # Graceful shutdown must drain and leave a final snapshot behind.
 kill "$DAEMON_PID"
 wait "$DAEMON_PID"
 DAEMON_PID=""
 if [ ! -f "$SMOKE_DIR/snaps/current.snap" ]; then
     echo "reactived shutdown left no snapshot" >&2
+    exit 1
+fi
+# Graceful shutdown must also have unlinked the unix stream socket.
+if [ -e "$SMOKE_DIR/reactived.sock" ]; then
+    echo "reactived shutdown left its unix stream socket behind" >&2
     exit 1
 fi
 
