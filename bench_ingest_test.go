@@ -88,6 +88,28 @@ func BenchmarkTableApplyBatch(b *testing.B) {
 	b.ReportMetric(float64(len(evs)), "events/op")
 }
 
+// BenchmarkTableApplyBatchKind is the kind-generic serving path over the
+// identical stream: same batch grouping, but the events enter as a
+// non-branch kind, so every apply pays the kind-program key encoding the
+// v2 API threads through the table. scripts/bench.sh gates this row
+// against BenchmarkTableApplyBatch: generalizing the hot path over kinds
+// must cost at most a few percent versus branch-only.
+func BenchmarkTableApplyBatchKind(b *testing.B) {
+	evs := benchBurstyEvents(benchIngestEvents, 64, 24)
+	t := server.NewTable(core.DefaultParams().Scaled(10), benchIngestShards)
+	var instr uint64
+	dst := make([]byte, 0, len(evs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, instr = t.ApplyBatchKind("bench", trace.KindValue, evs, instr, dst[:0])
+		if len(dst) != len(evs) {
+			b.Fatalf("%d decisions for %d events", len(dst), len(evs))
+		}
+	}
+	b.ReportMetric(float64(len(evs)), "events/op")
+}
+
 // discardResponseWriter is an http.ResponseWriter that throws the response
 // away, so the handler benchmark measures the handler, not a recorder.
 type discardResponseWriter struct{ h http.Header }

@@ -21,6 +21,15 @@
 //	-stream-unix-file f   write the stream socket target (unix://p) to f once listening
 //	-shards n             lock-stripe count for the controller table (default 16)
 //	-param-scale k        divide the paper's Table 2 parameters by k (default 10)
+//	-policy p             speculation policy every table entry runs: reactive
+//	                      (the paper's FSM, default), selftrain (classify once
+//	                      after the monitor window, never revisit), or
+//	                      probweight (EWMA-weighted probabilistic selection).
+//	                      The policy is mixed into the params hash, so clients
+//	                      pinned to another policy's decisions are rejected.
+//	-kinds k1,k2          speculation kinds to serve (default all: branch,
+//	                      value, memdep, tlspec); requests for other kinds are
+//	                      rejected with the unsupported_kind code
 //	-snapshot-dir d       enable snapshot/restore under directory d
 //	-snapshot-interval t  periodic snapshot interval (default 30s; 0 = only on shutdown)
 //	-wal-dir d            enable the write-ahead event log under directory d
@@ -78,6 +87,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -87,6 +97,7 @@ import (
 	"reactivespec/internal/obs"
 	"reactivespec/internal/replica"
 	"reactivespec/internal/server"
+	"reactivespec/internal/trace"
 	"reactivespec/internal/wal"
 )
 
@@ -222,6 +233,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"write the stream socket target (unix://path) to this file once listening")
 	shards := fs.Int("shards", 16, "lock-stripe count for the controller table")
 	paramScale := fs.Uint64("param-scale", 10, "divide the paper's Table 2 parameters by this factor")
+	policyFlag := fs.String("policy", core.PolicyReactive,
+		"speculation policy every table entry runs: "+strings.Join(core.PolicyNames(), ", "))
+	kindsFlag := fs.String("kinds", "",
+		"comma-separated speculation kinds to serve (default all: "+strings.Join(trace.KindNames(), ",")+")")
 	snapshotDir := fs.String("snapshot-dir", "", "enable snapshot/restore under this directory")
 	snapshotInterval := fs.Duration("snapshot-interval", 30*time.Second,
 		"periodic snapshot interval (0 = only on shutdown)")
@@ -255,6 +270,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(out, "reactived: "+format+"\n", a...)
 	}
 	params := core.DefaultParams().Scaled(*paramScale)
+
+	// Validate the policy and kind list before anything touches disk or the
+	// network; server.New would panic on an unknown policy.
+	if !core.ValidPolicy(*policyFlag) {
+		return fmt.Errorf("unknown -policy %q (registered: %s)",
+			*policyFlag, strings.Join(core.PolicyNames(), ", "))
+	}
+	var kinds []trace.Kind
+	if *kindsFlag != "" {
+		for _, name := range strings.Split(*kindsFlag, ",") {
+			k, err := trace.ParseKind(strings.TrimSpace(name))
+			if err != nil {
+				return fmt.Errorf("parsing -kinds: %w", err)
+			}
+			kinds = append(kinds, k)
+		}
+	}
 
 	// Replication in either role rides on the WAL: the shipper serves it,
 	// the follower logs into it before applying.
@@ -301,7 +333,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 		wlog, err = wal.Open(wal.Options{
 			Dir:          *walDir,
-			ParamsHash:   server.ParamsHash(params),
+			ParamsHash:   server.ParamsPolicyHash(params, *policyFlag),
 			SegmentBytes: *walSegmentBytes,
 			Policy:       policy,
 			Interval:     interval,
@@ -317,6 +349,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	s := server.New(server.Config{
 		Params:      params,
+		Policy:      *policyFlag,
+		Kinds:       kinds,
 		Shards:      *shards,
 		SnapshotDir: *snapshotDir,
 		WAL:         wlog,
@@ -362,7 +396,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *replicaOf != "" {
 		f := replica.StartFollower(replica.FollowerConfig{
 			Addr:       *replicaOf,
-			ParamsHash: server.ParamsHash(params),
+			ParamsHash: server.ParamsPolicyHash(params, *policyFlag),
 			NextSeq:    wlog.NextSeq,
 			Apply:      s.ApplyReplicated,
 			Logf:       logf,
@@ -395,7 +429,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return fmt.Errorf("writing -addr-file: %w", err)
 		}
 	}
-	logf("listening on %s (%d shards, param scale 1/%d)", bound, *shards, *paramScale)
+	logf("listening on %s (%d shards, param scale 1/%d, policy %s, kinds %s)",
+		bound, *shards, *paramScale, s.Table().Policy(), strings.Join(s.KindNames(), ","))
 
 	hs := &http.Server{Handler: s.Handler()}
 	serveErr := make(chan error, 1)

@@ -151,13 +151,16 @@ func runFailoverWorker(ctx context.Context, client *server.Client, ins *instrume
 		events = append(events, ev)
 	}
 	want := make([]server.Decision, len(events))
-	ctl := core.New(cfg.params)
+	set, err := core.NewPolicySet(cfg.policy, cfg.params)
+	if err != nil {
+		res.err = err
+		return res
+	}
 	var instr uint64
 	for i, ev := range events {
 		instr += uint64(ev.Gap)
-		v := ctl.OnBranch(ev.Branch, ev.Taken, instr)
-		dir, live := ctl.Speculating(ev.Branch)
-		want[i] = server.Decision{Verdict: v, State: ctl.BranchState(ev.Branch), Dir: dir, Live: live}
+		v, st, dir, live := set.OnEvent(ev.Branch, ev.Taken, instr)
+		want[i] = server.Decision{Verdict: v, State: st, Dir: dir, Live: live}
 	}
 
 	sendBatch := func(cl *server.Client, off int) ([]server.Decision, error) {

@@ -6,12 +6,17 @@
 //
 // Each worker drives its own program stream ("<bench>@<worker>"), so workers
 // never contend on a program cursor and the daemon's decision sequence per
-// program is deterministic. With -verify, every worker simultaneously runs
-// an in-process reactive controller over the identical event sequence and
-// fails if any networked decision differs — the end-to-end closed-loop
-// equivalence check. Verification first checks the daemon's
-// controller-parameter hash against /v1/info, so a misconfigured pairing
-// fails up front with a typed mismatch instead of diverging mid-run.
+// program is deterministic. With -kind, workers round-robin over the listed
+// speculation kinds (worker w drives kinds[w mod len]), exercising the
+// daemon's kind-generic serving path: branch events ride the v1 wire
+// unchanged, other kinds go through /v2 (POST mode) or proto-4 kind-tagged
+// frames (stream mode). With -verify, every worker simultaneously runs an
+// in-process policy set (-policy selects which) over the identical event
+// sequence and fails if any networked decision differs — the end-to-end
+// closed-loop equivalence check, per kind. Verification first checks the
+// daemon's controller-parameter hash, served kinds, and policy against
+// /v1/info, so a misconfigured pairing fails up front with a typed mismatch
+// instead of diverging mid-run.
 //
 // With -stream, workers replace per-batch POSTs with one streaming ingest
 // session each (POST /v1/stream upgrade, or a raw -stream-addr listener):
@@ -47,9 +52,12 @@
 //	-batch n         events per ingest batch (default 1024)
 //	-frames n        trace frames per batch; events split contiguously (default 1)
 //	-seed n          workload seed base; worker w uses seed+w (default 0)
+//	-kind list       comma-separated speculation kinds; worker w drives kinds[w mod len]
+//	                 (default branch; see trace.KindNames)
+//	-policy name     decision policy the daemon runs, for -verify mirroring (default reactive)
 //	-intensity f     fault-injection intensity in [0,1] (default 0)
 //	-param-scale k   controller parameter scale for -verify; must match the daemon (default 10)
-//	-verify          cross-check every decision against an in-process controller
+//	-verify          cross-check every decision against an in-process policy set
 //	-stream          use streaming ingest sessions instead of per-batch POSTs
 //	-window n        requested stream pipeline window in frames (0 = server default)
 //	-decisions e     stream decision-frame encoding: rle (default), plain or change
@@ -83,6 +91,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -107,6 +116,12 @@ type Report struct {
 	Preencode     bool    `json:"preencode,omitempty"`        // batches were encoded before the timed run
 	Intensity     float64 `json:"intensity"`
 	Verified      bool    `json:"verified"`
+
+	// Kinds lists the speculation kinds workers drove (round-robin by
+	// worker index); Policy names the decision policy the -verify mirror
+	// ran. Absent when the run was plain kind=branch / reactive.
+	Kinds  []string `json:"kinds,omitempty"`
+	Policy string   `json:"policy,omitempty"`
 
 	Events     uint64  `json:"events"`
 	Batches    uint64  `json:"batches"`
@@ -203,6 +218,10 @@ func run(args []string, out io.Writer) error {
 	batch := fs.Int("batch", 1024, "events per ingest batch")
 	frames := fs.Int("frames", 1, "trace frames per batch; events split contiguously")
 	seed := fs.Uint64("seed", 0, "workload seed base; worker w uses seed+w")
+	kindList := fs.String("kind", trace.KindBranch.String(),
+		"comma-separated speculation kinds; worker w drives kinds[w mod len]")
+	policy := fs.String("policy", core.PolicyReactive,
+		"decision policy the daemon runs, for -verify mirroring")
 	intensity := fs.Float64("intensity", 0, "fault-injection intensity in [0,1]")
 	paramScale := fs.Uint64("param-scale", 10, "controller parameter scale for -verify (must match the daemon)")
 	verify := fs.Bool("verify", false, "cross-check every decision against an in-process controller")
@@ -246,6 +265,17 @@ func run(args []string, out io.Writer) error {
 	if *window < 0 {
 		return fmt.Errorf("-window must be non-negative")
 	}
+	var kinds []trace.Kind
+	for _, name := range strings.Split(*kindList, ",") {
+		k, err := trace.ParseKind(strings.TrimSpace(name))
+		if err != nil {
+			return fmt.Errorf("-kind: %w", err)
+		}
+		kinds = append(kinds, k)
+	}
+	if !core.ValidPolicy(*policy) {
+		return fmt.Errorf("-policy %q is not registered (want one of %v)", *policy, core.PolicyNames())
+	}
 	if *streamAddr != "" {
 		*streamMode = true
 	}
@@ -278,6 +308,11 @@ func run(args []string, out io.Writer) error {
 		}
 		if *failoverPid > 0 && *failoverAfter == 0 {
 			return fmt.Errorf("-failover-pid requires -failover-after-batches > 0 (when should the primary die?)")
+		}
+		for _, k := range kinds {
+			if k != trace.KindBranch {
+				return fmt.Errorf("-failover resumes from the /v1 cursor, which tracks branch streams; it does not combine with -kind %s", k)
+			}
 		}
 		*verify = true
 	}
@@ -324,9 +359,19 @@ func run(args []string, out io.Writer) error {
 	}
 	if *verify {
 		// Fail configuration skew up front: a daemon at a different
-		// -param-scale would diverge from the mirror on the first
-		// monitoring-period boundary anyway.
-		if _, err := client.VerifyParams(ctx, server.ParamsHash(params)); err != nil {
+		// -param-scale or -policy would diverge from the mirror on the
+		// first monitoring-period boundary anyway, and a kind the daemon
+		// does not serve would fail mid-run. The /v1/info advertisement
+		// checks fire first so the operator sees "kind/policy" rather
+		// than a bare hash mismatch.
+		info, err := client.Info(ctx)
+		if err != nil {
+			return err
+		}
+		if err := checkInfoKindsPolicy(info, kinds, *policy); err != nil {
+			return err
+		}
+		if _, err := client.VerifyParams(ctx, server.ParamsPolicyHash(params, *policy)); err != nil {
 			return err
 		}
 	}
@@ -336,7 +381,7 @@ func run(args []string, out io.Writer) error {
 		if _, err := follower.Healthz(ctx); err != nil {
 			return fmt.Errorf("follower not reachable at %s: %w", *failoverURL, err)
 		}
-		if _, err := follower.VerifyParams(ctx, server.ParamsHash(params)); err != nil {
+		if _, err := follower.VerifyParams(ctx, server.ParamsPolicyHash(params, *policy)); err != nil {
 			return fmt.Errorf("follower at %s: %w", *failoverURL, err)
 		}
 		info, err := follower.Info(ctx)
@@ -363,6 +408,8 @@ func run(args []string, out io.Writer) error {
 			batch:      *batch,
 			frames:     *frames,
 			seed:       *seed + uint64(w),
+			kind:       kinds[w%len(kinds)],
+			policy:     *policy,
 			intensity:  *intensity,
 			params:     params,
 			verify:     *verify,
@@ -426,6 +473,14 @@ func run(args []string, out io.Writer) error {
 	if *streamMode {
 		rep.DecisionsWire = *decisionsMode
 		rep.Preencode = *preencode
+	}
+	if len(kinds) > 1 || kinds[0] != trace.KindBranch {
+		for _, k := range kinds {
+			rep.Kinds = append(rep.Kinds, k.String())
+		}
+	}
+	if *policy != core.PolicyReactive {
+		rep.Policy = *policy
 	}
 	for w, r := range results {
 		if r.err != nil {
@@ -498,6 +553,8 @@ type workerConfig struct {
 	batch      int
 	frames     int
 	seed       uint64
+	kind       trace.Kind
+	policy     string
 	intensity  float64
 	params     core.Params
 	verify     bool
@@ -571,25 +628,30 @@ func buildEventStream(cfg workerConfig) (trace.Stream, error) {
 	return stream, nil
 }
 
-// mirror is the -verify cross-check: an in-process controller fed the
+// mirror is the -verify cross-check: an in-process policy set fed the
 // identical event sequence, compared decision-by-decision against the
 // daemon. A nil *mirror checks nothing.
 type mirror struct {
-	ctl    *core.Controller
+	set    *core.PolicySet
 	instr  uint64
 	seen   uint64
 	params core.Params
 	prog   string
+	kind   trace.Kind
 }
 
-func newMirror(cfg workerConfig) *mirror {
+func newMirror(cfg workerConfig) (*mirror, error) {
 	if !cfg.verify {
-		return nil
+		return nil, nil
 	}
-	return &mirror{ctl: core.New(cfg.params), params: cfg.params, prog: cfg.program}
+	set, err := core.NewPolicySet(cfg.policy, cfg.params)
+	if err != nil {
+		return nil, err
+	}
+	return &mirror{set: set, params: cfg.params, prog: cfg.program, kind: cfg.kind}, nil
 }
 
-// check replays events through the mirror controller and compares the
+// check replays events through the mirror policy set and compares the
 // daemon's decisions. events and ds are parallel.
 func (m *mirror) check(events []trace.Event, ds []server.Decision) error {
 	if m == nil {
@@ -597,16 +659,41 @@ func (m *mirror) check(events []trace.Event, ds []server.Decision) error {
 	}
 	for i, ev := range events {
 		m.instr += uint64(ev.Gap)
-		v := m.ctl.OnBranch(ev.Branch, ev.Taken, m.instr)
-		dir, live := m.ctl.Speculating(ev.Branch)
-		want := server.Decision{Verdict: v, State: m.ctl.BranchState(ev.Branch), Dir: dir, Live: live}
+		v, st, dir, live := m.set.OnEvent(ev.Branch, ev.Taken, m.instr)
+		want := server.Decision{Verdict: v, State: st, Dir: dir, Live: live}
 		if ds[i] != want {
-			return fmt.Errorf("decision mismatch at event %d of %s (branch %d): daemon %v, in-process %v"+
-				" (is the daemon running with -param-scale %d?)",
-				m.seen+uint64(i), m.prog, ev.Branch, ds[i], want, paramScaleHint(m.params))
+			return fmt.Errorf("decision mismatch at event %d of %s kind %s (unit %d): daemon %v, in-process %v"+
+				" (is the daemon running with -param-scale %d and -policy %s?)",
+				m.seen+uint64(i), m.prog, m.kind, ev.Branch, ds[i], want,
+				paramScaleHint(m.params), m.set.Name())
 		}
 	}
 	m.seen += uint64(len(events))
+	return nil
+}
+
+// checkInfoKindsPolicy checks the daemon's /v1/info kind and policy
+// advertisement against what this run will drive. Absent fields mean a
+// pre-kind daemon: exactly ["branch"] served, under the reactive policy.
+func checkInfoKindsPolicy(info server.Info, kinds []trace.Kind, policy string) error {
+	served := map[string]bool{trace.KindBranch.String(): info.Kinds == nil}
+	for _, name := range info.Kinds {
+		served[name] = true
+	}
+	for _, k := range kinds {
+		if !served[k.String()] {
+			return fmt.Errorf("daemon does not serve kind %s (advertises %v; run it with -kinds %s)",
+				k, info.Kinds, k)
+		}
+	}
+	daemonPolicy := info.Policy
+	if daemonPolicy == "" {
+		daemonPolicy = core.PolicyReactive
+	}
+	if daemonPolicy != policy {
+		return fmt.Errorf("daemon runs policy %s, the -verify mirror would run %s (start reactiveload with -policy %s, or the daemon with -policy %s)",
+			daemonPolicy, policy, daemonPolicy, policy)
+	}
 	return nil
 }
 
@@ -629,7 +716,11 @@ func runWorker(ctx context.Context, client *server.Client, ins *instruments, cfg
 		res.err = err
 		return res
 	}
-	mir := newMirror(cfg)
+	mir, err := newMirror(cfg)
+	if err != nil {
+		res.err = err
+		return res
+	}
 
 	batch := make([]trace.Event, 0, cfg.batch)
 	frameBuf := make([][]trace.Event, 0, cfg.frames)
@@ -639,7 +730,7 @@ func runWorker(ctx context.Context, client *server.Client, ins *instruments, cfg
 	// "applied N of M frames" diagnostic rather than a silent drop.
 	send := func() ([]server.Decision, server.IngestTiming, error) {
 		if cfg.frames <= 1 {
-			return client.IngestTimed(ctx, cfg.program, batch)
+			return client.IngestKindTimed(ctx, cfg.program, cfg.kind, batch)
 		}
 		frameBuf = frameBuf[:0]
 		per := (len(batch) + cfg.frames - 1) / cfg.frames
@@ -650,7 +741,7 @@ func runWorker(ctx context.Context, client *server.Client, ins *instruments, cfg
 			}
 			frameBuf = append(frameBuf, batch[off:end])
 		}
-		results, tm, err := client.IngestFramesTimed(ctx, cfg.program, frameBuf)
+		results, tm, err := client.IngestFramesKindTimed(ctx, cfg.program, cfg.kind, frameBuf)
 		if err != nil {
 			return nil, tm, err
 		}
@@ -716,7 +807,11 @@ func runStreamWorker(ctx context.Context, client *server.Client, ins *instrument
 			return res
 		}
 	}
-	mir := newMirror(cfg)
+	mir, err := newMirror(cfg)
+	if err != nil {
+		res.err = err
+		return res
+	}
 
 	var opts []server.StreamOption
 	if cfg.window > 0 {
@@ -769,7 +864,7 @@ func runStreamWorker(ctx context.Context, client *server.Client, ins *instrument
 			for i, frame := range cfg.pre.frames {
 				evs := cfg.pre.batches[i]
 				t0 := time.Now()
-				if err := st.SendEncoded(ctx, frame, len(evs)); err != nil {
+				if err := st.SendEncodedKind(ctx, cfg.kind, frame, len(evs)); err != nil {
 					sendErr <- err
 					return
 				}
@@ -788,7 +883,7 @@ func runStreamWorker(ctx context.Context, client *server.Client, ins *instrument
 			evs := make([]trace.Event, len(batch))
 			copy(evs, batch)
 			t0 := time.Now()
-			if err := st.Send(ctx, evs); err != nil {
+			if err := st.SendKind(ctx, cfg.kind, evs); err != nil {
 				return err
 			}
 			pending <- inflight{events: evs, sentAt: t0}

@@ -8,9 +8,10 @@
 //
 // Paper artifacts: table1, table2, fig2, fig3, fig4, fig5, table3, table4,
 // fig6, fig7, fig8, fig9, table5. Ablations and extensions: averaging,
-// flush, generality, replay, describe, timeline, chaos, sweep-monitor,
-// sweep-evict, sweep-wait, sweep-oscillation, sweep-step, sweep-threshold,
-// sweep-task, sweep-slaves.
+// flush, generality, policies (the reactive / selftrain / probweight
+// decision-policy head-to-head), replay, describe, timeline, chaos,
+// sweep-monitor, sweep-evict, sweep-wait, sweep-oscillation, sweep-step,
+// sweep-threshold, sweep-task, sweep-slaves.
 // "all" runs everything (≈10–15 minutes at full scale).
 //
 // The timeline experiment runs one benchmark (default gcc; narrow with
@@ -375,7 +376,7 @@ func singleBench(cfg experiments.Config) string {
 func experimentNames() []string {
 	return []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "table3",
 		"table4", "fig6", "fig7", "fig8", "fig9", "table5",
-		"averaging", "flush", "generality", "chaos", "sweep-monitor", "sweep-evict",
+		"averaging", "flush", "generality", "policies", "chaos", "sweep-monitor", "sweep-evict",
 		"sweep-wait", "sweep-oscillation", "sweep-step", "sweep-threshold",
 		"sweep-task", "sweep-slaves", "replay", "tls", "describe", "timeline", "all"}
 }
@@ -508,6 +509,16 @@ func dispatch(name string, cfg experiments.Config, csv bool, intensities []float
 			return err
 		}
 		return experiments.WriteGenerality(out, rows, csv)
+	case "policies":
+		points, err := experiments.Policies(cfg)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WritePolicies(out, points, csv); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		return experiments.WritePoliciesSummary(out, experiments.PoliciesSummary(points), csv)
 	case "sweep-monitor", "sweep-evict", "sweep-wait", "sweep-oscillation",
 		"sweep-step", "sweep-threshold":
 		kind := experiments.SweepKind(strings.TrimPrefix(name, "sweep-"))

@@ -40,6 +40,11 @@ type BranchState struct {
 	OptCount   uint32
 	Evictions  uint32
 	EverBiased bool
+
+	// ProbEst is the probweight policy's EWMA estimate. Unused (zero) for
+	// the other policies; gob zero-fills it when decoding snapshots written
+	// before the field existed.
+	ProbEst float64
 }
 
 // ExportBranch returns the branch's full state and whether the branch has

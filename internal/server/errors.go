@@ -40,6 +40,13 @@ const (
 	// CodeNotReplica labels a promote request sent to a daemon that is not
 	// (or is no longer) a replica — including a second promote.
 	CodeNotReplica = "not_replica"
+	// CodeUnsupportedKind labels a /v2 request naming a speculation kind the
+	// daemon does not recognize or is not serving.
+	CodeUnsupportedKind = "unsupported_kind"
+	// CodeUnknownPolicy labels a request pinned to a policy name that is not
+	// registered at all. (A registered-but-different policy is a
+	// param_mismatch: the daemon could serve it, just isn't.)
+	CodeUnknownPolicy = "unknown_policy"
 	// CodeInternal labels a server-side failure.
 	CodeInternal = "internal"
 )
@@ -58,6 +65,13 @@ var ErrReadOnly = errors.New("server: replica is read-only")
 // ErrNotReplica reports a promote request to a daemon that is not a replica
 // (or was already promoted).
 var ErrNotReplica = errors.New("server: not a replica")
+
+// ErrUnsupportedKind reports a request for a speculation kind the daemon does
+// not recognize or is not serving.
+var ErrUnsupportedKind = errors.New("server: unsupported speculation kind")
+
+// ErrUnknownPolicy reports a request pinned to an unregistered policy name.
+var ErrUnknownPolicy = errors.New("server: unknown policy")
 
 // errorEnvelope is the JSON wire form of every /v1/* failure.
 type errorEnvelope struct {
@@ -102,6 +116,10 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == CodeReadOnly
 	case ErrNotReplica:
 		return e.Code == CodeNotReplica
+	case ErrUnsupportedKind:
+		return e.Code == CodeUnsupportedKind
+	case ErrUnknownPolicy:
+		return e.Code == CodeUnknownPolicy
 	}
 	return false
 }

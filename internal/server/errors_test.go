@@ -7,9 +7,11 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"slices"
 	"strings"
 	"testing"
 
+	"reactivespec/internal/core"
 	"reactivespec/internal/trace"
 )
 
@@ -25,6 +27,11 @@ func TestErrorEnvelopeConformance(t *testing.T) {
 	draining.BeginDrain()
 	drainTS := httptest.NewServer(draining.Handler())
 	defer drainTS.Close()
+
+	// branchOnly serves a restricted kind set, for the unserved-kind paths.
+	branchOnly := New(Config{Params: testParams(), Shards: 2, Kinds: []trace.Kind{trace.KindBranch}})
+	branchTS := httptest.NewServer(branchOnly.Handler())
+	defer branchTS.Close()
 
 	wrongPin := formatParamsHash(live.paramsHash ^ 1)
 	cases := []struct {
@@ -49,6 +56,20 @@ func TestErrorEnvelopeConformance(t *testing.T) {
 		{"snapshot wrong method", liveTS.URL, http.MethodGet, "/v1/snapshot", http.StatusMethodNotAllowed, CodeMethodNotAllowed},
 		{"snapshot draining", drainTS.URL, http.MethodPost, "/v1/snapshot", http.StatusServiceUnavailable, CodeDraining},
 		{"snapshot unconfigured", liveTS.URL, http.MethodPost, "/v1/snapshot", http.StatusInternalServerError, CodeInternal},
+
+		{"v2 ingest wrong method", liveTS.URL, http.MethodGet, "/v2/ingest?program=p&kind=value", http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+		{"v2 ingest draining", drainTS.URL, http.MethodPost, "/v2/ingest?program=p&kind=value", http.StatusServiceUnavailable, CodeDraining},
+		{"v2 ingest missing kind", liveTS.URL, http.MethodPost, "/v2/ingest?program=p", http.StatusBadRequest, CodeMalformed},
+		{"v2 ingest unknown kind", liveTS.URL, http.MethodPost, "/v2/ingest?program=p&kind=quantum", http.StatusBadRequest, CodeUnsupportedKind},
+		{"v2 ingest unserved kind", branchTS.URL, http.MethodPost, "/v2/ingest?program=p&kind=value", http.StatusBadRequest, CodeUnsupportedKind},
+		{"v2 ingest NUL program", liveTS.URL, http.MethodPost, "/v2/ingest?program=p%00q&kind=value", http.StatusBadRequest, CodeMalformed},
+		{"v2 ingest unknown policy", liveTS.URL, http.MethodPost, "/v2/ingest?program=p&kind=value&policy=zzz", http.StatusBadRequest, CodeUnknownPolicy},
+		{"v2 ingest policy mismatch", liveTS.URL, http.MethodPost, "/v2/ingest?program=p&kind=value&policy=selftrain", http.StatusConflict, CodeParamMismatch},
+		{"v2 ingest params mismatch", liveTS.URL, http.MethodPost, "/v2/ingest?program=p&kind=value&params=" + wrongPin, http.StatusConflict, CodeParamMismatch},
+		{"v2 decide wrong method", liveTS.URL, http.MethodPost, "/v2/decide?program=p&kind=value&id=0", http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+		{"v2 decide unknown kind", liveTS.URL, http.MethodGet, "/v2/decide?program=p&kind=quantum&id=0", http.StatusBadRequest, CodeUnsupportedKind},
+		{"v2 decide unserved kind", branchTS.URL, http.MethodGet, "/v2/decide?program=p&kind=memdep&id=0", http.StatusBadRequest, CodeUnsupportedKind},
+		{"v2 decide bad id", liveTS.URL, http.MethodGet, "/v2/decide?program=p&kind=value&id=x", http.StatusBadRequest, CodeMalformed},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -107,6 +128,21 @@ func TestClientErrorMapping(t *testing.T) {
 	if _, err := pinned.Ingest(context.Background(), "p", synthEvents(10, 1)); !errors.Is(err, ErrParamsMismatch) {
 		t.Fatalf("pinned ingest = %v, want ErrParamsMismatch", err)
 	}
+
+	// Kind and policy rejections map to their sentinels the same way.
+	_, c3 := newTestServer(t, Config{Shards: 2, Kinds: []trace.Kind{trace.KindBranch}})
+	if _, err := c3.IngestKind(context.Background(), "p", trace.KindValue, synthEvents(10, 1)); !errors.Is(err, ErrUnsupportedKind) {
+		t.Fatalf("IngestKind of unserved kind = %v, want ErrUnsupportedKind", err)
+	}
+	_, c4 := newTestServer(t, Config{Shards: 2})
+	misnamed := Connect(c4.base, WithPolicy("zzz"))
+	if _, err := misnamed.IngestKind(context.Background(), "p", trace.KindValue, synthEvents(10, 1)); !errors.Is(err, ErrUnknownPolicy) {
+		t.Fatalf("IngestKind with unregistered policy pin = %v, want ErrUnknownPolicy", err)
+	}
+	mispinned := Connect(c4.base, WithPolicy("selftrain"))
+	if _, err := mispinned.DecideKind(context.Background(), "p", trace.KindValue, 0); !errors.Is(err, ErrParamsMismatch) {
+		t.Fatalf("DecideKind with mismatched policy pin = %v, want ErrParamsMismatch", err)
+	}
 }
 
 // TestInfoEndpoint pins /v1/info's contents and the VerifyParams round trip.
@@ -131,6 +167,12 @@ func TestInfoEndpoint(t *testing.T) {
 	h, err := ParseInfoParamsHash(info)
 	if err != nil || h != s.paramsHash {
 		t.Fatalf("ParseInfoParamsHash = %#x, %v; want %#x", h, err, s.paramsHash)
+	}
+	if want := trace.KindNames(); !slices.Equal(info.Kinds, want) {
+		t.Fatalf("info.Kinds = %v, want %v (a default server serves every kind)", info.Kinds, want)
+	}
+	if info.Policy != core.PolicyReactive {
+		t.Fatalf("info.Policy = %q, want %q", info.Policy, core.PolicyReactive)
 	}
 
 	if _, err := c.VerifyParams(context.Background(), s.paramsHash); err != nil {

@@ -55,6 +55,25 @@ func ParamsHash(p core.Params) uint64 {
 	return h
 }
 
+// ParamsPolicyHash is ParamsHash extended with the daemon's policy: for the
+// default reactive policy it equals ParamsHash(p) exactly — so every
+// pre-policy client, WAL segment header, and replication peer keeps matching
+// a reactive daemon unchanged — and for any other policy the registered name
+// is mixed in, so a client pinned to one policy's decisions is rejected by a
+// daemon running another, through the same params-pin machinery as a
+// parameter mismatch.
+func ParamsPolicyHash(p core.Params, policy string) uint64 {
+	h := ParamsHash(p)
+	if policy == "" || policy == core.PolicyReactive {
+		return h
+	}
+	for i := 0; i < len(policy); i++ {
+		h ^= uint64(policy[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // formatParamsHash renders a params hash the way /v1/info and the ingest
 // params pin carry it: fixed-width hex, safe for JSON (a raw uint64 would not
 // survive every JSON reader's float64 round trip).
@@ -99,6 +118,13 @@ type Info struct {
 	// Mode is "primary" for a writable daemon, "replica" while it is
 	// read-only and applying a primary's shipped WAL.
 	Mode string `json:"mode"`
+	// Kinds lists the speculation kinds this daemon serves, in trace.Kind
+	// order. Absent (nil) in pre-kind daemons' responses, which serve
+	// exactly ["branch"].
+	Kinds []string `json:"kinds,omitempty"`
+	// Policy is the registered policy name every table entry runs.
+	// Absent in pre-policy daemons' responses, which run "reactive".
+	Policy string `json:"policy,omitempty"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -114,5 +140,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		Shards:       s.table.Shards(),
 		Draining:     s.draining.Load(),
 		Mode:         s.Mode(),
+		Kinds:        s.KindNames(),
+		Policy:       s.table.Policy(),
 	})
 }

@@ -1,0 +1,414 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"reactivespec/internal/core"
+	"reactivespec/internal/trace"
+	"reactivespec/internal/wal"
+)
+
+// TestMixedKindIsolationSameProgram pins the core serving-table claim of the
+// kind-generic API: four kinds under the same program name are four
+// independent unit populations in one table. Each kind's decision sequence
+// matches its own in-process mirror over its own event stream, and reading
+// one kind's state never shows another's.
+func TestMixedKindIsolationSameProgram(t *testing.T) {
+	_, c := newTestServer(t, Config{Shards: 4})
+	const program = "gzip"
+
+	kinds := []trace.Kind{trace.KindBranch, trace.KindValue, trace.KindMemdep, trace.KindTLSpec}
+	type side struct {
+		set   *core.PolicySet
+		instr uint64
+	}
+	mirrors := map[trace.Kind]*side{}
+	for _, k := range kinds {
+		set, err := core.NewPolicySet(core.PolicyReactive, testParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mirrors[k] = &side{set: set}
+	}
+
+	// Interleave batches across kinds so the streams advance together; the
+	// per-kind event sequences differ (distinct seeds), so any cross-kind
+	// state bleed would surface as a mirror mismatch.
+	for round := 0; round < 4; round++ {
+		for i, k := range kinds {
+			evs := synthEvents(1500, uint64(100*i+round))
+			ds, err := c.IngestKind(context.Background(), program, k, evs)
+			if err != nil {
+				t.Fatalf("round %d kind %s: %v", round, k, err)
+			}
+			if len(ds) != len(evs) {
+				t.Fatalf("kind %s: %d decisions for %d events", k, len(ds), len(evs))
+			}
+			m := mirrors[k]
+			for j, ev := range evs {
+				m.instr += uint64(ev.Gap)
+				v, st, dir, live := m.set.OnEvent(ev.Branch, ev.Taken, m.instr)
+				want := Decision{Verdict: v, State: st, Dir: dir, Live: live}
+				if ds[j] != want {
+					t.Fatalf("round %d kind %s event %d: daemon %v, mirror %v", round, k, j, ds[j], want)
+				}
+			}
+		}
+	}
+
+	// Point reads are isolated the same way: each kind's unit 0 reports its
+	// own mirror's state under the shared program name.
+	for _, k := range kinds {
+		d, err := c.DecideKind(context.Background(), program, k, 0)
+		if err != nil {
+			t.Fatalf("DecideKind %s: %v", k, err)
+		}
+		m := mirrors[k]
+		dir, live := m.set.Speculating(0)
+		if d.State != m.set.UnitState(0).String() || d.Dir != dir || d.Live != live {
+			t.Fatalf("kind %s decide = %+v, mirror state %s dir=%v live=%v",
+				k, d, m.set.UnitState(0), dir, live)
+		}
+		if d.Kind != k.String() || d.Program != program {
+			t.Fatalf("kind %s decide echoes %q/%q", k, d.Program, d.Kind)
+		}
+	}
+}
+
+// TestV1V2ByteExactBranch pins the migration contract for kind=branch: a /v2
+// ingest with kind=branch produces byte-identical response bodies to the
+// same events POSTed to /v1/ingest, and both endpoints drive the same table
+// entry (the branch kind-program key is the plain program name).
+func TestV1V2ByteExactBranch(t *testing.T) {
+	post := func(c *Client, path string, body []byte) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(c.base+path, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	evs := synthEvents(6000, 9)
+	var body []byte
+	for _, b := range streamBatches(evs, 1500) {
+		body = trace.AppendFrame(nil, b)
+
+		// Fresh server per endpoint: identical inputs from identical state.
+		_, v1c := newTestServer(t, Config{Shards: 4})
+		_, v2c := newTestServer(t, Config{Shards: 4})
+		s1, b1 := post(v1c, "/v1/ingest?program=gzip", body)
+		s2, b2 := post(v2c, "/v2/ingest?program=gzip&kind=branch", body)
+		if s1 != http.StatusOK || s2 != http.StatusOK {
+			t.Fatalf("status v1=%d v2=%d", s1, s2)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("v1 and v2 response bodies differ for kind=branch:\n v1 %x\n v2 %x", b1, b2)
+		}
+	}
+
+	// Same server: alternating endpoints continue one decision stream, so
+	// the two surfaces are views of one entry, not parallel copies.
+	_, c := newTestServer(t, Config{Shards: 4})
+	var mixed []Decision
+	for i, b := range streamBatches(evs, 1500) {
+		var (
+			ds  []Decision
+			err error
+		)
+		if i%2 == 0 {
+			ds, err = c.Ingest(context.Background(), "gzip", b)
+		} else {
+			ds, err = c.IngestKind(context.Background(), "gzip", trace.KindBranch, b)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		mixed = append(mixed, ds...)
+	}
+	_, ref := newTestServer(t, Config{Shards: 4})
+	var want []Decision
+	for _, b := range streamBatches(evs, 1500) {
+		ds, err := ref.Ingest(context.Background(), "gzip", b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, ds...)
+	}
+	if !reflect.DeepEqual(mixed, want) {
+		t.Fatal("alternating v1/v2 ingest diverged from a pure v1 stream")
+	}
+}
+
+// TestStreamProto3Proto4InteropByteExact is the cross-version stream matrix:
+// a proto-3 session (no kind tag) and a proto-4 session carrying the
+// explicit kind=branch tag must receive byte-identical ack tails and
+// byte-identical decision frames for the same events. The only permitted
+// wire difference is the negotiated proto number itself.
+func TestStreamProto3Proto4InteropByteExact(t *testing.T) {
+	type session struct {
+		conn net.Conn
+		br   *bufio.Reader
+	}
+	open := func(proto uint32) (*session, trace.Ack) {
+		t.Helper()
+		s, _ := newTestServer(t, Config{Shards: 4})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		go s.ServeStream(ln)
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { conn.Close() })
+		hs := trace.Handshake{Proto: proto, ParamsHash: s.paramsHash, Window: 4, Program: "gzip"}
+		if _, err := conn.Write(trace.AppendHandshake(nil, hs)); err != nil {
+			t.Fatal(err)
+		}
+		br := bufio.NewReader(conn)
+		ack, err := trace.ReadAck(br)
+		if err != nil {
+			t.Fatalf("proto %d ack: %v", proto, err)
+		}
+		if ack.Err != nil {
+			t.Fatalf("proto %d rejected: %v", proto, ack.Err)
+		}
+		if ack.Proto != proto {
+			t.Fatalf("proto %d negotiated %d", proto, ack.Proto)
+		}
+		return &session{conn: conn, br: br}, ack
+	}
+
+	s3, ack3 := open(3)
+	s4, ack4 := open(4)
+	if ack3.Window != ack4.Window || ack3.Flags != ack4.Flags || ack3.ParamsHash != ack4.ParamsHash {
+		t.Fatalf("ack tails diverge: proto3 %+v proto4 %+v", ack3, ack4)
+	}
+
+	evs := synthEvents(8000, 13)
+	var scratch3, scratch4 []byte
+	for i, b := range streamBatches(evs, 1000) {
+		p3 := trace.EncodeFrameAppend(trace.AppendTraceContext(nil, 0), b)
+		p4 := trace.EncodeFrameAppend(trace.AppendKind(trace.AppendTraceContext(nil, 0), trace.KindBranch), b)
+		if _, err := s3.conn.Write(trace.AppendSessionFrame(nil, trace.StreamFrameEvents, p3)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s4.conn.Write(trace.AppendSessionFrame(nil, trace.StreamFrameEvents, p4)); err != nil {
+			t.Fatal(err)
+		}
+		typ3, pay3, sc3, err := trace.ReadSessionFrame(s3.br, scratch3)
+		if err != nil {
+			t.Fatalf("batch %d proto3: %v", i, err)
+		}
+		scratch3 = sc3
+		typ4, pay4, sc4, err := trace.ReadSessionFrame(s4.br, scratch4)
+		if err != nil {
+			t.Fatalf("batch %d proto4: %v", i, err)
+		}
+		scratch4 = sc4
+		if typ3 != typ4 || !bytes.Equal(pay3, pay4) {
+			t.Fatalf("batch %d: proto-3 and proto-4 decision frames diverge:\n p3 %c %x\n p4 %c %x",
+				i, typ3, pay3, typ4, pay4)
+		}
+	}
+}
+
+// TestWALKindTransparentRecovery pins that the WAL treats kind-encoded
+// program keys as opaque: a crash after mixed-kind ingest recovers to the
+// exact controller state of the crashed server, including the non-branch
+// entries, with no WAL format change (branch records still carry the plain
+// program name a pre-kind build wrote).
+func TestWALKindTransparentRecovery(t *testing.T) {
+	env := newWALEnv(t, 4)
+	l := env.openLog(t, wal.SyncAlways)
+	victim, vc := env.newServer(t, l)
+
+	type kindBatch struct {
+		program string
+		kind    trace.Kind
+		n       int
+		seed    uint64
+	}
+	batches := []kindBatch{
+		{"gzip", trace.KindBranch, 3000, 1},
+		{"gzip", trace.KindValue, 2500, 2},
+		{"vpr", trace.KindMemdep, 2000, 3},
+		{"gzip", trace.KindTLSpec, 1500, 4},
+		{"gzip", trace.KindBranch, 1000, 5},
+		{"vpr", trace.KindValue, 500, 6},
+	}
+	for _, b := range batches {
+		if _, err := vc.IngestKind(context.Background(), b.program, b.kind, synthEvents(b.n, b.seed)); err != nil {
+			t.Fatalf("%s/%s: %v", b.program, b.kind, err)
+		}
+	}
+	crashed := victim.table.SnapshotEntries()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := env.openLog(t, wal.SyncAlways)
+	recovered, _ := env.newServer(t, l2)
+	res, err := recovered.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if res.ReplayedRecords == 0 {
+		t.Fatal("recovery replayed nothing")
+	}
+	if got := recovered.table.SnapshotEntries(); !reflect.DeepEqual(got, crashed) {
+		t.Fatal("recovered mixed-kind entries differ from the crashed server's")
+	}
+
+	// The WAL's branch records carry the plain program name — what a
+	// pre-kind daemon wrote — so a pre-refactor log is just the branch-only
+	// special case of this replay.
+	for _, b := range batches {
+		want := trace.EncodeKindProgram(b.kind, b.program)
+		d := recovered.table.DecideKind(b.program, b.kind, 0)
+		if d == (Decision{}) && b.kind == trace.KindBranch {
+			t.Fatalf("no recovered state under key %q", want)
+		}
+	}
+}
+
+// TestSnapshotPolicyRoundTripAndMismatch pins the snapshot policy contract:
+// a snapshot restores into a server running the same policy (resuming the
+// identical decision stream), and a server running a different policy
+// rejects it with ErrSnapshotMismatch instead of silently reinterpreting
+// the frozen state under different transition rules.
+func TestSnapshotPolicyRoundTripAndMismatch(t *testing.T) {
+	for _, policy := range core.PolicyNames() {
+		t.Run(policy, func(t *testing.T) {
+			dir := t.TempDir()
+			s, c := newTestServer(t, Config{SnapshotDir: dir, Shards: 2, Policy: policy})
+			evs := synthEvents(4000, 7)
+			if _, err := c.IngestKind(context.Background(), "p", trace.KindValue, evs[:2000]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.SnapshotNow(); err != nil {
+				t.Fatal(err)
+			}
+
+			same := New(Config{Params: testParams(), SnapshotDir: dir, Shards: 2, Policy: policy})
+			if _, err := same.RestoreFromDisk(); err != nil {
+				t.Fatalf("restore into same policy: %v", err)
+			}
+			key := trace.EncodeKindProgram(trace.KindValue, "p")
+			wantTail, _ := s.table.ApplyBatchKind("p", trace.KindValue, evs[2000:], s.cursorFor(key).instr, nil)
+			gotTail, _ := same.table.ApplyBatchKind("p", trace.KindValue, evs[2000:], s.cursorFor(key).instr, nil)
+			if !bytes.Equal(gotTail, wantTail) {
+				t.Fatal("restored server's future decisions diverge from the snapshotted one's")
+			}
+
+			for _, other := range core.PolicyNames() {
+				if other == policy {
+					continue
+				}
+				mismatched := New(Config{Params: testParams(), SnapshotDir: dir, Shards: 2, Policy: other})
+				if _, err := mismatched.RestoreFromDisk(); !errors.Is(err, ErrSnapshotMismatch) {
+					t.Fatalf("restore of %s snapshot into %s server = %v, want ErrSnapshotMismatch",
+						policy, other, err)
+				}
+			}
+		})
+	}
+}
+
+// TestParamsPolicyHash pins the compatibility-critical hash property: the
+// reactive policy (and the empty legacy spelling) leaves ParamsHash
+// untouched, so every pre-policy artifact keeps verifying, while each other
+// registered policy produces a distinct hash under identical parameters.
+func TestParamsPolicyHash(t *testing.T) {
+	p := testParams()
+	if ParamsPolicyHash(p, "") != ParamsHash(p) || ParamsPolicyHash(p, core.PolicyReactive) != ParamsHash(p) {
+		t.Fatal("reactive/empty policy perturbs the params hash")
+	}
+	seen := map[uint64]string{ParamsHash(p): core.PolicyReactive}
+	for _, name := range core.PolicyNames() {
+		if name == core.PolicyReactive {
+			continue
+		}
+		h := ParamsPolicyHash(p, name)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("policies %q and %q collide at %016x", prev, name, h)
+		}
+		seen[h] = name
+	}
+}
+
+// TestPolicyServerMatchesPolicySet drives a non-reactive daemon end to end
+// and checks its decisions against the in-process PolicySet — the serving
+// path and the experiment/verification path agree for every policy, not
+// just the fast-path reactive one.
+func TestPolicyServerMatchesPolicySet(t *testing.T) {
+	for _, policy := range core.PolicyNames() {
+		t.Run(policy, func(t *testing.T) {
+			_, c := newTestServer(t, Config{Shards: 4, Policy: policy})
+			set, err := core.NewPolicySet(policy, testParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var instr uint64
+			for _, b := range streamBatches(synthEvents(6000, 17), 1200) {
+				ds, err := c.IngestKind(context.Background(), "p", trace.KindMemdep, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j, ev := range b {
+					instr += uint64(ev.Gap)
+					v, st, dir, live := set.OnEvent(ev.Branch, ev.Taken, instr)
+					want := Decision{Verdict: v, State: st, Dir: dir, Live: live}
+					if ds[j] != want {
+						t.Fatalf("event %d: daemon %v, policy set %v", j, ds[j], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestServesKindConfig pins the -kinds restriction surface: a configured
+// subset is what /v1/info advertises and what ServesKind answers.
+func TestServesKindConfig(t *testing.T) {
+	s := New(Config{Params: testParams(), Shards: 2, Kinds: []trace.Kind{trace.KindBranch, trace.KindTLSpec}})
+	for _, tc := range []struct {
+		kind trace.Kind
+		want bool
+	}{
+		{trace.KindBranch, true},
+		{trace.KindValue, false},
+		{trace.KindMemdep, false},
+		{trace.KindTLSpec, true},
+	} {
+		if got := s.ServesKind(tc.kind); got != tc.want {
+			t.Errorf("ServesKind(%s) = %v, want %v", tc.kind, got, tc.want)
+		}
+	}
+	if names := s.KindNames(); !reflect.DeepEqual(names, []string{"branch", "tlspec"}) {
+		t.Fatalf("KindNames() = %v", names)
+	}
+	if s.ServesKind(trace.Kind(99)) {
+		t.Fatal("an invalid kind reports as served")
+	}
+	if fmt.Sprint(New(Config{Params: testParams(), Shards: 2}).KindNames()) != fmt.Sprint(trace.KindNames()) {
+		t.Fatal("an empty Kinds config does not default to serving every kind")
+	}
+}

@@ -61,6 +61,24 @@ import (
 //	GET  /metrics                        → Prometheus text exposition
 //	POST /v1/snapshot                    → force a snapshot, JSON result
 //
+//	POST /v2/ingest?program=P&kind=K     → kind-aware ingest; body and response
+//	  format are byte-identical to /v1/ingest. kind names a speculation kind
+//	  (trace.ParseKind); kind=branch lands on exactly the table keys /v1/ingest
+//	  uses, so a program can migrate endpoint by endpoint without resetting
+//	  its state. An unknown kind name, or a kind the daemon is not serving, is
+//	  rejected with the unsupported_kind code before any event applies. An
+//	  optional policy=<name> query pins the request to the daemon's policy the
+//	  way params= pins the parameter hash: an unregistered name is rejected
+//	  with unknown_policy (400), a registered-but-different one with
+//	  param_mismatch (409).
+//	GET  /v2/decide?program=P&kind=K&id=N → JSON DecideV2Response; same kind
+//	  and policy validation as /v2/ingest.
+//
+// The /v1/* endpoints are the compatibility surface: they serve kind=branch
+// exactly as they did before kinds existed, byte for byte. Program names
+// containing a NUL byte are rejected on every path (NUL introduces the
+// internal kind-key encoding, trace.EncodeKindProgram).
+//
 // Every failure path answers with the unified JSON error envelope
 // {"error": ..., "code": ...} defined in errors.go.
 
@@ -85,6 +103,17 @@ type Config struct {
 	// Params are the reactive-controller parameters every table entry is
 	// created with.
 	Params core.Params
+	// Policy is the registered policy name every table entry runs ("" =
+	// core.PolicyReactive). The policy is mixed into the params hash
+	// (ParamsPolicyHash), so clients pinned to one policy's decisions are
+	// rejected by a daemon running another. The name must be registered
+	// (core.ValidPolicy): New panics on an unknown one — the daemon binary
+	// validates its -policy flag before constructing the server.
+	Policy string
+	// Kinds lists the speculation kinds this daemon serves; nil or empty
+	// means all of them. Ingest and decide requests for an unserved kind are
+	// rejected with the unsupported_kind code.
+	Kinds []trace.Kind
 	// Shards is the lock-stripe count (default 16).
 	Shards int
 	// SnapshotDir, when non-empty, enables snapshot/restore.
@@ -116,6 +145,8 @@ type Server struct {
 	table      *Table
 	start      time.Time
 	paramsHash uint64
+	// kinds is the served-kind mask, indexed by trace.Kind.
+	kinds [trace.KindCount]bool
 
 	cursorsMu sync.Mutex
 	cursors   map[string]*cursor
@@ -171,13 +202,31 @@ func New(cfg Config) *Server {
 	if cfg.Shards < 1 {
 		cfg.Shards = 16
 	}
+	table, err := NewTablePolicy(cfg.Params, cfg.Shards, cfg.Policy)
+	if err != nil {
+		// Config.Policy documents the contract: validate the name before
+		// constructing a server.
+		panic("server: " + err.Error())
+	}
 	s := &Server{
 		cfg:        cfg,
-		table:      NewTable(cfg.Params, cfg.Shards),
+		table:      table,
 		start:      time.Now(),
-		paramsHash: ParamsHash(cfg.Params),
+		paramsHash: ParamsPolicyHash(cfg.Params, cfg.Policy),
 		cursors:    make(map[string]*cursor),
 		reg:        obs.NewRegistry(),
+	}
+	if len(cfg.Kinds) == 0 {
+		for k := range s.kinds {
+			s.kinds[k] = true
+		}
+	} else {
+		for _, k := range cfg.Kinds {
+			if !k.Valid() {
+				panic(fmt.Sprintf("server: invalid kind %d in Config.Kinds", k))
+			}
+			s.kinds[k] = true
+		}
 	}
 	s.streams.sessions = make(map[*streamSession]struct{})
 	s.readOnly.Store(cfg.Replica)
@@ -210,6 +259,23 @@ func New(cfg Config) *Server {
 
 // Table returns the underlying sharded table (tests and tooling).
 func (s *Server) Table() *Table { return s.table }
+
+// ServesKind reports whether the daemon serves the speculation kind.
+func (s *Server) ServesKind(k trace.Kind) bool {
+	return k.Valid() && s.kinds[k]
+}
+
+// KindNames returns the served speculation kinds' names, in trace.Kind order
+// (what /v1/info advertises as "kinds").
+func (s *Server) KindNames() []string {
+	out := make([]string, 0, trace.KindCount)
+	for k := trace.Kind(0); k < trace.KindCount; k++ {
+		if s.kinds[k] {
+			out = append(out, k.String())
+		}
+	}
+	return out
+}
 
 // WAL returns the configured write-ahead log, or nil when durability is
 // disabled (debug pages and tooling).
@@ -255,6 +321,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	mux.HandleFunc("/v1/decide", s.handleDecide)
+	mux.HandleFunc("/v2/ingest", s.handleIngestV2)
+	mux.HandleFunc("/v2/decide", s.handleDecideV2)
 	mux.HandleFunc("/v1/info", s.handleInfo)
 	mux.HandleFunc("/v1/stream", s.handleStream)
 	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
@@ -309,22 +377,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	q := r.URL.Query()
 	program := q.Get("program")
-	if program == "" {
-		writeError(w, http.StatusBadRequest, CodeMalformed, "missing program parameter")
+	if !checkProgram(w, program) {
 		return
 	}
-	if pin := q.Get("params"); pin != "" {
-		h, err := parseParamsHash(pin)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, CodeMalformed, "bad params parameter: "+err.Error())
-			return
-		}
-		if h != s.paramsHash {
-			writeError(w, http.StatusConflict, CodeParamMismatch, fmt.Sprintf(
-				"client controller params hash %s != server %s",
-				formatParamsHash(h), formatParamsHash(s.paramsHash)))
-			return
-		}
+	if !s.checkParamsPin(w, q.Get("params")) {
+		return
 	}
 	// pprof labels let a CPU profile split ingest work by program, transport
 	// and role; the body runs inside the labeled region so decode/apply
@@ -333,6 +390,118 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		"program", program, "transport", "post", "role", s.Mode(),
 	), func(context.Context) {
 		s.ingestBatch(w, r, program)
+	})
+}
+
+// checkProgram validates an ingest/decide program parameter, answering the
+// request itself when the name is missing or carries a NUL byte (NUL
+// introduces the internal kind-key encoding and is never a legal name).
+func checkProgram(w http.ResponseWriter, program string) bool {
+	if program == "" {
+		writeError(w, http.StatusBadRequest, CodeMalformed, "missing program parameter")
+		return false
+	}
+	if !trace.ValidProgramName(program) {
+		writeError(w, http.StatusBadRequest, CodeMalformed, "program name contains a NUL byte")
+		return false
+	}
+	return true
+}
+
+// checkParamsPin validates an optional params=<hex hash> pin against the
+// daemon's params hash, answering the request itself on failure.
+func (s *Server) checkParamsPin(w http.ResponseWriter, pin string) bool {
+	if pin == "" {
+		return true
+	}
+	h, err := parseParamsHash(pin)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeMalformed, "bad params parameter: "+err.Error())
+		return false
+	}
+	if h != s.paramsHash {
+		writeError(w, http.StatusConflict, CodeParamMismatch, fmt.Sprintf(
+			"client controller params hash %s != server %s",
+			formatParamsHash(h), formatParamsHash(s.paramsHash)))
+		return false
+	}
+	return true
+}
+
+// checkKindPolicy validates a /v2 request's kind parameter and optional
+// policy pin, answering the request itself on failure. It returns the parsed
+// kind.
+func (s *Server) checkKindPolicy(w http.ResponseWriter, q map[string][]string) (trace.Kind, bool) {
+	get := func(name string) string {
+		if v := q[name]; len(v) > 0 {
+			return v[0]
+		}
+		return ""
+	}
+	ks := get("kind")
+	if ks == "" {
+		writeError(w, http.StatusBadRequest, CodeMalformed, "missing kind parameter")
+		return 0, false
+	}
+	kind, err := trace.ParseKind(ks)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeUnsupportedKind, err.Error())
+		return 0, false
+	}
+	if !s.kinds[kind] {
+		writeError(w, http.StatusBadRequest, CodeUnsupportedKind, fmt.Sprintf(
+			"kind %q is not served by this daemon (serving %v)", kind, s.KindNames()))
+		return 0, false
+	}
+	if pin := get("policy"); pin != "" {
+		if !core.ValidPolicy(pin) {
+			writeError(w, http.StatusBadRequest, CodeUnknownPolicy, fmt.Sprintf(
+				"unknown policy %q (registered: %v)", pin, core.PolicyNames()))
+			return 0, false
+		}
+		if pin != s.table.Policy() {
+			writeError(w, http.StatusConflict, CodeParamMismatch, fmt.Sprintf(
+				"client pinned policy %q != server policy %q", pin, s.table.Policy()))
+			return 0, false
+		}
+	}
+	return kind, true
+}
+
+func (s *Server) handleIngestV2(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "draining")
+		return
+	}
+	if s.readOnly.Load() {
+		writeError(w, http.StatusForbidden, CodeReadOnly,
+			"replica is read-only; ingest on the primary, or promote this replica first")
+		return
+	}
+	q := r.URL.Query()
+	program := q.Get("program")
+	if !checkProgram(w, program) {
+		return
+	}
+	kind, ok := s.checkKindPolicy(w, q)
+	if !ok {
+		return
+	}
+	if !s.checkParamsPin(w, q.Get("params")) {
+		return
+	}
+	// Everything below /v2 validation is the /v1 batch path on the encoded
+	// kind-program key: the WAL record, the cursor, the table keys, and the
+	// response bytes are exactly what a /v1 ingest of the same body would
+	// produce for kind=branch (the key is the plain name then).
+	pprof.Do(r.Context(), pprof.Labels(
+		"program", program, "kind", kind.String(), "transport", "post", "role", s.Mode(),
+	), func(context.Context) {
+		s.ingestBatch(w, r, trace.EncodeKindProgram(kind, program))
 	})
 }
 
@@ -545,8 +714,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	program := r.URL.Query().Get("program")
-	if program == "" {
-		writeError(w, http.StatusBadRequest, CodeMalformed, "missing program parameter")
+	if !checkProgram(w, program) {
 		return
 	}
 	branch, err := strconv.ParseUint(r.URL.Query().Get("branch"), 10, 32)
@@ -566,6 +734,49 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		State:     d.State.String(),
 		Direction: dir,
 		Live:      d.Live,
+	})
+}
+
+// DecideV2Response is the JSON answer of /v2/decide. Unlike the v1 response
+// it carries the raw speculation direction as a boolean — "taken" wording
+// only makes sense for branches.
+type DecideV2Response struct {
+	Program string `json:"program"`
+	Kind    string `json:"kind"`
+	ID      uint32 `json:"id"`
+	State   string `json:"state"`
+	Dir     bool   `json:"dir"`
+	Live    bool   `json:"live"`
+}
+
+func (s *Server) handleDecideV2(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	program := q.Get("program")
+	if !checkProgram(w, program) {
+		return
+	}
+	kind, ok := s.checkKindPolicy(w, q)
+	if !ok {
+		return
+	}
+	id, err := strconv.ParseUint(q.Get("id"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeMalformed, "bad id parameter: "+err.Error())
+		return
+	}
+	d := s.table.DecideKind(program, kind, trace.BranchID(id))
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, DecideV2Response{
+		Program: program,
+		Kind:    kind.String(),
+		ID:      uint32(id),
+		State:   d.State.String(),
+		Dir:     d.Dir,
+		Live:    d.Live,
 	})
 }
 
@@ -652,6 +863,7 @@ func (s *Server) SnapshotNow() (SnapshotResult, error) {
 	snap := &Snapshot{
 		Version: snapshotVersion,
 		Params:  s.cfg.Params,
+		Policy:  s.table.Policy(),
 		Cursors: s.exportCursors(),
 		Entries: s.table.SnapshotEntries(),
 	}
@@ -716,6 +928,16 @@ func (s *Server) RestoreFromDisk() (bool, error) {
 	if snap.Params != s.cfg.Params {
 		return false, fmt.Errorf("%w: snapshot %+v vs configured %+v",
 			ErrSnapshotMismatch, snap.Params, s.cfg.Params)
+	}
+	// Pre-policy snapshots carry "" — they were all written by reactive
+	// daemons, so "" compares as the reactive default.
+	snapPolicy := snap.Policy
+	if snapPolicy == "" {
+		snapPolicy = core.PolicyReactive
+	}
+	if snapPolicy != s.table.Policy() {
+		return false, fmt.Errorf("%w: snapshot policy %q vs configured %q",
+			ErrSnapshotMismatch, snapPolicy, s.table.Policy())
 	}
 	s.table.RestoreEntries(snap.Entries)
 	s.cursorsMu.Lock()

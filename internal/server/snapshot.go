@@ -38,6 +38,11 @@ var ErrSnapshotMismatch = errors.New("server: snapshot parameters do not match c
 type Snapshot struct {
 	Version int
 	Params  core.Params
+	// Policy is the registered policy name the entries were trained under.
+	// Empty means the reactive default: gob zero-fills it when decoding
+	// snapshots written before policies existed, and those were all
+	// reactive, so the layout stays at snapshotVersion 1.
+	Policy  string
 	Cursors []CursorSnapshot
 	Entries []EntrySnapshot
 	// WALSeq anchors the snapshot in the write-ahead log: every WAL record

@@ -222,6 +222,9 @@ func (s *Server) serveStreamConn(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 	case hs.Program == "":
 		reject(trace.StreamCodeMalformed, "missing program name")
 		return
+	case !trace.ValidProgramName(hs.Program):
+		reject(trace.StreamCodeMalformed, "program name contains a NUL byte")
+		return
 	case hs.ParamsHash != s.paramsHash:
 		reject(trace.StreamCodeParamMismatch, fmt.Sprintf(
 			"client controller params hash %s != server %s",
@@ -272,7 +275,12 @@ func (s *Server) serveStreamConn(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 // completion: event frames in, decision (or reject) frames out, terminal
 // frame last. proto is the negotiated session protocol; at 2 every event
 // frame payload starts with a trace context; at 3 decision frames may be
-// coalesced per flags.
+// coalesced per flags; at 4 a speculation-kind tag follows the trace
+// context, routing each frame to its own (program, kind) cursor and table
+// keys. Below proto 4 every frame is implicitly kind=branch and the session
+// is byte-identical to the pre-kind protocol. A frame tagged with a kind the
+// daemon does not serve is rejected per-frame ('R'), like a corrupt payload:
+// the session survives, and the other kinds' frames keep applying.
 //
 // The read path is zero-copy at the byte level: ReadSessionFrameBuffered
 // hands back a payload aliasing the connection read buffer, the frame is
@@ -297,15 +305,21 @@ func (s *Server) streamFrameLoop(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 	}
 
 	// Session-local scratch, reused across frames: the steady-state loop
-	// allocates nothing.
+	// allocates nothing. The cursor and table key are per (program, kind);
+	// both are resolved lazily per kind and cached for the session, so a
+	// branch-only session (every session below proto 4) pays exactly the old
+	// single-cursor cost.
 	var (
 		payloadScratch []byte
 		decisions      []byte
 		decScratch     []byte
 		payload        []byte
 		err            error
-		cur            = s.cursorFor(program)
+		keys           [trace.KindCount]string
+		curs           [trace.KindCount]*cursor
 	)
+	keys[trace.KindBranch] = program
+	curs[trace.KindBranch] = s.cursorFor(program)
 	for {
 		var typ byte
 		typ, payload, payloadScratch, err = trace.ReadSessionFrameBuffered(br, payloadScratch)
@@ -332,6 +346,15 @@ func (s *Server) streamFrameLoop(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 			if proto >= 2 {
 				traceID, body, err = trace.CutTraceContext(payload)
 			}
+			// At proto 4 a kind tag follows the trace context; older
+			// sessions carry branches only.
+			kind := trace.KindBranch
+			if err == nil && proto >= 4 {
+				kind, body, err = trace.CutKind(body)
+				if err == nil && (!kind.Valid() || !s.kinds[kind]) {
+					err = fmt.Errorf("kind %s is not served by this daemon", kind)
+				}
+			}
 			if err == nil && traceID == 0 {
 				traceID = s.cfg.Trace.SampleBatch()
 			}
@@ -353,6 +376,13 @@ func (s *Server) streamFrameLoop(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 					return
 				}
 			} else {
+				key := keys[kind]
+				cur := curs[kind]
+				if cur == nil {
+					key = trace.EncodeKindProgram(kind, program)
+					cur = s.cursorFor(key)
+					keys[kind], curs[kind] = key, cur
+				}
 				applyStart := time.Now()
 				s.applyMu.RLock()
 				cur.mu.Lock()
@@ -368,7 +398,7 @@ func (s *Server) streamFrameLoop(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 					// wire payload is spliced in verbatim — the record
 					// bytes match what Append would have written for the
 					// decoded events.
-					seq, walErr = wlog.AppendPayload(program, body)
+					seq, walErr = wlog.AppendPayload(key, body)
 					if walErr == nil {
 						s.cfg.Trace.NoteSeq(seq, traceID)
 					}
@@ -381,7 +411,7 @@ func (s *Server) streamFrameLoop(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 				walDur := fsyncStart.Sub(walStart)
 				tableStart := time.Now()
 				if walErr == nil {
-					decisions, cur.instr = s.table.ApplyFrame(program, body, cur.instr, decisions[:0])
+					decisions, cur.instr = s.table.ApplyFrame(key, body, cur.instr, decisions[:0])
 				}
 				tableDur := time.Since(tableStart)
 				cur.mu.Unlock()

@@ -447,8 +447,19 @@ func (st *Stream) Window() int { return st.window }
 // Send ships one batch of events as a single in-flight frame. It blocks
 // while the window is exhausted, until the receiver frees a slot, ctx ends,
 // or the session terminates. Each successful Send owes exactly one Recv.
+//
+// Send is the kind=branch compatibility surface — its wire bytes are
+// identical at every protocol version; kind-aware callers use SendKind.
 func (st *Stream) Send(ctx context.Context, events []trace.Event) error {
-	return st.send(ctx, events, nil, len(events))
+	return st.send(ctx, trace.KindBranch, events, nil, len(events))
+}
+
+// SendKind is Send with an explicit speculation kind. kind=branch is Send
+// exactly (and works at every negotiated protocol version); other kinds
+// require the session to have negotiated stream protocol 4 — against an
+// older server SendKind fails without consuming a window credit.
+func (st *Stream) SendKind(ctx context.Context, kind trace.Kind, events []trace.Event) error {
+	return st.send(ctx, kind, events, nil, len(events))
 }
 
 // SendEncoded ships one pre-encoded event frame — the exact bytes
@@ -459,10 +470,23 @@ func (st *Stream) Send(ctx context.Context, events []trace.Event) error {
 // frame's event count; it feeds span metadata only. Blocking and credit
 // semantics are identical to Send.
 func (st *Stream) SendEncoded(ctx context.Context, frame []byte, nevents int) error {
-	return st.send(ctx, nil, frame, nevents)
+	return st.send(ctx, trace.KindBranch, nil, frame, nevents)
 }
 
-func (st *Stream) send(ctx context.Context, events []trace.Event, frame []byte, nevents int) error {
+// SendEncodedKind is SendEncoded with an explicit speculation kind, under
+// SendKind's protocol rules.
+func (st *Stream) SendEncodedKind(ctx context.Context, kind trace.Kind, frame []byte, nevents int) error {
+	return st.send(ctx, kind, nil, frame, nevents)
+}
+
+func (st *Stream) send(ctx context.Context, kind trace.Kind, events []trace.Event, frame []byte, nevents int) error {
+	if kind != trace.KindBranch && st.proto < 4 {
+		return fmt.Errorf("server: stream: kind %s needs stream protocol 4, session negotiated %d (%w)",
+			kind, st.proto, ErrUnsupportedKind)
+	}
+	if !kind.Valid() {
+		return fmt.Errorf("server: stream: invalid kind %s (%w)", kind, ErrUnsupportedKind)
+	}
 	// A terminated session fails fast even when credits are available (the
 	// local socket write could otherwise "succeed" into the kernel buffer).
 	select {
@@ -494,6 +518,11 @@ func (st *Stream) send(ctx context.Context, events []trace.Event, frame []byte, 
 	st.evBuf = st.evBuf[:0]
 	if st.proto >= 2 {
 		st.evBuf = trace.AppendTraceContext(st.evBuf, traceID)
+	}
+	if st.proto >= 4 {
+		// The kind tag is unconditional at proto 4 so the wire shape stays
+		// uniform; branch encodes as a single zero byte.
+		st.evBuf = trace.AppendKind(st.evBuf, kind)
 	}
 	if frame != nil {
 		st.evBuf = append(st.evBuf, frame...)

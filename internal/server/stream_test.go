@@ -312,9 +312,11 @@ func TestStreamRejectFrameKeepsSession(t *testing.T) {
 		t.Fatalf("frame type %q, want reject", typ)
 	}
 	// The session survived the rejection: a valid frame still applies. The
-	// handshake negotiated proto >= 2, so the payload leads with a trace
-	// context (zero = untraced).
-	good := trace.EncodeFrameAppend(trace.AppendTraceContext(nil, 0), synthEvents(10, 4))
+	// handshake negotiated proto >= 4, so the payload leads with a trace
+	// context (zero = untraced) and a kind tag.
+	good := trace.EncodeFrameAppend(
+		trace.AppendKind(trace.AppendTraceContext(nil, 0), trace.KindBranch),
+		synthEvents(10, 4))
 	if _, err := raw.Write(trace.AppendSessionFrame(nil, trace.StreamFrameEvents, good)); err != nil {
 		t.Fatal(err)
 	}

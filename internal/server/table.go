@@ -8,12 +8,21 @@ import (
 	"reactivespec/internal/trace"
 )
 
-// Table is a sharded, lock-striped table of reactive controllers keyed by
-// (program, branch ID). Each key owns an independent single-branch
-// core.Controller, so per-branch decisions are bit-for-bit identical to an
-// in-process controller observing the same (outcome, instruction-count)
+// Table is a sharded, lock-striped table of speculation-control policies
+// keyed by (program, branch ID), where the program key may carry an encoded
+// speculation kind (trace.EncodeKindProgram) — branch keys are the plain
+// program name, so every pre-kind artifact (WAL, snapshot, shard hash,
+// replication stream) is byte-identical. Each key owns an independent
+// single-unit policy, so per-unit decisions are bit-for-bit identical to an
+// in-process policy observing the same (outcome, instruction-count)
 // sequence — the striping changes only who may update concurrently, never
-// what any branch decides.
+// what any unit decides.
+//
+// The policy is fixed at construction for the whole table. The default
+// (core.PolicyReactive) keeps the paper's FSM on a direct *core.Controller
+// fast path — entry.ctl non-nil — so the serving hot path pays only one
+// predictable nil check over the pre-policy build; other policies dispatch
+// through the core.Policy interface (entry.pol).
 //
 // Lock discipline: every key maps to exactly one shard (by hash), and all
 // access to a shard's entries happens under that shard's mutex. Events for
@@ -21,6 +30,7 @@ import (
 // same key serialize, which is exactly the ordering the controller needs.
 type Table struct {
 	params core.Params
+	policy string
 	shards []tableShard
 }
 
@@ -36,25 +46,47 @@ type tableKey struct {
 	branch  trace.BranchID
 }
 
+// tableEntry is one (program, branch) unit. Exactly one of ctl/pol is
+// non-nil: ctl for the reactive policy (direct calls, no interface
+// dispatch), pol for everything else.
 type tableEntry struct {
 	ctl *core.Controller
+	pol core.Policy
 }
 
-// NewTable returns a table with the given controller parameters and shard
-// count (clamped to at least 1).
+// NewTable returns a table running the default reactive policy with the
+// given controller parameters and shard count (clamped to at least 1).
 func NewTable(params core.Params, shards int) *Table {
-	if shards < 1 {
-		shards = 1
-	}
-	t := &Table{params: params, shards: make([]tableShard, shards)}
-	for i := range t.shards {
-		t.shards[i].entries = make(map[tableKey]*tableEntry)
+	t, err := NewTablePolicy(params, shards, core.PolicyReactive)
+	if err != nil {
+		panic(err) // the reactive policy is always registered
 	}
 	return t
 }
 
+// NewTablePolicy is NewTable with a registered policy name ("" = reactive).
+func NewTablePolicy(params core.Params, shards int, policy string) (*Table, error) {
+	if _, err := core.NewPolicy(policy, params); err != nil {
+		return nil, err
+	}
+	if policy == "" {
+		policy = core.PolicyReactive
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	t := &Table{params: params, policy: policy, shards: make([]tableShard, shards)}
+	for i := range t.shards {
+		t.shards[i].entries = make(map[tableKey]*tableEntry)
+	}
+	return t, nil
+}
+
 // Params returns the controller parameters every entry is created with.
 func (t *Table) Params() core.Params { return t.params }
+
+// Policy returns the registered policy name every entry runs.
+func (t *Table) Policy() string { return t.policy }
 
 // Shards returns the shard count.
 func (t *Table) Shards() int { return len(t.shards) }
@@ -94,35 +126,94 @@ func (t *Table) shardFor(program string, id trace.BranchID) *tableShard {
 
 // getLocked returns the entry for key, creating it on first sight. The
 // caller holds sh.mu.
-func (sh *tableShard) getLocked(key tableKey, params core.Params) *tableEntry {
+func (sh *tableShard) getLocked(key tableKey, t *Table) *tableEntry {
 	e := sh.entries[key]
 	if e == nil {
-		e = &tableEntry{ctl: core.New(params)}
+		e = &tableEntry{}
 		// Count classification transitions into the shard's metrics.
-		// OnBranch only runs under sh.mu, so the hook does too.
-		e.ctl.OnTransition = func(tr core.Transition) {
+		// OnEvent only runs under sh.mu, so the hook does too.
+		hook := func(tr core.Transition) {
 			sh.metrics.Transitions[tr.To]++
+		}
+		if t.policy == core.PolicyReactive {
+			e.ctl = core.New(t.params)
+			e.ctl.OnTransition = hook
+		} else {
+			pol, err := core.NewPolicy(t.policy, t.params)
+			if err != nil {
+				// NewTablePolicy validated the name; this cannot happen.
+				panic(err)
+			}
+			pol.OnTransition(hook)
+			e.pol = pol
 		}
 		sh.entries[key] = e
 	}
 	return e
 }
 
-// Apply observes one dynamic branch instance for program at global
-// instruction count instr (monotonically non-decreasing per program) and
-// returns the resulting decision.
+// applyEvent advances entry e by one event whose absolute instruction count
+// is instr and returns the decision. The caller holds the entry's shard
+// lock. The reactive fast path calls the controller directly; other
+// policies go through the interface.
+func (e *tableEntry) applyEvent(ev trace.Event, instr uint64) Decision {
+	gap := uint64(ev.Gap)
+	if ctl := e.ctl; ctl != nil {
+		ctl.AddInstrs(gap)
+		v := ctl.OnBranch(0, ev.Taken, instr)
+		st := ctl.BranchState(0)
+		dir, live := ctl.Speculating(0)
+		return Decision{Verdict: v, State: st, Dir: dir, Live: live}
+	}
+	e.pol.AddInstrs(gap)
+	v, st, dir, live := e.pol.OnEvent(ev.Taken, instr)
+	return Decision{Verdict: v, State: st, Dir: dir, Live: live}
+}
+
+// decide reads the entry's current decision without observing an event.
+func (e *tableEntry) decide() Decision {
+	if ctl := e.ctl; ctl != nil {
+		dir, live := ctl.Speculating(0)
+		return Decision{State: ctl.BranchState(0), Dir: dir, Live: live}
+	}
+	dir, live := e.pol.Speculating()
+	return Decision{State: e.pol.State(), Dir: dir, Live: live}
+}
+
+// export returns the entry's serializable unit state, aggregate counters,
+// and whether the unit has been touched.
+func (e *tableEntry) export() (core.BranchState, core.Stats, bool) {
+	if ctl := e.ctl; ctl != nil {
+		st, ok := ctl.ExportBranch(0)
+		return st, ctl.Stats(), ok
+	}
+	st, ok := e.pol.Export()
+	return st, e.pol.Stats(), ok
+}
+
+// restore overwrites the entry's unit state and counters.
+func (e *tableEntry) restore(st core.BranchState, stats core.Stats) {
+	if ctl := e.ctl; ctl != nil {
+		ctl.ImportBranch(0, st)
+		ctl.SetStats(stats)
+		return
+	}
+	e.pol.Import(st)
+	e.pol.SetStats(stats)
+}
+
+// Apply observes one dynamic event for program at global instruction count
+// instr (monotonically non-decreasing per program) and returns the resulting
+// decision.
 func (t *Table) Apply(program string, ev trace.Event, instr uint64) Decision {
 	sh := t.shardFor(program, ev.Branch)
 	sh.mu.Lock()
-	e := sh.getLocked(tableKey{program, ev.Branch}, t.params)
-	e.ctl.AddInstrs(uint64(ev.Gap))
-	v := e.ctl.OnBranch(0, ev.Taken, instr)
-	st := e.ctl.BranchState(0)
-	dir, live := e.ctl.Speculating(0)
+	e := sh.getLocked(tableKey{program, ev.Branch}, t)
+	d := e.applyEvent(ev, instr)
 	m := &sh.metrics
 	m.Events++
 	m.Instrs += uint64(ev.Gap)
-	switch v {
+	switch d.Verdict {
 	case core.Correct:
 		m.Correct++
 	case core.Misspec:
@@ -131,13 +222,13 @@ func (t *Table) Apply(program string, ev trace.Event, instr uint64) Decision {
 		m.NotSpec++
 	}
 	sh.mu.Unlock()
-	return Decision{Verdict: v, State: st, Dir: dir, Live: live}
+	return d
 }
 
-// ApplyBatch observes a run of dynamic branch instances for program, in
-// order, starting at global instruction count startInstr, appending one
-// encoded decision byte per event to dst. It returns the extended slice and
-// the instruction count after the last event.
+// ApplyBatch observes a run of dynamic events for program, in order,
+// starting at global instruction count startInstr, appending one encoded
+// decision byte per event to dst. It returns the extended slice and the
+// instruction count after the last event.
 //
 // The decisions are bit-for-bit the ones len(events) successive Apply calls
 // would produce, and the shard counters advance identically
@@ -184,31 +275,23 @@ func (t *Table) ApplyBatch(program string, events []trace.Event, startInstr uint
 		for _, ev := range events[i:j] {
 			e := lastEntry
 			if e == nil || ev.Branch != lastBranch {
-				e = sh.getLocked(tableKey{program, ev.Branch}, t.params)
+				e = sh.getLocked(tableKey{program, ev.Branch}, t)
 				lastBranch, lastEntry = ev.Branch, e
 			}
-			gap := uint64(ev.Gap)
-			instr += gap
-			e.ctl.AddInstrs(gap)
-			v := e.ctl.OnBranch(0, ev.Taken, instr)
-			st := e.ctl.BranchState(0)
-			dir, live := e.ctl.Speculating(0)
-			m.Events++
-			m.Instrs += gap
-			switch v {
-			case core.Correct:
-				m.Correct++
-			case core.Misspec:
-				m.Misspec++
-			default:
-				m.NotSpec++
-			}
-			dst = append(dst, Decision{Verdict: v, State: st, Dir: dir, Live: live}.Encode())
+			instr += uint64(ev.Gap)
+			dst = append(dst, applyOne(e, m, ev, instr))
 		}
 		sh.mu.Unlock()
 		i = j
 	}
 	return dst, instr
+}
+
+// ApplyBatchKind is ApplyBatch with an explicit speculation kind: the kind
+// is encoded into the table key (trace.EncodeKindProgram), so kind=branch is
+// byte-identical to ApplyBatch on the plain program name.
+func (t *Table) ApplyBatchKind(program string, kind trace.Kind, events []trace.Event, startInstr uint64, dst []byte) ([]byte, uint64) {
+	return t.ApplyBatch(trace.EncodeKindProgram(kind, program), events, startInstr, dst)
 }
 
 // applyShardedMin is the batch size below which the two-pass shard
@@ -258,14 +341,10 @@ var applyScratchPool = sync.Pool{New: func() any { return new(applyScratch) }}
 // is instr, bumps the shard counters, and returns the encoded decision.
 // The caller holds the entry's shard lock.
 func applyOne(e *tableEntry, m *ShardMetrics, ev trace.Event, instr uint64) byte {
-	gap := uint64(ev.Gap)
-	e.ctl.AddInstrs(gap)
-	v := e.ctl.OnBranch(0, ev.Taken, instr)
-	st := e.ctl.BranchState(0)
-	dir, live := e.ctl.Speculating(0)
+	d := e.applyEvent(ev, instr)
 	m.Events++
-	m.Instrs += gap
-	switch v {
+	m.Instrs += uint64(ev.Gap)
+	switch d.Verdict {
 	case core.Correct:
 		m.Correct++
 	case core.Misspec:
@@ -273,7 +352,7 @@ func applyOne(e *tableEntry, m *ShardMetrics, ev trace.Event, instr uint64) byte
 	default:
 		m.NotSpec++
 	}
-	return Decision{Verdict: v, State: st, Dir: dir, Live: live}.Encode()
+	return d.Encode()
 }
 
 // applySharded is ApplyBatch's large-batch schedule: one lock acquisition
@@ -353,7 +432,7 @@ func (t *Table) applySharded(ph uint64, program string, events []trace.Event, st
 			ev := events[i]
 			e := lastEntry
 			if e == nil || ev.Branch != lastBranch {
-				e = sh.getLocked(tableKey{program, ev.Branch}, t.params)
+				e = sh.getLocked(tableKey{program, ev.Branch}, t)
 				lastBranch, lastEntry = ev.Branch, e
 			}
 			out[i] = applyOne(e, m, ev, sc.instr[i])
@@ -395,7 +474,7 @@ func (t *Table) ApplyFrame(program string, payload []byte, startInstr uint64, ds
 	return dst, instr
 }
 
-// Decide returns the branch's current classification without observing an
+// Decide returns the unit's current classification without observing an
 // event. Unknown keys report the Monitor default (and are not created).
 // It takes only the shard's read lock, so concurrent deciders never
 // serialize against each other — only against writers on the same shard.
@@ -407,8 +486,12 @@ func (t *Table) Decide(program string, id trace.BranchID) Decision {
 	if e == nil {
 		return Decision{State: core.Monitor}
 	}
-	dir, live := e.ctl.Speculating(0)
-	return Decision{State: e.ctl.BranchState(0), Dir: dir, Live: live}
+	return e.decide()
+}
+
+// DecideKind is Decide with an explicit speculation kind.
+func (t *Table) DecideKind(program string, kind trace.Kind, id trace.BranchID) Decision {
+	return t.Decide(trace.EncodeKindProgram(kind, program), id)
 }
 
 // Metrics returns a copy of every shard's counters, indexed by shard. Like
@@ -426,7 +509,9 @@ func (t *Table) Metrics() []ShardMetrics {
 	return out
 }
 
-// EntrySnapshot is the serialized state of one (program, branch) entry.
+// EntrySnapshot is the serialized state of one (program, branch) entry. The
+// Program field is the table key — for non-branch kinds, the encoded
+// kind-program.
 type EntrySnapshot struct {
 	Program string
 	Branch  trace.BranchID
@@ -446,7 +531,7 @@ func (t *Table) SnapshotEntries() []EntrySnapshot {
 		sh := &t.shards[i]
 		sh.mu.Lock()
 		for key, e := range sh.entries {
-			st, ok := e.ctl.ExportBranch(0)
+			st, stats, ok := e.export()
 			if !ok {
 				continue
 			}
@@ -454,7 +539,7 @@ func (t *Table) SnapshotEntries() []EntrySnapshot {
 				Program: key.program,
 				Branch:  key.branch,
 				State:   st,
-				Stats:   e.ctl.Stats(),
+				Stats:   stats,
 			})
 		}
 		sh.mu.Unlock()
@@ -474,9 +559,8 @@ func (t *Table) RestoreEntries(entries []EntrySnapshot) {
 	for _, es := range entries {
 		sh := t.shardFor(es.Program, es.Branch)
 		sh.mu.Lock()
-		e := sh.getLocked(tableKey{es.Program, es.Branch}, t.params)
-		e.ctl.ImportBranch(0, es.State)
-		e.ctl.SetStats(es.Stats)
+		e := sh.getLocked(tableKey{es.Program, es.Branch}, t)
+		e.restore(es.State, es.Stats)
 		sh.mu.Unlock()
 	}
 }

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestKindNamesAndParse(t *testing.T) {
+	names := KindNames()
+	if len(names) != KindCount {
+		t.Fatalf("KindNames() has %d entries, want %d", len(names), KindCount)
+	}
+	for i, name := range names {
+		k := Kind(i)
+		if !k.Valid() || k.String() != name {
+			t.Fatalf("Kind(%d): valid=%v name=%q, want valid/%q", i, k.Valid(), k.String(), name)
+		}
+		parsed, err := ParseKind(name)
+		if err != nil || parsed != k {
+			t.Fatalf("ParseKind(%q) = %v, %v; want %v", name, parsed, err, k)
+		}
+	}
+	if Kind(KindCount).Valid() {
+		t.Fatal("Kind(KindCount) reports valid")
+	}
+	if _, err := ParseKind("quantum"); err == nil {
+		t.Fatal("ParseKind accepted an unknown name")
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Fatalf("out-of-range String() = %q", got)
+	}
+}
+
+// TestKindProgramEncoding pins the compatibility-critical key layout: branch
+// keys ARE the plain program name (so every pre-kind WAL segment, snapshot
+// and replication peer keeps matching), non-branch keys live in the
+// NUL-prefixed namespace client names are banned from.
+func TestKindProgramEncoding(t *testing.T) {
+	if got := EncodeKindProgram(KindBranch, "gzip"); got != "gzip" {
+		t.Fatalf("branch key = %q, want the plain program name", got)
+	}
+	for _, program := range []string{"", "gzip", "bench@3", "a b/c"} {
+		for k := Kind(0); k < KindCount; k++ {
+			key := EncodeKindProgram(k, program)
+			gotK, gotP := SplitKindProgram(key)
+			if gotK != k || gotP != program {
+				t.Fatalf("round trip (%v, %q) via %q = (%v, %q)", k, program, key, gotK, gotP)
+			}
+			if k != KindBranch && key[0] != 0x00 {
+				t.Fatalf("non-branch key %q does not carry the NUL prefix", key)
+			}
+		}
+	}
+	// A legacy key decodes as a branch stream of the same name.
+	if k, p := SplitKindProgram("legacy"); k != KindBranch || p != "legacy" {
+		t.Fatalf("legacy key decoded as (%v, %q)", k, p)
+	}
+	if ValidProgramName("a\x00b") || !ValidProgramName("plain") {
+		t.Fatal("ValidProgramName does not fence the NUL namespace")
+	}
+}
+
+// TestKindTagWire pins the proto-4 frame tag: one uvarint, branch encoding
+// to the single zero byte, malformed tails rejected.
+func TestKindTagWire(t *testing.T) {
+	if got := AppendKind(nil, KindBranch); !bytes.Equal(got, []byte{0}) {
+		t.Fatalf("branch kind tag = %x, want the single zero byte", got)
+	}
+	blob := []byte("frame-bytes")
+	for k := Kind(0); k < KindCount; k++ {
+		payload := append(AppendKind(nil, k), blob...)
+		gotK, rest, err := CutKind(payload)
+		if err != nil || gotK != k || !bytes.Equal(rest, blob) {
+			t.Fatalf("CutKind round trip for %v: %v, %q, %v", k, gotK, rest, err)
+		}
+	}
+	if _, _, err := CutKind(nil); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("CutKind(nil) = %v, want ErrBadFrame", err)
+	}
+	// An overlong uvarint (value beyond a byte) is rejected, not truncated.
+	huge := AppendTraceContext(nil, 1<<40)
+	if _, _, err := CutKind(huge); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("CutKind(overlong) = %v, want ErrBadFrame", err)
+	}
+}

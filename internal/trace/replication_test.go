@@ -109,7 +109,8 @@ func TestNegotiateProtos(t *testing.T) {
 		{1, 1, true},
 		{2, 2, true},
 		{3, 3, true},
-		{4, 3, true}, // a newer peer speaks down to us
+		{4, 4, true},
+		{5, 4, true}, // a newer peer speaks down to us
 	}
 	for _, c := range streamCases {
 		if got, ok := NegotiateStreamProto(c.peer); got != c.want || ok != c.ok {

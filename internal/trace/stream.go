@@ -75,7 +75,11 @@ const (
 	//	   flag was negotiated — a change-list 'x' frame; 'D' stays valid,
 	//	   and the proto/flag uvarints in RSHS/RSHA carry session flags in
 	//	   their high bits (see StreamFlagChangeOnly)
-	StreamProtoVersion = 3
+	//	4  'E' frame payloads gain a uvarint speculation-kind tag (see
+	//	   Kind) between the trace ID and the trace blob; at proto <= 3
+	//	   every frame is implicitly kind=branch and the bytes are
+	//	   unchanged
+	StreamProtoVersion = 4
 	// StreamProtoMin is the oldest protocol version still accepted.
 	StreamProtoMin = 1
 

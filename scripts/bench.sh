@@ -26,7 +26,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-2s}"
-PATTERN='^(BenchmarkTableApply|BenchmarkTableApplyBatch|BenchmarkIngestHandler|BenchmarkTraceCodec|BenchmarkWorkloadGenerator)$'
+PATTERN='^(BenchmarkTableApply|BenchmarkTableApplyBatch|BenchmarkTableApplyBatchKind|BenchmarkIngestHandler|BenchmarkTraceCodec|BenchmarkWorkloadGenerator)$'
 OUT=BENCH_ingest.json
 GATE_PCT="${BENCH_GATE_PCT:-20}"
 
@@ -98,6 +98,23 @@ END {
 
 echo "==> wrote $OUT" >&2
 cat "$OUT"
+
+# The kind-generic apply path (ApplyBatchKind on a non-branch kind, paying
+# the kind-program key encoding) must stay within BENCH_KIND_GATE_PCT
+# percent (default 5) of the branch-only ApplyBatch on the same stream.
+# Unlike the cross-session gates above, both rows come from the same run on
+# the same host, so the tight budget is safe from baseline drift.
+KIND_GATE_PCT="${BENCH_KIND_GATE_PCT:-5}"
+bench_eps() { # $1 = benchmark name
+    sed -n 's/.*"name": *"'"$1"'".*"events_per_sec": *\([0-9][0-9]*\).*/\1/p' "$OUT"
+}
+awk -v branch="$(bench_eps BenchmarkTableApplyBatch)" \
+    -v kind="$(bench_eps BenchmarkTableApplyBatchKind)" \
+    -v limit="$KIND_GATE_PCT" 'BEGIN {
+    drop = (branch - kind) / branch * 100
+    printf "==> kind-generic apply overhead: %.1f%% (limit %.0f%%)\n", drop, limit
+    if (drop > limit) { print "KIND REGRESSION: the kind-generic hot path lost more than the budget to branch-only"; exit 1 }
+}' >&2
 
 # --- POST vs streaming transport comparison --------------------------------
 # Drives the identical seeded workload through POST /v1/ingest and through a

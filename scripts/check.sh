@@ -99,6 +99,22 @@ ADDR=$(cat "$SMOKE_DIR/addr")
     -trace-spans "$SMOKE_DIR/spans-load.jsonl" \
     -verify
 
+# Mixed-kind smoke: four workers round-robin all four speculation kinds
+# against the same daemon — branch rides the v1 wire, the rest go through
+# /v2 with kind-tagged requests — and -verify holds every decision to a
+# per-kind in-process mirror. -policy reactive also exercises the
+# policy-pin precheck (identical hash to the daemon's default).
+echo "==> mixed-kind smoke (branch,value,memdep,tlspec on one daemon)"
+"$SMOKE_DIR/reactiveload" \
+    -addr "http://$ADDR" \
+    -bench eon \
+    -scale 0.02 \
+    -concurrency 4 \
+    -batch 512 \
+    -kind branch,value,memdep,tlspec \
+    -policy reactive \
+    -verify
+
 # A verified workload over a streaming session (POST /v1/stream upgrade):
 # decisions must match the in-process mirror exactly, pinning
 # stream-transport equivalence end to end. Each smoke run uses a distinct
